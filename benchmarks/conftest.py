@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment of DESIGN.md (E1-E10): it prints
+the paper-style table/series (visible with ``pytest -s``) and asserts the
+qualitative shape of the result (who wins, what degrades), so a benchmark
+run doubles as a reproduction check.  Timings come from pytest-benchmark.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def bench_rng():
+    """Deterministic generator shared by the benchmark workloads."""
+    return np.random.default_rng(2024)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark a heavyweight function with a single round.
+
+    The experiments are deterministic simulations (not microbenchmarks), so
+    one round is enough for the timing column and keeps the full harness
+    fast.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,88 @@
+"""Full-system simulation: RISC-V host + photonic accelerator (Section 5).
+
+Reproduces the gem5-MARVEL-style experiment: the same GeMM workload is run
+
+* entirely in software on the RISC-V host CPU,
+* offloaded to a digital MAC-array accelerator through MMRs + DMA,
+* offloaded to the photonic in-memory GeMM accelerator,
+* tiled across a cluster of four photonic processing elements,
+
+and the end-to-end cycles, energy and area of each configuration are
+reported — the speed / energy / footprint comparison the paper's simulation
+platform exists to produce.  A small fault-injection campaign on the CPU
+register file closes the loop on the reliability feature.
+
+Run with:  python examples/full_system_offload.py
+"""
+
+import numpy as np
+
+from repro.eval import format_table, make_gemm_workload, speedup
+from repro.system import PhotonicSoC, run_fault_campaign
+
+
+def build_cpu_only():
+    return PhotonicSoC()
+
+
+def build_with_photonic(n_pes=1):
+    soc = PhotonicSoC()
+    for _ in range(n_pes):
+        soc.add_photonic_accelerator()
+    return soc
+
+
+def build_with_mac_array():
+    soc = PhotonicSoC()
+    soc.add_mac_array_accelerator()
+    return soc
+
+
+def main() -> None:
+    weights, inputs = make_gemm_workload(12, 12, 8, rng=0)
+    golden = weights @ inputs
+
+    reports = []
+    cpu_report = build_cpu_only().run_cpu_gemm(weights, inputs)
+    reports.append(cpu_report)
+
+    mac_report = build_with_mac_array().run_offloaded_gemm(weights, inputs)
+    reports.append(mac_report)
+
+    photonic_report = build_with_photonic().run_offloaded_gemm(weights, inputs)
+    reports.append(photonic_report)
+
+    cluster_report = build_with_photonic(4).run_tiled_gemm(weights, inputs)
+    reports.append(cluster_report)
+
+    rows = []
+    for report in reports:
+        assert np.array_equal(report.result, golden), f"{report.label} produced a wrong result"
+        rows.append([
+            report.label,
+            report.cycles,
+            speedup(cpu_report.cycles, report.cycles),
+            report.energy_j,
+            report.area_mm2,
+        ])
+    print(format_table(
+        ["configuration", "cycles", "speedup vs CPU", "energy (J)", "area (mm^2)"], rows
+    ))
+    print()
+
+    def workload(soc):
+        return soc.run_cpu_gemm(weights[:4, :4], inputs[:4, :4])
+
+    golden_small = weights[:4, :4] @ inputs[:4, :4]
+    campaign = run_fault_campaign(
+        workload, PhotonicSoC, golden_small,
+        n_injections=20, target="cpu_register", fault_type="transient", rng=0,
+    )
+    print(format_table(
+        ["outcome", "count", "rate"],
+        [[name, count, count / campaign.n_runs] for name, count in campaign.counts().items()],
+    ))
+
+
+if __name__ == "__main__":
+    main()

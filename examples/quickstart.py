@@ -1,0 +1,81 @@
+"""Quickstart: program a photonic MZI mesh and run a matrix-vector product.
+
+This walks through the three layers a new user touches first:
+
+1. program a Clements MZI mesh for a target unitary and check its fidelity,
+2. build a PhotonicMVM engine for an arbitrary (non-unitary) weight matrix
+   and compare the analog result against the exact product,
+3. compare the energy of holding the weights in thermo-optic vs PCM
+   (non-volatile) phase shifters — the headline device-level claim of the
+   paper.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import PhotonicMVM, PhotonicCoreEnergyModel, QuantizationSpec, combined_component_count
+from repro.eval import format_dict
+from repro.mesh import ClementsMesh, MeshErrorModel
+from repro.utils import matrix_fidelity, random_unitary
+
+
+def programmed_mesh_demo() -> None:
+    """Program an 8x8 Clements mesh and measure its fidelity (ideal and noisy)."""
+    target = random_unitary(8, rng=0)
+    mesh = ClementsMesh(8).program(target)
+
+    ideal_fidelity = matrix_fidelity(mesh.matrix(), target)
+    noisy = mesh.matrix(MeshErrorModel(phase_error_std=0.05, rng=1))
+    noisy_fidelity = matrix_fidelity(noisy, target)
+
+    print(format_dict("8x8 Clements mesh", {
+        "mzis": mesh.n_mzis,
+        "depth": mesh.depth,
+        "phase_shifters": mesh.n_phase_shifters,
+        "ideal_fidelity": ideal_fidelity,
+        "fidelity_with_0.05rad_phase_error": noisy_fidelity,
+    }))
+    print()
+
+
+def photonic_mvm_demo() -> None:
+    """Run an analog matrix-vector product and report its precision."""
+    rng = np.random.default_rng(2)
+    weights = rng.normal(size=(8, 8))
+    vector = rng.normal(size=8)
+
+    engine = PhotonicMVM(weights, quantization=QuantizationSpec(input_bits=8, output_bits=8), rng=0)
+    result = engine.apply(vector)
+
+    print(format_dict("photonic MVM (8x8, 8-bit I/O)", {
+        "relative_error": result.relative_error,
+        "exact_first_output": float(result.reference[0]),
+        "analog_first_output": float(np.real(result.value[0])),
+    }))
+    print()
+
+
+def energy_demo() -> None:
+    """Compare thermo-optic vs PCM weight storage for a 10k-inference workload."""
+    rng = np.random.default_rng(3)
+    engine = PhotonicMVM(rng.normal(size=(16, 16)), rng=0)
+    counts = combined_component_count(engine._left_mesh, engine._right_mesh)
+
+    thermo = PhotonicCoreEnergyModel(16, 16, counts, non_volatile=False)
+    pcm = PhotonicCoreEnergyModel(16, 16, counts, non_volatile=True)
+    n_inferences = 10_000
+
+    print(format_dict("energy for 10k inferences (16x16 core)", {
+        "thermo_optic_total_J": thermo.inference_energy_j(n_inferences),
+        "pcm_total_J": pcm.inference_energy_j(n_inferences),
+        "thermo_static_power_W": thermo.static_mesh_power_w,
+        "pcm_static_power_W": pcm.static_mesh_power_w,
+        "pcm_programming_energy_J": pcm.programming_energy_j(),
+    }))
+
+
+if __name__ == "__main__":
+    programmed_mesh_demo()
+    photonic_mvm_demo()
+    energy_demo()

@@ -1,0 +1,36 @@
+"""repro: reproduction of "Neuromorphic architectures based on augmented
+silicon photonics platforms" (DAC 2024, NEUROPULS project).
+
+The package is organised bottom-up, mirroring the paper:
+
+* ``repro.materials`` / ``repro.devices`` — the augmented SiPh platform
+  (PCM, III-V, MZIs, modulators, detectors, excitable lasers).
+* ``repro.mesh`` — programmable MZI mesh architectures (Clements, Reck,
+  compact Clements, Fldzhyan) with decomposition, expressivity and
+  robustness analysis.
+* ``repro.core`` — the photonic in-memory MVM/GeMM accelerator, photonic
+  neural-network inference, calibration, and speed/energy/footprint models.
+* ``repro.snn`` — the photonic spiking substrate (excitable lasers, PCM
+  synapses, STDP).
+* ``repro.system`` — the gem5-style full-system simulator (RISC-V CPU,
+  MMRs, DMA, interrupts, DSAs, fault injection).
+* ``repro.eval`` — workloads, metrics, sweeps and report formatting for
+  the paper's experiments.
+"""
+
+__version__ = "0.1.0"
+
+from repro import materials, devices, mesh, core, snn, system, utils  # noqa: F401
+from repro import eval as evaluation  # noqa: F401  ("eval" shadows the builtin, alias it)
+
+__all__ = [
+    "materials",
+    "devices",
+    "mesh",
+    "core",
+    "snn",
+    "system",
+    "utils",
+    "evaluation",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""The photonic neuromorphic accelerator core (the paper's contribution).
+
+Combines the mesh architectures and device models into an in-memory
+photonic MVM/GeMM engine with quantisation, calibration, neural-network
+inference, DWDM parallelism, and speed/energy/footprint models.
+"""
+
+from repro.core.mvm import PhotonicMVM, MVMResult
+from repro.core.gemm import TDMGeMM, WDMGeMM, GeMMResult
+from repro.core.quantization import (
+    QuantizationSpec,
+    quantize_uniform,
+    quantize_nonnegative,
+    quantize_weights,
+    effective_bits,
+)
+from repro.core.wdm import WDMChannelPlan
+from repro.core.calibration import (
+    CalibrationReport,
+    calibrate_mesh,
+    measure_realized_matrix,
+    project_to_unitary,
+)
+from repro.core.energy import (
+    AreaModel,
+    PhotonicCoreEnergyModel,
+    combined_component_count,
+)
+from repro.core.nn import (
+    DenseLayer,
+    MLP,
+    PhotonicMLP,
+    train_mlp,
+    relu,
+    softmax,
+)
+
+__all__ = [
+    "PhotonicMVM",
+    "MVMResult",
+    "TDMGeMM",
+    "WDMGeMM",
+    "GeMMResult",
+    "QuantizationSpec",
+    "quantize_uniform",
+    "quantize_nonnegative",
+    "quantize_weights",
+    "effective_bits",
+    "WDMChannelPlan",
+    "CalibrationReport",
+    "calibrate_mesh",
+    "measure_realized_matrix",
+    "project_to_unitary",
+    "AreaModel",
+    "PhotonicCoreEnergyModel",
+    "combined_component_count",
+    "DenseLayer",
+    "MLP",
+    "PhotonicMLP",
+    "train_mlp",
+    "relu",
+    "softmax",
+]

@@ -1,0 +1,231 @@
+"""Energy, latency and footprint model of the photonic accelerator core.
+
+The system-level evaluation of the paper reports "key metrics such as
+speed, energy consumption, and footprint".  This module turns a mesh
+configuration plus device energy figures into those three numbers, and in
+particular quantifies the headline device-level claim: a thermo-optic mesh
+pays a *static* tuning power for as long as the weights are held, while a
+PCM mesh pays a one-off programming energy and then holds the weights for
+free (experiment E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.laser import CWLaser
+from repro.devices.modulator import MachZehnderModulator
+from repro.devices.phase_shifter import PCMPhaseShifter, ThermoOpticPhaseShifter
+from repro.devices.photodetector import Photodetector
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Footprint figures of the photonic building blocks [mm^2].
+
+    Defaults correspond to typical SiPh component sizes: a thermo-optic MZI
+    cell is a few hundred micrometres long, PCM cells are an order of
+    magnitude shorter, and high-speed modulators/detectors dominate the
+    perimeter of the die.
+    """
+
+    mzi_mm2: float = 0.02
+    compact_mzi_mm2: float = 0.012
+    phase_shifter_mm2: float = 0.004
+    pcm_phase_shifter_mm2: float = 0.0008
+    modulator_mm2: float = 0.03
+    detector_mm2: float = 0.005
+    laser_mm2: float = 0.25
+
+    def mesh_area_mm2(self, component_count: dict, non_volatile: bool, compact: bool = False) -> float:
+        """Total mesh area from a mesh ``component_count()`` inventory."""
+        mzi_area = self.compact_mzi_mm2 if compact else self.mzi_mm2
+        shifter_area = (
+            self.pcm_phase_shifter_mm2 if non_volatile else self.phase_shifter_mm2
+        )
+        n_couplers = component_count.get("couplers", 0)
+        n_shifters = component_count.get("phase_shifters", 0)
+        # Couplers come in pairs per MZI cell; standalone couplers (Fldzhyan
+        # mixing layers) are counted at half an MZI cell.
+        n_mzis = component_count.get("mzis", 0)
+        standalone_couplers = max(n_couplers - 2 * n_mzis, 0)
+        return (
+            n_mzis * mzi_area
+            + standalone_couplers * (mzi_area / 2.0)
+            + n_shifters * shifter_area
+        )
+
+
+@dataclass
+class PhotonicCoreEnergyModel:
+    """Speed / energy / footprint model of one photonic MVM core.
+
+    Attributes:
+        n_inputs / n_outputs: MVM dimensions.
+        component_count: mesh inventory (``mesh.component_count()`` of the
+            two SVD meshes combined, or of a single unitary mesh).
+        non_volatile: True for PCM phase shifters, False for thermo-optic.
+        compact_cells: True when the Bell-Walmsley compacted cell is used.
+        laser / modulator / detector: device models supplying power figures.
+        thermo_shifter / pcm_shifter: representative phase-shifter devices
+            used for static power and programming energy.
+        area_model: component footprint figures.
+        digital_overhead_energy_per_op: energy of the digital pre/post
+            processing per MAC [J] (normalisation, accumulation).
+    """
+
+    n_inputs: int
+    n_outputs: int
+    component_count: dict
+    non_volatile: bool = True
+    compact_cells: bool = False
+    laser: CWLaser = field(default_factory=CWLaser)
+    modulator: MachZehnderModulator = field(default_factory=MachZehnderModulator)
+    detector: Photodetector = field(default_factory=Photodetector)
+    thermo_shifter: ThermoOpticPhaseShifter = field(default_factory=ThermoOpticPhaseShifter)
+    pcm_shifter: PCMPhaseShifter = field(default_factory=PCMPhaseShifter)
+    area_model: AreaModel = field(default_factory=AreaModel)
+    digital_overhead_energy_per_op: float = 10e-15
+
+    def __post_init__(self):
+        if self.n_inputs < 1 or self.n_outputs < 1:
+            raise ValueError("MVM dimensions must be positive")
+
+    # ------------------------------------------------------------------ #
+    # speed
+    # ------------------------------------------------------------------ #
+    @property
+    def mvm_latency_s(self) -> float:
+        """Latency of one MVM: one modulation symbol + time of flight.
+
+        The optical time of flight through the mesh is a few picoseconds
+        per column and is dwarfed by the symbol period; both are included.
+        """
+        symbol = 1.0 / self.modulator.symbol_rate
+        depth = self.component_count.get("depth", self.n_inputs)
+        time_of_flight = depth * 5e-12
+        return symbol + time_of_flight
+
+    @property
+    def mvm_rate_hz(self) -> float:
+        """Sustained MVM rate (pipelined on the modulator symbol rate)."""
+        return self.modulator.symbol_rate
+
+    @property
+    def macs_per_mvm(self) -> int:
+        """Multiply-accumulates performed by one optical pass."""
+        return self.n_inputs * self.n_outputs
+
+    @property
+    def peak_throughput_macs_per_s(self) -> float:
+        """Peak MAC throughput of the core."""
+        return self.macs_per_mvm * self.mvm_rate_hz
+
+    # ------------------------------------------------------------------ #
+    # energy
+    # ------------------------------------------------------------------ #
+    @property
+    def static_mesh_power_w(self) -> float:
+        """Static electrical power to hold the programmed weights [W].
+
+        Thermo-optic meshes hold, on average, half the full-scale phase per
+        shifter; PCM meshes hold weights for free.
+        """
+        if self.non_volatile:
+            return 0.0
+        n_shifters = self.component_count.get("phase_shifters", 0)
+        average_phase_power = self.thermo_shifter.material.heater_power_for_phase(np.pi / 2.0)
+        return n_shifters * average_phase_power
+
+    @property
+    def laser_power_w(self) -> float:
+        """Electrical power of the optical supply [W]."""
+        return self.laser.electrical_power_w
+
+    def programming_energy_j(self) -> float:
+        """Energy to (re)program the full weight matrix once [J]."""
+        n_shifters = self.component_count.get("phase_shifters", 0)
+        if self.non_volatile:
+            return n_shifters * self.pcm_shifter.programming_energy()
+        return n_shifters * self.thermo_shifter.programming_energy()
+
+    def energy_per_mvm_j(self) -> float:
+        """Dynamic energy of one MVM [J] (excludes weight programming)."""
+        encode = self.modulator.encoding_energy(self.n_inputs)
+        readout = self.detector.readout_energy(self.n_outputs)
+        optical = (self.laser_power_w + self.static_mesh_power_w) * self.mvm_latency_s
+        digital = self.digital_overhead_energy_per_op * self.macs_per_mvm
+        return encode + readout + optical + digital
+
+    def energy_per_mac_j(self) -> float:
+        """Dynamic energy per MAC [J] — the figure of merit quoted for accelerators."""
+        return self.energy_per_mvm_j() / self.macs_per_mvm
+
+    def inference_energy_j(self, n_mvms: int, include_programming: bool = True, hold_time_s: Optional[float] = None) -> float:
+        """Total energy of a workload of ``n_mvms`` MVMs with static weights.
+
+        ``hold_time_s`` defaults to the time the workload takes at the
+        sustained MVM rate; for a thermo-optic mesh the static tuning power
+        is integrated over this period, which is exactly the term the PCM
+        platform removes.
+        """
+        if n_mvms < 0:
+            raise ValueError("n_mvms must be non-negative")
+        hold_time = hold_time_s if hold_time_s is not None else n_mvms / self.mvm_rate_hz
+        dynamic = n_mvms * (
+            self.modulator.encoding_energy(self.n_inputs)
+            + self.detector.readout_energy(self.n_outputs)
+            + self.digital_overhead_energy_per_op * self.macs_per_mvm
+        )
+        supply = (self.laser_power_w + self.static_mesh_power_w) * hold_time
+        programming = self.programming_energy_j() if include_programming else 0.0
+        return dynamic + supply + programming
+
+    # ------------------------------------------------------------------ #
+    # footprint
+    # ------------------------------------------------------------------ #
+    def area_mm2(self) -> float:
+        """Total die area of the core [mm^2]."""
+        mesh = self.area_model.mesh_area_mm2(
+            self.component_count, non_volatile=self.non_volatile, compact=self.compact_cells
+        )
+        io = (
+            self.n_inputs * self.area_model.modulator_mm2
+            + self.n_outputs * self.area_model.detector_mm2
+            + self.area_model.laser_mm2
+        )
+        return mesh + io
+
+    def summary(self) -> dict:
+        """All headline metrics in one dictionary (for table printing)."""
+        return {
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+            "non_volatile": self.non_volatile,
+            "mvm_latency_s": self.mvm_latency_s,
+            "peak_throughput_macs_per_s": self.peak_throughput_macs_per_s,
+            "static_mesh_power_w": self.static_mesh_power_w,
+            "laser_power_w": self.laser_power_w,
+            "energy_per_mac_j": self.energy_per_mac_j(),
+            "programming_energy_j": self.programming_energy_j(),
+            "area_mm2": self.area_mm2(),
+        }
+
+
+def combined_component_count(*meshes) -> dict:
+    """Merge ``component_count()`` inventories of several meshes (SVD cores)."""
+    totals: dict = {}
+    for mesh in meshes:
+        if mesh is None:
+            continue
+        for key, value in mesh.component_count().items():
+            if key == "depth":
+                totals[key] = totals.get(key, 0) + value
+            elif key == "modes":
+                totals[key] = max(totals.get(key, 0), value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+    return totals

@@ -1,0 +1,255 @@
+"""Photonic neural-network inference on the MVM core (experiment E6).
+
+The point of the accelerator is to run the linear-algebra workloads that
+"underpin a majority of current deep learning models".  This module builds
+a small, dependency-free neural-network stack (dense layers + standard
+activations), a float reference implementation, and a *photonic* execution
+mode in which every dense layer's matrix product is carried out by a
+:class:`repro.core.mvm.PhotonicMVM` engine with its full analog noise
+chain.  Comparing the two quantifies how much accuracy the analog datapath
+gives up as a function of precision, noise, and mesh errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mvm import PhotonicMVM
+from repro.core.quantization import QuantizationSpec
+from repro.mesh.base import MeshErrorModel
+from repro.mesh.clements import ClementsMesh
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=-1, keepdims=True)
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    """Identity activation (for the output layer before softmax/argmax)."""
+    return x
+
+
+ACTIVATIONS = {"relu": relu, "softmax": softmax, "identity": identity}
+
+
+@dataclass
+class DenseLayer:
+    """A dense (fully connected) layer ``y = act(W x + b)``.
+
+    Attributes:
+        weights: (n_out, n_in) weight matrix.
+        biases: (n_out,) bias vector.
+        activation: one of ``"relu"``, ``"softmax"``, ``"identity"``.
+    """
+
+    weights: np.ndarray
+    biases: np.ndarray
+    activation: str = "relu"
+
+    def __post_init__(self):
+        self.weights = np.asarray(self.weights, dtype=float)
+        self.biases = np.asarray(self.biases, dtype=float)
+        if self.weights.ndim != 2:
+            raise ValueError("weights must be a matrix")
+        if self.biases.shape != (self.weights.shape[0],):
+            raise ValueError("biases must match the output dimension")
+        if self.activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {self.activation!r}")
+
+    @property
+    def n_inputs(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.weights.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Float reference forward pass for a single vector or a batch."""
+        x = np.asarray(x, dtype=float)
+        pre = x @ self.weights.T + self.biases
+        return ACTIVATIONS[self.activation](pre)
+
+
+class MLP:
+    """A plain multilayer perceptron with a float reference forward pass."""
+
+    def __init__(self, layers: Sequence[DenseLayer]):
+        if not layers:
+            raise ValueError("an MLP needs at least one layer")
+        for previous, current in zip(layers[:-1], layers[1:]):
+            if previous.n_outputs != current.n_inputs:
+                raise ValueError("layer dimensions do not chain")
+        self.layers = list(layers)
+
+    @property
+    def n_inputs(self) -> int:
+        return self.layers[0].n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.layers[-1].n_outputs
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Float reference forward pass."""
+        out = np.asarray(x, dtype=float)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax of the final layer output)."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    @classmethod
+    def random_init(
+        cls,
+        layer_sizes: Sequence[int],
+        rng: RngLike = 0,
+        hidden_activation: str = "relu",
+    ) -> "MLP":
+        """He-initialised random MLP (used before training)."""
+        generator = ensure_rng(rng)
+        layers = []
+        for i, (n_in, n_out) in enumerate(zip(layer_sizes[:-1], layer_sizes[1:])):
+            scale = np.sqrt(2.0 / n_in)
+            weights = generator.normal(0.0, scale, size=(n_out, n_in))
+            biases = np.zeros(n_out)
+            activation = hidden_activation if i < len(layer_sizes) - 2 else "identity"
+            layers.append(DenseLayer(weights=weights, biases=biases, activation=activation))
+        return cls(layers)
+
+
+def train_mlp(
+    model: MLP,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    epochs: int = 30,
+    learning_rate: float = 0.05,
+    batch_size: int = 32,
+    rng: RngLike = 0,
+) -> List[float]:
+    """Train an MLP with plain mini-batch SGD and cross-entropy loss.
+
+    Only ReLU hidden layers and an identity output layer (softmax applied
+    in the loss) are supported — enough for the digit-classification
+    workload of experiment E6.  Returns the per-epoch training loss.
+    """
+    generator = ensure_rng(rng)
+    inputs = np.asarray(inputs, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    n_samples = inputs.shape[0]
+    n_classes = model.n_outputs
+    one_hot = np.eye(n_classes)[labels]
+    losses = []
+    for _ in range(epochs):
+        order = generator.permutation(n_samples)
+        epoch_loss = 0.0
+        for start in range(0, n_samples, batch_size):
+            batch = order[start : start + batch_size]
+            x = inputs[batch]
+            y = one_hot[batch]
+            # forward pass, caching activations
+            activations = [x]
+            for layer in model.layers:
+                activations.append(layer.forward(activations[-1]))
+            logits = activations[-1]
+            probs = softmax(logits)
+            epoch_loss += float(
+                -np.sum(y * np.log(np.clip(probs, 1e-12, None))) / len(batch)
+            )
+            # backward pass
+            grad = (probs - y) / len(batch)
+            for index in range(len(model.layers) - 1, -1, -1):
+                layer = model.layers[index]
+                layer_input = activations[index]
+                if layer.activation == "relu":
+                    grad = grad * (activations[index + 1] > 0)
+                grad_w = grad.T @ layer_input
+                grad_b = grad.sum(axis=0)
+                grad = grad @ layer.weights
+                layer.weights = layer.weights - learning_rate * grad_w
+                layer.biases = layer.biases - learning_rate * grad_b
+        losses.append(epoch_loss / max(1, n_samples // batch_size))
+    return losses
+
+
+@dataclass
+class PhotonicMLP:
+    """Photonic execution of a trained MLP.
+
+    Every dense layer is mapped onto a :class:`PhotonicMVM` engine; biases
+    and activations stay digital, mirroring the paper's architecture where
+    the photonic core accelerates the linear algebra and a host handles the
+    rest.
+
+    Attributes:
+        model: the trained float MLP.
+        quantization: datapath precision of all layer engines.
+        error_model: mesh error model shared by all layers.
+        mesh_factory: mesh architecture used for the SVD cores.
+        add_noise: include stochastic detection noise at inference time.
+        rng: seed or generator for the analog noise.
+    """
+
+    model: MLP
+    quantization: QuantizationSpec = field(default_factory=QuantizationSpec)
+    error_model: Optional[MeshErrorModel] = None
+    mesh_factory: Callable[[int], object] = ClementsMesh
+    add_noise: bool = True
+    rng: RngLike = None
+
+    def __post_init__(self):
+        generator = ensure_rng(self.rng)
+        self._engines = [
+            PhotonicMVM(
+                weight_matrix=layer.weights,
+                mesh_factory=self.mesh_factory,
+                quantization=self.quantization,
+                error_model=self.error_model,
+                rng=generator.integers(0, 2**31 - 1),
+            )
+            for layer in self.model.layers
+        ]
+
+    @property
+    def engines(self) -> List[PhotonicMVM]:
+        """The per-layer photonic MVM engines."""
+        return list(self._engines)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Photonic forward pass for a single vector or a batch."""
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        batch = x.reshape(1, -1) if single else x
+        outputs = []
+        for sample in batch:
+            value = sample
+            for layer, engine in zip(self.model.layers, self._engines):
+                product = engine.apply(value, add_noise=self.add_noise).value
+                pre = np.real(product) + layer.biases
+                value = ACTIVATIONS[layer.activation](pre)
+            outputs.append(value)
+        result = np.stack(outputs, axis=0)
+        return result[0] if single else result
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions of the photonic forward pass."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy of the photonic model on a dataset."""
+        predictions = self.predict(inputs)
+        return float(np.mean(predictions == np.asarray(labels, dtype=int)))

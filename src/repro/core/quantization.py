@@ -1,0 +1,122 @@
+"""Quantisation utilities: input DACs and PCM weight levels.
+
+Two quantisers matter for the accelerator:
+
+* the input DAC driving the Mach-Zehnder modulators (uniform, ``bits`` wide,
+  applied to the normalised input vector), and
+* the PCM phase/weight levels (a small number of non-volatile levels per
+  phase shifter), which bound the precision of the programmed matrix.
+
+Both are exposed as plain functions plus a :class:`QuantizationSpec` bundle
+that the MVM engine and the NN layers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Precision configuration of the photonic datapath.
+
+    Attributes:
+        input_bits: DAC resolution for input encoding (None = ideal
+            encoding that also bypasses the modulator extinction floor).
+        output_bits: ADC resolution for detection (None = ideal).
+        weight_levels: number of PCM levels available per phase shifter
+            (None = continuous analog programming).  Discrete level counts
+            are explored by the quantisation experiments (E3, E6).
+    """
+
+    input_bits: Optional[int] = 8
+    output_bits: Optional[int] = 8
+    weight_levels: Optional[int] = None
+
+    def __post_init__(self):
+        for name, value in (
+            ("input_bits", self.input_bits),
+            ("output_bits", self.output_bits),
+        ):
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None")
+        if self.weight_levels is not None and self.weight_levels < 2:
+            raise ValueError("weight_levels must be >= 2 or None")
+
+    @classmethod
+    def ideal(cls) -> "QuantizationSpec":
+        """A specification with every quantiser disabled."""
+        return cls(input_bits=None, output_bits=None, weight_levels=None)
+
+
+def quantize_uniform(values: np.ndarray, n_bits: int, full_scale: float = 1.0) -> np.ndarray:
+    """Uniformly quantise values in ``[-full_scale, full_scale]`` to ``n_bits``.
+
+    Mid-tread quantiser (zero is on the grid) with symmetric saturation at
+    the full-scale limits, so the absolute quantisation error never exceeds
+    half a step anywhere in the input range.  The step is
+    ``2 * full_scale / 2**n_bits``.
+    """
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    if full_scale <= 0:
+        raise ValueError("full_scale must be positive")
+    values = np.asarray(values, dtype=float)
+    n_levels = 2 ** n_bits
+    step = 2.0 * full_scale / n_levels
+    clipped = np.clip(values, -full_scale, full_scale)
+    return np.round(clipped / step) * step
+
+
+def quantize_nonnegative(values: np.ndarray, n_bits: int, full_scale: float = 1.0) -> np.ndarray:
+    """Quantise non-negative values in ``[0, full_scale]`` onto a DAC grid."""
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    values = np.asarray(values, dtype=float)
+    if np.any(values < -1e-12):
+        raise ValueError("values must be non-negative")
+    n_levels = 2 ** n_bits
+    clipped = np.clip(values, 0.0, full_scale)
+    return np.round(clipped / full_scale * (n_levels - 1)) / (n_levels - 1) * full_scale
+
+
+def quantize_weights(weights: np.ndarray, n_levels: int) -> np.ndarray:
+    """Quantise a weight matrix onto ``n_levels`` uniform levels.
+
+    The grid is symmetric around zero and spans the maximum absolute weight,
+    mirroring how multilevel PCM cells are mapped onto signed weights with a
+    differential (push-pull) arrangement.
+    """
+    if n_levels < 2:
+        raise ValueError("n_levels must be >= 2")
+    weights = np.asarray(weights, dtype=float)
+    max_abs = np.max(np.abs(weights))
+    if max_abs == 0.0:
+        return weights.copy()
+    grid = np.linspace(-max_abs, max_abs, n_levels)
+    indices = np.argmin(np.abs(weights[..., None] - grid), axis=-1)
+    return grid[indices]
+
+
+def effective_bits(signal: np.ndarray, reference: np.ndarray) -> float:
+    """Effective number of bits (ENOB) of a noisy analog result.
+
+    Computed from the signal-to-error ratio between ``signal`` (measured)
+    and ``reference`` (exact), using the standard ``(SNR_dB - 1.76)/6.02``
+    formula.  Returns ``inf`` if the two agree exactly.
+    """
+    signal = np.asarray(signal, dtype=float).ravel()
+    reference = np.asarray(reference, dtype=float).ravel()
+    if signal.shape != reference.shape:
+        raise ValueError("signal and reference must have the same shape")
+    error_power = float(np.mean((signal - reference) ** 2))
+    if error_power == 0.0:
+        return float("inf")
+    signal_power = float(np.mean(reference**2))
+    if signal_power == 0.0:
+        raise ValueError("reference signal has zero power")
+    snr_db = 10.0 * np.log10(signal_power / error_power)
+    return (snr_db - 1.76) / 6.02

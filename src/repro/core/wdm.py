@@ -1,0 +1,112 @@
+"""Dense wavelength-division multiplexing (DWDM) channel model.
+
+The paper's GeMM generalisation processes several input-matrix rows in
+parallel by encoding them on different DWDM channels that share the same
+multiport interferometer "without incurring additional resource costs".
+The channel plan here models the resource side (how many lasers,
+modulators and detectors a channel count implies) and the main physical
+penalty of sharing the mesh: inter-channel crosstalk at the wavelength
+(de)multiplexers and the weak wavelength dependence of the programmed mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.units import SPEED_OF_LIGHT
+
+
+@dataclass(frozen=True)
+class WDMChannelPlan:
+    """A DWDM channel plan on the standard C-band grid.
+
+    Attributes:
+        n_channels: number of wavelength channels used in parallel.
+        channel_spacing_hz: grid spacing (100 GHz standard, 50 GHz dense).
+        center_wavelength: centre of the channel comb [m].
+        crosstalk_db: power leakage from each neighbouring channel after
+            demultiplexing, expressed as a (negative) dB figure.
+        dispersion_phase_std: std-dev of the per-channel random phase error
+            of the shared mesh due to its wavelength dependence [rad].
+    """
+
+    n_channels: int = 4
+    channel_spacing_hz: float = 100e9
+    center_wavelength: float = 1550e-9
+    crosstalk_db: float = -30.0
+    dispersion_phase_std: float = 0.0
+
+    def __post_init__(self):
+        if self.n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if self.channel_spacing_hz <= 0:
+            raise ValueError("channel_spacing_hz must be positive")
+        if self.crosstalk_db > 0:
+            raise ValueError("crosstalk_db must be <= 0")
+
+    @property
+    def wavelengths(self) -> np.ndarray:
+        """Vacuum wavelengths [m] of the channels, centred on the grid."""
+        center_freq = SPEED_OF_LIGHT / self.center_wavelength
+        offsets = (np.arange(self.n_channels) - (self.n_channels - 1) / 2.0)
+        freqs = center_freq + offsets * self.channel_spacing_hz
+        return SPEED_OF_LIGHT / freqs
+
+    @property
+    def crosstalk_linear(self) -> float:
+        """Linear power leakage per adjacent channel."""
+        return float(10.0 ** (self.crosstalk_db / 10.0))
+
+    def crosstalk_matrix(self) -> np.ndarray:
+        """Channel mixing matrix applied to detected (power-domain) outputs.
+
+        Nearest neighbours leak ``crosstalk_linear`` of their power, the
+        diagonal keeps the remainder so total power is conserved.
+        """
+        n = self.n_channels
+        matrix = np.zeros((n, n))
+        leak = self.crosstalk_linear
+        for i in range(n):
+            neighbours = [j for j in (i - 1, i + 1) if 0 <= j < n]
+            for j in neighbours:
+                matrix[i, j] = leak
+            matrix[i, i] = 1.0 - leak * len(neighbours)
+        return matrix
+
+    def apply_crosstalk(self, channel_outputs: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Apply inter-channel crosstalk to per-channel output vectors.
+
+        ``channel_outputs`` has shape ``(n_channels, ...)``; the mixing acts
+        on the channel axis.  When ``dispersion_phase_std`` is non-zero a
+        per-channel multiplicative error is also applied, modelling the
+        residual wavelength dependence of the shared mesh.
+        """
+        outputs = np.asarray(channel_outputs, dtype=float)
+        if outputs.shape[0] != self.n_channels:
+            raise ValueError(
+                f"expected {self.n_channels} channel rows, got {outputs.shape[0]}"
+            )
+        mixed = np.tensordot(self.crosstalk_matrix(), outputs, axes=(1, 0))
+        if self.dispersion_phase_std > 0:
+            generator = ensure_rng(rng)
+            gains = 1.0 + generator.normal(
+                0.0, self.dispersion_phase_std, size=(self.n_channels,)
+            )
+            mixed = mixed * gains.reshape((-1,) + (1,) * (outputs.ndim - 1))
+        return mixed
+
+    def resource_overhead(self) -> dict:
+        """Extra hardware needed per additional wavelength channel.
+
+        The mesh is shared (that is the whole point); lasers, modulators and
+        detectors scale with the channel count.
+        """
+        return {
+            "lasers": self.n_channels,
+            "modulator_banks": self.n_channels,
+            "detector_banks": self.n_channels,
+            "meshes": 1,
+        }

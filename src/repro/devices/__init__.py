@@ -1,0 +1,35 @@
+"""Photonic device models for the augmented SOI platform.
+
+Every device exposes either a (complex) transfer matrix / transfer function
+used by the mesh and accelerator layers, or a time-domain model used by the
+spiking substrate, plus energy and footprint figures used by the
+system-level simulator.
+"""
+
+from repro.devices.waveguide import Waveguide
+from repro.devices.coupler import DirectionalCoupler
+from repro.devices.phase_shifter import (
+    PhaseShifter,
+    ThermoOpticPhaseShifter,
+    PCMPhaseShifter,
+)
+from repro.devices.mzi import MachZehnderInterferometer
+from repro.devices.modulator import MachZehnderModulator
+from repro.devices.photodetector import Photodetector
+from repro.devices.laser import CWLaser, ExcitableLaser, YamadaModel
+from repro.devices.pcm_cell import PCMSynapticCell
+
+__all__ = [
+    "Waveguide",
+    "DirectionalCoupler",
+    "PhaseShifter",
+    "ThermoOpticPhaseShifter",
+    "PCMPhaseShifter",
+    "MachZehnderInterferometer",
+    "MachZehnderModulator",
+    "Photodetector",
+    "CWLaser",
+    "ExcitableLaser",
+    "YamadaModel",
+    "PCMSynapticCell",
+]

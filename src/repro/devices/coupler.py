@@ -1,0 +1,63 @@
+"""Directional coupler (2x2 beamsplitter) model.
+
+The couplers in an MZI mesh are nominally 50:50.  Fabrication variations
+perturb the splitting ratio, which is one of the dominant error sources the
+robustness study (experiment E3) sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DirectionalCoupler:
+    """A lossy 2x2 directional coupler.
+
+    Attributes:
+        power_splitting_ratio: fraction of power coupled to the cross port
+            (0.5 for a perfect 50:50 coupler).
+        insertion_loss_db: excess loss applied equally to both outputs.
+    """
+
+    power_splitting_ratio: float = 0.5
+    insertion_loss_db: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.power_splitting_ratio <= 1.0:
+            raise ValueError("power_splitting_ratio must lie in [0, 1]")
+        if self.insertion_loss_db < 0.0:
+            raise ValueError("insertion_loss_db must be non-negative")
+
+    @property
+    def field_transmission(self) -> float:
+        """Field amplitude factor from the excess insertion loss."""
+        return float(10.0 ** (-self.insertion_loss_db / 20.0))
+
+    @property
+    def transfer_matrix(self) -> np.ndarray:
+        """Complex 2x2 transfer matrix of the coupler.
+
+        Uses the standard symmetric convention with a ``j`` on the cross
+        terms so that a lossless coupler is unitary:
+
+            [[ t,  j*k ],
+             [ j*k,  t ]]   with t = sqrt(1 - r), k = sqrt(r).
+        """
+        cross = np.sqrt(self.power_splitting_ratio)
+        bar = np.sqrt(1.0 - self.power_splitting_ratio)
+        matrix = np.array([[bar, 1j * cross], [1j * cross, bar]], dtype=complex)
+        return self.field_transmission * matrix
+
+    def with_ratio_error(self, delta: float) -> "DirectionalCoupler":
+        """Return a copy with the splitting ratio perturbed by ``delta``.
+
+        The perturbed ratio is clipped into [0, 1] so large error sweeps
+        remain physical.
+        """
+        ratio = float(np.clip(self.power_splitting_ratio + delta, 0.0, 1.0))
+        return DirectionalCoupler(
+            power_splitting_ratio=ratio, insertion_loss_db=self.insertion_loss_db
+        )

@@ -1,0 +1,188 @@
+"""Laser models: CW pump lasers and Q-switched excitable spiking lasers.
+
+The III-V augmentation enables on-chip lasers.  Two are modelled:
+
+* ``CWLaser`` — a continuous-wave source supplying optical power to the
+  MVM mesh (wall-plug efficiency feeds the energy model).
+* ``ExcitableLaser`` — a two-section (gain + saturable absorber) Q-switched
+  laser integrated with the Yamada rate equations.  Such a laser is
+  *excitable*: a perturbation above threshold triggers a full, stereotyped
+  optical spike followed by a refractory period, which is exactly the
+  leaky-integrate-and-fire-like behaviour the photonic SNN needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.materials.iii_v import IIIVGainMaterial
+
+
+@dataclass(frozen=True)
+class CWLaser:
+    """Continuous-wave on-chip laser.
+
+    Attributes:
+        output_power_w: optical output power [W].
+        wall_plug_efficiency: optical output power / electrical input power.
+        wavelength: emission wavelength [m].
+        linewidth_hz: optical linewidth (unused by the MVM model but part
+            of the public device datasheet).
+    """
+
+    output_power_w: float = 10e-3
+    wall_plug_efficiency: float = 0.15
+    wavelength: float = 1550e-9
+    linewidth_hz: float = 1e6
+
+    def __post_init__(self):
+        if self.output_power_w <= 0.0:
+            raise ValueError("output power must be positive")
+        if not 0.0 < self.wall_plug_efficiency <= 1.0:
+            raise ValueError("wall_plug_efficiency must lie in (0, 1]")
+
+    @property
+    def electrical_power_w(self) -> float:
+        """Electrical power drawn to produce the optical output [W]."""
+        return self.output_power_w / self.wall_plug_efficiency
+
+
+@dataclass
+class YamadaModel:
+    """Yamada rate equations for a two-section excitable laser.
+
+    The dimensionless Yamada model (type-I excitability):
+
+        dG/dt = b_g * (A  - G - G * I)
+        dQ/dt = b_q * (B  - Q - a * Q * I)
+        dI/dt = (G - Q - 1) * I + beta_sp + s(t)
+
+    with gain ``G``, saturable absorption ``Q``, intensity ``I``, pump
+    ``A``, absorption depth ``B``, saturation asymmetry ``a``, spontaneous
+    emission ``beta_sp`` and external (input) perturbation ``s(t)``.  Time
+    is in units of the cavity photon lifetime.
+
+    Attributes:
+        pump: normalised pump parameter ``A`` (below self-pulsing threshold
+            for excitable operation).
+        absorption: absorber depth ``B``.
+        saturation_asymmetry: ``a``.
+        gain_timescale / absorber_timescale: ``b_g`` and ``b_q``
+            (slow compared to the photon lifetime, i.e. << 1).
+        spontaneous_emission: ``beta_sp`` noise floor.
+    """
+
+    pump: float = 2.75
+    absorption: float = 1.8
+    saturation_asymmetry: float = 2.0
+    gain_timescale: float = 5e-3
+    absorber_timescale: float = 5e-3
+    spontaneous_emission: float = 1e-6
+    material: IIIVGainMaterial = field(default_factory=IIIVGainMaterial)
+
+    def derivatives(self, state: np.ndarray, drive: float = 0.0) -> np.ndarray:
+        """Right-hand side of the Yamada equations for ``state = [G, Q, I]``."""
+        gain, absorber, intensity = state
+        d_gain = self.gain_timescale * (self.pump - gain - gain * intensity)
+        d_absorber = self.absorber_timescale * (
+            self.absorption - absorber - self.saturation_asymmetry * absorber * intensity
+        )
+        d_intensity = (gain - absorber - 1.0) * intensity + self.spontaneous_emission + drive
+        return np.array([d_gain, d_absorber, d_intensity])
+
+    def equilibrium(self) -> np.ndarray:
+        """Resting (off) state ``[G, Q, I] = [A, B, ~0]`` for excitable bias."""
+        return np.array([self.pump, self.absorption, self.spontaneous_emission])
+
+    @property
+    def excitable(self) -> bool:
+        """True when biased below the self-pulsing threshold (A < 1 + B)."""
+        return self.pump < 1.0 + self.absorption
+
+
+@dataclass
+class ExcitableLaser:
+    """Time-stepped simulator of a Yamada-model excitable spiking laser.
+
+    Attributes:
+        model: Yamada parameters.
+        dt: integration step in units of the photon lifetime.
+        spike_threshold: intensity above which the output is considered a
+            spike (for event extraction).
+        refractory_time: minimum separation between detected spikes, in
+            photon-lifetime units.
+    """
+
+    model: YamadaModel = field(default_factory=YamadaModel)
+    dt: float = 0.05
+    spike_threshold: float = 1.0
+    refractory_time: float = 200.0
+
+    def __post_init__(self):
+        if self.dt <= 0.0:
+            raise ValueError("dt must be positive")
+        self.reset()
+
+    def reset(self) -> None:
+        """Return the laser to its resting state."""
+        self._state = self.model.equilibrium().copy()
+        self._time = 0.0
+        self._last_spike_time: Optional[float] = None
+
+    @property
+    def state(self) -> np.ndarray:
+        """Current ``[G, Q, I]`` state vector."""
+        return self._state.copy()
+
+    @property
+    def intensity(self) -> float:
+        """Current output intensity (dimensionless)."""
+        return float(self._state[2])
+
+    def step(self, drive: float = 0.0) -> float:
+        """Advance one time step with an external drive; returns intensity.
+
+        Integration uses a 4th-order Runge-Kutta step, which is stable for
+        the stiffness ratios of typical excitable bias points at the
+        default ``dt``.
+        """
+        state = self._state
+        dt = self.dt
+        k1 = self.model.derivatives(state, drive)
+        k2 = self.model.derivatives(state + 0.5 * dt * k1, drive)
+        k3 = self.model.derivatives(state + 0.5 * dt * k2, drive)
+        k4 = self.model.derivatives(state + dt * k3, drive)
+        self._state = state + dt * (k1 + 2 * k2 + 2 * k3 + k4) / 6.0
+        # Intensity and carrier populations cannot go negative.
+        self._state = np.maximum(self._state, 0.0)
+        self._time += dt
+        return float(self._state[2])
+
+    def run(self, drive_waveform: np.ndarray) -> np.ndarray:
+        """Run the laser over a drive waveform; returns the intensity trace."""
+        drive_waveform = np.asarray(drive_waveform, dtype=float)
+        trace = np.empty(drive_waveform.shape[0])
+        for i, drive in enumerate(drive_waveform):
+            trace[i] = self.step(drive)
+        return trace
+
+    def detect_spikes(self, intensity_trace: np.ndarray) -> np.ndarray:
+        """Extract spike times (in photon-lifetime units) from a trace.
+
+        A spike is a threshold crossing from below, subject to the
+        refractory separation.
+        """
+        trace = np.asarray(intensity_trace, dtype=float)
+        above = trace >= self.spike_threshold
+        crossings = np.flatnonzero(above[1:] & ~above[:-1]) + 1
+        spike_times = []
+        last = -np.inf
+        for idx in crossings:
+            time = idx * self.dt
+            if time - last >= self.refractory_time:
+                spike_times.append(time)
+                last = time
+        return np.asarray(spike_times)

@@ -1,0 +1,141 @@
+"""Mach-Zehnder interferometer (MZI): the mesh unit cell.
+
+An MZI is two directional couplers with an internal phase shifter (theta)
+between them and an external phase shifter (phi) on one input arm.  With
+ideal 50:50 couplers its transfer matrix is an SU(2) rotation (up to a
+global phase), which is why meshes of MZIs can realise arbitrary unitaries.
+This module provides both the ideal parametric matrix used by the
+decomposition algorithms and the physical device model (lossy couplers,
+quantised PCM phases, coupler imbalance) used by the error studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.coupler import DirectionalCoupler
+from repro.devices.phase_shifter import PhaseShifter, ThermoOpticPhaseShifter
+
+
+def ideal_mzi_matrix(theta: float, phi: float) -> np.ndarray:
+    """Ideal 2x2 MZI transfer matrix in the Clements convention.
+
+    ``T(theta, phi) = [[e^{i phi} cos(theta), -sin(theta)],
+                       [e^{i phi} sin(theta),  cos(theta)]]``
+
+    ``theta`` in [0, pi/2] sets the splitting, ``phi`` in [0, 2 pi) the
+    relative input phase.  This is the algebraic form used by the Clements
+    and Reck decompositions; the physical device realises it up to a global
+    phase that is irrelevant for intensity detection.
+    """
+    cos_t = np.cos(theta)
+    sin_t = np.sin(theta)
+    phase = np.exp(1j * phi)
+    return np.array(
+        [[phase * cos_t, -sin_t], [phase * sin_t, cos_t]], dtype=complex
+    )
+
+
+def physical_mzi_matrix(
+    theta: float,
+    phi: float,
+    coupler_in: Optional[DirectionalCoupler] = None,
+    coupler_out: Optional[DirectionalCoupler] = None,
+    arm_loss_db: float = 0.0,
+) -> np.ndarray:
+    """Transfer matrix of a physical MZI built from two couplers.
+
+    The physical device is ``C_out . diag(e^{i 2 theta}, 1) . C_in .
+    diag(e^{i phi}, 1)`` — internal differential phase ``2*theta`` between
+    the arms and external phase ``phi`` on the top input.  With ideal 50:50
+    couplers this equals ``i e^{i theta} . X . T(theta, phi)`` with ``T``
+    the ideal matrix above and ``X`` the port swap — the same linear
+    operation once the (deterministic, layout-level) output relabelling and
+    reference phase are absorbed, which is what any physical mesh
+    implementation does.  The returned matrix is expressed in the ideal
+    convention, i.e. that deterministic factor is divided out, so that a
+    perfect device reproduces :func:`ideal_mzi_matrix` exactly and coupler
+    imbalance or arm loss shows up purely as a deviation from it — which is
+    what the robustness experiments measure.
+    """
+    coupler_in = coupler_in if coupler_in is not None else DirectionalCoupler()
+    coupler_out = coupler_out if coupler_out is not None else DirectionalCoupler()
+    arm_amplitude = 10.0 ** (-arm_loss_db / 20.0)
+    internal = np.diag(
+        [arm_amplitude * np.exp(2j * theta), arm_amplitude]
+    ).astype(complex)
+    external = np.diag([np.exp(1j * phi), 1.0]).astype(complex)
+    raw = coupler_out.transfer_matrix @ internal @ coupler_in.transfer_matrix @ external
+    # Undo the nominal port swap and the theta-dependent reference phase of
+    # the ideal device so the result lives in the Clements convention.
+    swap = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+    correction = np.exp(-1j * (np.pi / 2.0 + theta))
+    return correction * (swap @ raw)
+
+
+@dataclass
+class MachZehnderInterferometer:
+    """A physical MZI with explicit phase-shifter devices.
+
+    Attributes:
+        theta_shifter: phase shifter realising the internal phase
+            (programmed to ``2*theta``).
+        phi_shifter: phase shifter realising the external phase ``phi``.
+        coupler_in / coupler_out: the two directional couplers.
+        arm_loss_db: excess loss per arm (routing waveguides).
+    """
+
+    theta_shifter: PhaseShifter = field(default_factory=ThermoOpticPhaseShifter)
+    phi_shifter: PhaseShifter = field(default_factory=ThermoOpticPhaseShifter)
+    coupler_in: DirectionalCoupler = field(default_factory=DirectionalCoupler)
+    coupler_out: DirectionalCoupler = field(default_factory=DirectionalCoupler)
+    arm_loss_db: float = 0.0
+
+    def program(self, theta: float, phi: float) -> tuple:
+        """Program the MZI; returns the (theta, phi) actually realised.
+
+        The theta shifter stores ``2*theta`` (the physical differential
+        phase); quantisation by a PCM shifter therefore quantises theta in
+        steps of half the device phase resolution.
+        """
+        realized_internal = self.theta_shifter.set_phase(2.0 * theta)
+        realized_phi = self.phi_shifter.set_phase(phi)
+        return realized_internal / 2.0, realized_phi
+
+    @property
+    def theta(self) -> float:
+        """Currently programmed theta [rad]."""
+        return self.theta_shifter.phase / 2.0
+
+    @property
+    def phi(self) -> float:
+        """Currently programmed phi [rad]."""
+        return self.phi_shifter.phase
+
+    @property
+    def transfer_matrix(self) -> np.ndarray:
+        """Physical transfer matrix including losses and quantisation."""
+        shifter_loss_db = self.theta_shifter.total_loss_db + self.phi_shifter.total_loss_db
+        return physical_mzi_matrix(
+            self.theta,
+            self.phi,
+            coupler_in=self.coupler_in,
+            coupler_out=self.coupler_out,
+            arm_loss_db=self.arm_loss_db + shifter_loss_db / 2.0,
+        )
+
+    @property
+    def ideal_matrix(self) -> np.ndarray:
+        """Ideal (lossless, unquantised-target) matrix for the programmed phases."""
+        return ideal_mzi_matrix(self.theta, self.phi)
+
+    def static_power(self) -> float:
+        """Static electrical power [W] to hold the programmed state."""
+        return self.theta_shifter.static_power() + self.phi_shifter.static_power()
+
+    def programming_energy(self) -> float:
+        """Energy [J] of programming both shifters once."""
+        return self.theta_shifter.programming_energy() + self.phi_shifter.programming_energy()

@@ -1,0 +1,150 @@
+"""PCM synaptic cell with pulse-accumulation behaviour.
+
+Section 3 of the paper highlights the accumulation response of PCM devices
+to optical pulses: each sub-threshold pulse partially crystallises (or
+amorphises) the patch, so the transmitted power through the cell integrates
+the pulse history.  This is the plastic synapse of the photonic SNN, and
+the physical substrate STDP acts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.materials.pcm import GSST, PCMMaterial
+
+
+@dataclass
+class PCMSynapticCell:
+    """A PCM cell used as a photonic synaptic weight.
+
+    The synaptic weight is the optical power transmission of the cell,
+    which decreases as the crystalline fraction grows (the crystalline
+    phase absorbs more).  Optical or electrical pulses nudge the
+    crystalline fraction up (SET/crystallise, weight depression) or down
+    (RESET/amorphise, weight potentiation); the mapping between weight and
+    fraction is monotonic so the STDP rule can work directly on weights.
+
+    Attributes:
+        material: PCM material model.
+        patch_length: optical interaction length [m].
+        confinement: modal overlap with the PCM patch.
+        crystalline_fraction: current programmed fraction in [0, 1].
+        pulse_crystallization_step: fraction change per depressing pulse.
+        pulse_amorphization_step: fraction change per potentiating pulse.
+        drift_rate: slow spontaneous relaxation of the fraction per unit
+            time (models resistance/transmission drift); 0 disables drift.
+    """
+
+    material: PCMMaterial = field(default_factory=lambda: GSST)
+    patch_length: float = 5e-6
+    confinement: float = 0.1
+    crystalline_fraction: float = 0.5
+    pulse_crystallization_step: float = 0.05
+    pulse_amorphization_step: float = 0.05
+    drift_rate: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.crystalline_fraction <= 1.0:
+            raise ValueError("crystalline_fraction must lie in [0, 1]")
+        if self.pulse_crystallization_step < 0 or self.pulse_amorphization_step < 0:
+            raise ValueError("pulse steps must be non-negative")
+
+    @property
+    def transmission(self) -> float:
+        """Optical power transmission of the cell in its current state."""
+        alpha = self.material.absorption_per_length(
+            self.crystalline_fraction, self.confinement
+        )
+        return float(np.exp(-max(alpha, 0.0) * self.patch_length))
+
+    @property
+    def weight(self) -> float:
+        """Normalised synaptic weight in [0, 1].
+
+        Defined as the cell transmission normalised between the fully
+        crystalline (weight 0) and fully amorphous (weight 1) states.
+        """
+        t_min = self._transmission_at(1.0)
+        t_max = self._transmission_at(0.0)
+        if t_max == t_min:
+            return 1.0
+        return float((self.transmission - t_min) / (t_max - t_min))
+
+    def _transmission_at(self, fraction: float) -> float:
+        alpha = self.material.absorption_per_length(fraction, self.confinement)
+        return float(np.exp(-max(alpha, 0.0) * self.patch_length))
+
+    def apply_crystallization_pulses(self, n_pulses: int = 1) -> float:
+        """Apply depressing pulses (partial crystallisation); returns new weight."""
+        if n_pulses < 0:
+            raise ValueError("n_pulses must be non-negative")
+        self.crystalline_fraction = float(
+            np.clip(
+                self.crystalline_fraction + n_pulses * self.pulse_crystallization_step,
+                0.0,
+                1.0,
+            )
+        )
+        return self.weight
+
+    def apply_amorphization_pulses(self, n_pulses: int = 1) -> float:
+        """Apply potentiating pulses (partial amorphisation); returns new weight."""
+        if n_pulses < 0:
+            raise ValueError("n_pulses must be non-negative")
+        self.crystalline_fraction = float(
+            np.clip(
+                self.crystalline_fraction - n_pulses * self.pulse_amorphization_step,
+                0.0,
+                1.0,
+            )
+        )
+        return self.weight
+
+    def adjust_weight(self, delta_weight: float) -> float:
+        """Apply a signed weight update (used by the STDP rule).
+
+        Positive deltas potentiate (amorphise), negative deltas depress
+        (crystallise).  The update is applied through the pulse mechanism:
+        the number of pulses is the delta divided by the per-pulse weight
+        change, rounded to the nearest integer, so arbitrarily fine updates
+        are *not* possible — exactly the granularity limit of real PCM.
+        """
+        if delta_weight == 0.0:
+            return self.weight
+        if delta_weight > 0:
+            per_pulse = self._weight_change_per_pulse(potentiate=True)
+            n_pulses = int(round(delta_weight / per_pulse)) if per_pulse > 0 else 0
+            return self.apply_amorphization_pulses(max(n_pulses, 0))
+        per_pulse = self._weight_change_per_pulse(potentiate=False)
+        n_pulses = int(round(-delta_weight / per_pulse)) if per_pulse > 0 else 0
+        return self.apply_crystallization_pulses(max(n_pulses, 0))
+
+    def _weight_change_per_pulse(self, potentiate: bool) -> float:
+        """Approximate |weight change| of one pulse around the current state."""
+        original = self.crystalline_fraction
+        step = (
+            -self.pulse_amorphization_step if potentiate else self.pulse_crystallization_step
+        )
+        probe = float(np.clip(original + step, 0.0, 1.0))
+        w_now = self.weight
+        self.crystalline_fraction = probe
+        w_probe = self.weight
+        self.crystalline_fraction = original
+        return abs(w_probe - w_now)
+
+    def apply_drift(self, duration: float) -> float:
+        """Relax the crystalline fraction toward amorphous for ``duration`` [s]."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.crystalline_fraction = float(
+            np.clip(self.crystalline_fraction - self.drift_rate * duration, 0.0, 1.0)
+        )
+        return self.weight
+
+    def programming_energy(self, n_pulses: int = 1) -> float:
+        """Energy [J] of ``n_pulses`` programming pulses."""
+        volume_um3 = 0.05 * self.patch_length * 1e6
+        return n_pulses * self.material.switching_energy(volume_um3)

@@ -1,0 +1,106 @@
+"""Photodetector and receiver model.
+
+The mesh outputs are read out by photodetectors followed by
+transimpedance amplifiers and ADCs.  Detection is square-law (intensity),
+and the receiver adds shot noise, thermal noise and ADC quantisation —
+together these set the effective analog precision of the photonic MVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.units import BOLTZMANN_CONSTANT, ELEMENTARY_CHARGE
+
+
+@dataclass(frozen=True)
+class Photodetector:
+    """Photodetector + receiver chain.
+
+    Attributes:
+        responsivity: photocurrent per optical watt [A/W].
+        bandwidth_hz: receiver bandwidth [Hz].
+        dark_current: detector dark current [A].
+        temperature_kelvin: receiver temperature (thermal noise).
+        load_resistance_ohm: effective TIA input resistance.
+        adc_bits: ADC resolution; 0 disables quantisation.
+        energy_per_sample: receiver + ADC energy per converted sample [J].
+    """
+
+    responsivity: float = 1.0
+    bandwidth_hz: float = 10e9
+    dark_current: float = 5e-9
+    temperature_kelvin: float = 300.0
+    load_resistance_ohm: float = 50.0
+    adc_bits: int = 8
+    energy_per_sample: float = 200e-15
+
+    def __post_init__(self):
+        if self.responsivity <= 0.0:
+            raise ValueError("responsivity must be positive")
+        if self.bandwidth_hz <= 0.0:
+            raise ValueError("bandwidth must be positive")
+        if self.adc_bits < 0:
+            raise ValueError("adc_bits must be non-negative")
+
+    def photocurrent(self, optical_power_w: np.ndarray) -> np.ndarray:
+        """Mean photocurrent [A] for the given optical power [W]."""
+        power = np.asarray(optical_power_w, dtype=float)
+        if np.any(power < 0.0):
+            raise ValueError("optical power must be non-negative")
+        return self.responsivity * power + self.dark_current
+
+    def noise_std(self, optical_power_w: np.ndarray) -> np.ndarray:
+        """Total current-noise standard deviation [A].
+
+        Combines shot noise (signal and dark current) and Johnson thermal
+        noise of the load resistance over the receiver bandwidth.
+        """
+        current = self.photocurrent(optical_power_w)
+        shot_var = 2.0 * ELEMENTARY_CHARGE * current * self.bandwidth_hz
+        thermal_var = (
+            4.0
+            * BOLTZMANN_CONSTANT
+            * self.temperature_kelvin
+            * self.bandwidth_hz
+            / self.load_resistance_ohm
+        )
+        return np.sqrt(shot_var + thermal_var)
+
+    def detect(
+        self,
+        fields: np.ndarray,
+        rng: RngLike = None,
+        full_scale_power_w: float = 1e-3,
+        add_noise: bool = True,
+    ) -> np.ndarray:
+        """Detect complex output fields and return normalised intensities.
+
+        The returned values are photocurrents normalised to the current
+        produced by ``full_scale_power_w`` — i.e. dimensionless intensities
+        referenced to the full-scale input power, ready for digital
+        post-processing.  Shot/thermal noise and ADC quantisation are
+        applied when enabled.
+        """
+        generator = ensure_rng(rng)
+        fields = np.asarray(fields, dtype=complex)
+        power = np.abs(fields) ** 2 * full_scale_power_w
+        current = self.photocurrent(power)
+        if add_noise:
+            current = current + generator.normal(0.0, self.noise_std(power), size=power.shape)
+        full_scale_current = self.responsivity * full_scale_power_w
+        normalized = current / full_scale_current
+        if self.adc_bits > 0:
+            n_levels = 2 ** self.adc_bits
+            normalized = np.clip(normalized, 0.0, 1.0 + 1.0 / n_levels)
+            normalized = np.round(normalized * (n_levels - 1)) / (n_levels - 1)
+        return normalized
+
+    def readout_energy(self, n_samples: int) -> float:
+        """Receiver energy [J] for ``n_samples`` converted samples."""
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        return self.energy_per_sample * n_samples

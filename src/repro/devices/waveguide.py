@@ -1,0 +1,54 @@
+"""Passive waveguide model: loss, phase and group delay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.materials.silicon import SiliconWaveguideMaterial
+from repro.utils.units import loss_db_per_cm_to_alpha
+
+
+@dataclass
+class Waveguide:
+    """A straight silicon waveguide section.
+
+    Attributes:
+        length: physical length [m].
+        material: SOI material model providing indices and loss.
+    """
+
+    length: float
+    material: SiliconWaveguideMaterial = field(default_factory=SiliconWaveguideMaterial)
+
+    def __post_init__(self):
+        if self.length < 0.0:
+            raise ValueError("waveguide length must be non-negative")
+
+    @property
+    def power_transmission(self) -> float:
+        """Fraction of optical power surviving propagation."""
+        alpha = loss_db_per_cm_to_alpha(self.material.propagation_loss_db_per_cm)
+        return float(np.exp(-alpha * self.length))
+
+    @property
+    def field_transmission(self) -> complex:
+        """Complex field transfer coefficient (amplitude and phase)."""
+        phase = (
+            2.0
+            * np.pi
+            * self.material.effective_index
+            * self.length
+            / self.material.wavelength
+        )
+        return complex(np.sqrt(self.power_transmission) * np.exp(1j * phase))
+
+    @property
+    def delay(self) -> float:
+        """Group delay through the waveguide [s]."""
+        return self.material.propagation_delay(self.length)
+
+    def propagate(self, field_in: complex) -> complex:
+        """Apply the waveguide transfer function to an input field."""
+        return field_in * self.field_transmission

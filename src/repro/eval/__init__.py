@@ -1,0 +1,37 @@
+"""Evaluation harness: workloads, metrics, sweeps and report formatting."""
+
+from repro.eval.workloads import (
+    ClassificationDataset,
+    make_digit_dataset,
+    make_gemm_workload,
+    make_spike_patterns,
+)
+from repro.eval.metrics import (
+    classification_accuracy,
+    signal_to_noise_db,
+    speedup,
+    energy_efficiency_gain,
+    summarize_fidelity,
+    geometric_mean,
+)
+from repro.eval.reporting import format_table, format_series, format_dict
+from repro.eval.sweeps import SweepResult, run_sweep, cross_sweep
+
+__all__ = [
+    "ClassificationDataset",
+    "make_digit_dataset",
+    "make_gemm_workload",
+    "make_spike_patterns",
+    "classification_accuracy",
+    "signal_to_noise_db",
+    "speedup",
+    "energy_efficiency_gain",
+    "summarize_fidelity",
+    "geometric_mean",
+    "format_table",
+    "format_series",
+    "format_dict",
+    "SweepResult",
+    "run_sweep",
+    "cross_sweep",
+]

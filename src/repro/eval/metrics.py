@@ -1,0 +1,67 @@
+"""Evaluation metrics shared by the benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.utils.linalg import matrix_fidelity, normalized_frobenius_error
+
+
+def classification_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct class predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty prediction set")
+    return float(np.mean(predictions == labels))
+
+
+def signal_to_noise_db(signal: np.ndarray, noisy: np.ndarray) -> float:
+    """SNR in dB between a reference signal and its noisy estimate."""
+    signal = np.asarray(signal, dtype=float).ravel()
+    noisy = np.asarray(noisy, dtype=float).ravel()
+    if signal.shape != noisy.shape:
+        raise ValueError("signal and noisy estimate must have the same shape")
+    noise_power = float(np.mean((signal - noisy) ** 2))
+    signal_power = float(np.mean(signal**2))
+    if signal_power == 0:
+        raise ValueError("reference signal has zero power")
+    if noise_power == 0:
+        return float("inf")
+    return 10.0 * np.log10(signal_power / noise_power)
+
+
+def speedup(baseline_cycles: float, accelerated_cycles: float) -> float:
+    """Baseline/accelerated ratio (>1 means the accelerator wins)."""
+    if accelerated_cycles <= 0:
+        raise ValueError("accelerated cycle count must be positive")
+    return float(baseline_cycles) / float(accelerated_cycles)
+
+
+def energy_efficiency_gain(baseline_energy: float, accelerated_energy: float) -> float:
+    """Baseline/accelerated energy ratio (>1 means the accelerator wins)."""
+    if accelerated_energy <= 0:
+        raise ValueError("accelerated energy must be positive")
+    return float(baseline_energy) / float(accelerated_energy)
+
+
+def summarize_fidelity(implemented: np.ndarray, target: np.ndarray) -> Dict[str, float]:
+    """Fidelity and Frobenius error in one dictionary."""
+    return {
+        "fidelity": matrix_fidelity(implemented, target),
+        "frobenius_error": normalized_frobenius_error(implemented, target),
+    }
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (standard for speedup summaries)."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot take the geometric mean of an empty sequence")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,82 @@
+"""Parameter-sweep harness used by the benchmarks.
+
+A sweep runs one experiment callable over a grid of parameter values,
+collects per-point metric dictionaries and renders them as the table or
+series the corresponding paper figure would show.  Keeping the harness
+generic means every benchmark is a thin declaration of workload +
+parameter grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.eval.reporting import format_table
+
+
+@dataclass
+class SweepResult:
+    """Result of one parameter sweep.
+
+    Attributes:
+        parameter_name: the swept parameter.
+        points: one metrics dictionary per grid value (each contains the
+            parameter value under ``parameter_name``).
+    """
+
+    parameter_name: str
+    points: List[Dict] = field(default_factory=list)
+
+    def column(self, key: str) -> List:
+        """Extract one metric across all sweep points."""
+        return [point[key] for point in self.points]
+
+    def as_table(self, keys: Sequence[str] = ()) -> str:
+        """Render selected metric columns (all keys by default) as a table."""
+        if not self.points:
+            return "(empty sweep)"
+        keys = list(keys) if keys else list(self.points[0].keys())
+        rows = [[point.get(key) for key in keys] for point in self.points]
+        return format_table(keys, rows)
+
+
+def run_sweep(
+    parameter_name: str,
+    values: Sequence,
+    experiment: Callable[..., Dict],
+    **fixed_kwargs,
+) -> SweepResult:
+    """Run ``experiment(parameter_name=value, **fixed_kwargs)`` over a grid.
+
+    The experiment callable must return a metrics dictionary; the swept
+    value is added to each point under ``parameter_name``.
+    """
+    result = SweepResult(parameter_name=parameter_name)
+    for value in values:
+        kwargs = dict(fixed_kwargs)
+        kwargs[parameter_name] = value
+        metrics = dict(experiment(**kwargs))
+        metrics.setdefault(parameter_name, value)
+        result.points.append(metrics)
+    return result
+
+
+def cross_sweep(
+    outer_name: str,
+    outer_values: Sequence,
+    inner_name: str,
+    inner_values: Sequence,
+    experiment: Callable[..., Dict],
+    **fixed_kwargs,
+) -> List[SweepResult]:
+    """Nested sweep: one :class:`SweepResult` per outer value."""
+    results = []
+    for outer_value in outer_values:
+        kwargs = dict(fixed_kwargs)
+        kwargs[outer_name] = outer_value
+        sweep = run_sweep(inner_name, inner_values, experiment, **kwargs)
+        for point in sweep.points:
+            point.setdefault(outer_name, outer_value)
+        results.append(sweep)
+    return results

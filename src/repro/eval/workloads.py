@@ -1,0 +1,125 @@
+"""Synthetic workloads and datasets for the experiments.
+
+The paper motivates the accelerator with edge-AI inference workloads but
+ships no dataset; this module provides the synthetic equivalents that
+exercise the same code paths: random matrices for MVM/GeMM studies, a
+small separable digit-like classification dataset for photonic MLP
+inference (E6), and spike-pattern sets for the SNN/STDP study (E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.snn.encoding import SpikeTrain, rate_encode
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ClassificationDataset:
+    """A simple classification dataset.
+
+    Attributes:
+        train_x / train_y: training inputs (n, d) and integer labels (n,).
+        test_x / test_y: held-out test split.
+        n_classes: number of classes.
+    """
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    n_classes: int
+
+    @property
+    def n_features(self) -> int:
+        return self.train_x.shape[1]
+
+
+def make_digit_dataset(
+    n_samples_per_class: int = 60,
+    n_classes: int = 4,
+    n_features: int = 16,
+    noise: float = 0.25,
+    test_fraction: float = 0.25,
+    rng: RngLike = 0,
+) -> ClassificationDataset:
+    """Generate a digit-like dataset: noisy class prototypes on a 4x4 grid.
+
+    Each class has a distinct binary prototype pattern (think tiny digit
+    glyphs); samples are the prototype plus Gaussian pixel noise.  The task
+    is easy for a small MLP at zero noise and degrades gracefully, which is
+    exactly what an analog-precision study needs.
+    """
+    generator = ensure_rng(rng)
+    if n_classes < 2:
+        raise ValueError("need at least 2 classes")
+    prototypes = (generator.uniform(size=(n_classes, n_features)) > 0.5).astype(float)
+    # Ensure prototypes are pairwise distinct enough to be separable.
+    for i in range(1, n_classes):
+        while min(
+            np.sum(prototypes[i] != prototypes[j]) for j in range(i)
+        ) < max(2, n_features // 4):
+            prototypes[i] = (generator.uniform(size=n_features) > 0.5).astype(float)
+
+    inputs, labels = [], []
+    for label, prototype in enumerate(prototypes):
+        samples = prototype + generator.normal(0.0, noise, size=(n_samples_per_class, n_features))
+        inputs.append(samples)
+        labels.append(np.full(n_samples_per_class, label))
+    inputs = np.clip(np.concatenate(inputs), 0.0, 1.5)
+    labels = np.concatenate(labels)
+
+    order = generator.permutation(inputs.shape[0])
+    inputs, labels = inputs[order], labels[order]
+    n_test = int(test_fraction * inputs.shape[0])
+    return ClassificationDataset(
+        train_x=inputs[n_test:],
+        train_y=labels[n_test:].astype(int),
+        test_x=inputs[:n_test],
+        test_y=labels[:n_test].astype(int),
+        n_classes=n_classes,
+    )
+
+
+def make_gemm_workload(
+    n_rows: int, n_inner: int, n_cols: int, value_range: int = 8, rng: RngLike = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random integer GeMM operands for the full-system workloads."""
+    generator = ensure_rng(rng)
+    weights = generator.integers(-value_range, value_range + 1, size=(n_rows, n_inner))
+    inputs = generator.integers(-value_range, value_range + 1, size=(n_inner, n_cols))
+    return weights, inputs
+
+
+def make_spike_patterns(
+    n_inputs: int = 8,
+    n_patterns: int = 2,
+    active_fraction: float = 0.5,
+    window: float = 10e-9,
+    rng: RngLike = 0,
+) -> List[List[SpikeTrain]]:
+    """Build distinct binary spike patterns for the STDP learning study.
+
+    Each pattern activates a different subset of the input channels (rate
+    encoded with maximal rate); patterns are pairwise disjoint where
+    possible so a winner-take-all network can separate them.
+    """
+    generator = ensure_rng(rng)
+    if not 0 < active_fraction <= 1:
+        raise ValueError("active_fraction must lie in (0, 1]")
+    n_active = max(1, int(round(active_fraction * n_inputs)))
+    patterns = []
+    channels = np.arange(n_inputs)
+    for index in range(n_patterns):
+        if (index + 1) * n_active <= n_inputs:
+            active = channels[index * n_active : (index + 1) * n_active]
+        else:
+            active = generator.choice(channels, size=n_active, replace=False)
+        values = np.zeros(n_inputs)
+        values[active] = 1.0
+        patterns.append(rate_encode(values, window=window, max_spikes=6))
+    return patterns

@@ -1,0 +1,30 @@
+"""Material models for the augmented silicon photonics platform.
+
+The NEUROPULS platform augments a silicon-on-insulator (SOI) process with
+phase-change materials (PCMs such as GSST and GeSe) for non-volatile phase
+shifting and III-V gain material for on-chip lasers.  This package contains
+the material-level models those devices are built on.
+"""
+
+from repro.materials.pcm import (
+    PCMMaterial,
+    PCMState,
+    GSST,
+    GESE,
+    GST225,
+    registry as pcm_registry,
+)
+from repro.materials.silicon import SiliconWaveguideMaterial, THERMO_OPTIC_COEFF_SI
+from repro.materials.iii_v import IIIVGainMaterial
+
+__all__ = [
+    "PCMMaterial",
+    "PCMState",
+    "GSST",
+    "GESE",
+    "GST225",
+    "pcm_registry",
+    "SiliconWaveguideMaterial",
+    "THERMO_OPTIC_COEFF_SI",
+    "IIIVGainMaterial",
+]

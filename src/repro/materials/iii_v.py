@@ -1,0 +1,41 @@
+"""III-V gain material model for on-chip lasers.
+
+Silicon has an indirect bandgap, so the platform co-integrates III-V
+material (InP-based multi-quantum wells) to build on-chip lasers, including
+the Q-switched excitable lasers that act as spiking neurons.  The model here
+is the minimal set of rate-equation parameters the laser models in
+``repro.devices.laser`` need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IIIVGainMaterial:
+    """Rate-equation parameters of a III-V gain section.
+
+    Attributes:
+        carrier_lifetime: spontaneous carrier lifetime [s].
+        photon_lifetime: cavity photon lifetime [s].
+        gain_coefficient: differential gain normalised to the photon decay
+            rate (dimensionless in the Yamada formulation).
+        transparency_density: normalised transparency carrier density.
+        saturable_absorption: normalised absorption of the saturable
+            absorber section (sets the excitability threshold).
+        pump_efficiency: fraction of injected current converted to carriers.
+    """
+
+    name: str = "InP-MQW"
+    carrier_lifetime: float = 1.0e-9
+    photon_lifetime: float = 5.0e-12
+    gain_coefficient: float = 2.0
+    transparency_density: float = 1.0
+    saturable_absorption: float = 2.0
+    pump_efficiency: float = 0.8
+
+    @property
+    def timescale_ratio(self) -> float:
+        """Ratio of photon to carrier lifetime (the Yamada-model epsilon)."""
+        return self.photon_lifetime / self.carrier_lifetime

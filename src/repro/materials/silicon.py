@@ -1,0 +1,64 @@
+"""Silicon waveguide material model (SOI platform baseline).
+
+The volatile phase shifters of a conventional SOI platform use the
+thermo-optic effect: a heater above the waveguide raises the local
+temperature and the silicon refractive index follows with coefficient
+``dn/dT``.  The phase shift is volatile — holding a weight costs static
+electrical power, which is precisely the cost the PCM shifters remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Thermo-optic coefficient of silicon at 1550 nm [1/K].
+THERMO_OPTIC_COEFF_SI = 1.86e-4
+
+
+@dataclass(frozen=True)
+class SiliconWaveguideMaterial:
+    """Optical and thermal model of a strip SOI waveguide.
+
+    Attributes:
+        effective_index: modal effective index at ``wavelength``.
+        group_index: group index (sets propagation delay).
+        propagation_loss_db_per_cm: straight-waveguide loss.
+        thermo_optic_coeff: dn_eff/dT [1/K].
+        heater_efficiency_mw_per_pi: electrical power for a pi phase shift
+            in a standard thermo-optic shifter [mW] (typ. 20-30 mW).
+        wavelength: reference vacuum wavelength [m].
+    """
+
+    effective_index: float = 2.35
+    group_index: float = 4.2
+    propagation_loss_db_per_cm: float = 1.5
+    thermo_optic_coeff: float = THERMO_OPTIC_COEFF_SI
+    heater_efficiency_mw_per_pi: float = 25.0
+    wavelength: float = 1550e-9
+
+    def phase_shift_from_temperature(self, delta_t_kelvin: float, length: float) -> float:
+        """Phase shift [rad] of a heated section of given length [m]."""
+        if length <= 0.0:
+            raise ValueError("length must be positive")
+        delta_n = self.thermo_optic_coeff * delta_t_kelvin
+        return 2.0 * np.pi * delta_n * length / self.wavelength
+
+    def heater_power_for_phase(self, phase_rad: float) -> float:
+        """Static electrical power [W] to hold a thermo-optic phase shift.
+
+        Thermo-optic phase is linear in dissipated power, so the power for a
+        phase ``phi`` is ``phi/pi`` times the per-pi efficiency.  Phases are
+        taken modulo 2*pi and folded to the cheaper direction.
+        """
+        phase = float(np.mod(phase_rad, 2.0 * np.pi))
+        return (phase / np.pi) * self.heater_efficiency_mw_per_pi * 1e-3
+
+    def propagation_delay(self, length: float) -> float:
+        """Group delay [s] through a waveguide of given length [m]."""
+        if length < 0.0:
+            raise ValueError("length must be non-negative")
+        from repro.utils.units import SPEED_OF_LIGHT
+
+        return self.group_index * length / SPEED_OF_LIGHT

@@ -1,0 +1,61 @@
+"""MZI mesh architectures for programmable multiport interferometers.
+
+Implements the architectures evaluated in the paper's Section 4: the
+Clements rectangular mesh, its Bell-Walmsley compacted variant, the Reck
+triangular baseline and the Fldzhyan error-tolerant design, together with
+error-injection, expressivity and robustness analysis tooling.
+"""
+
+from repro.mesh.base import MZIMesh, MZIPlacement, MeshErrorModel
+from repro.mesh.clements import ClementsMesh, clements_decomposition
+from repro.mesh.reck import ReckMesh, reck_decomposition
+from repro.mesh.compact import CompactClementsMesh
+from repro.mesh.fldzhyan import FldzhyanMesh
+from repro.mesh.errors import (
+    ErrorSweepPoint,
+    evaluate_mesh_under_error,
+    sweep_error_magnitude,
+    phase_error_model,
+    coupler_error_model,
+    loss_error_model,
+    quantization_error_model,
+)
+from repro.mesh.expressivity import (
+    ExpressivityResult,
+    evaluate_expressivity,
+    expressivity_vs_layers,
+    programming_fidelity,
+)
+from repro.mesh.analysis import (
+    ArchitectureReport,
+    DEFAULT_ARCHITECTURES,
+    compare_architectures,
+    format_report_table,
+)
+
+__all__ = [
+    "MZIMesh",
+    "MZIPlacement",
+    "MeshErrorModel",
+    "ClementsMesh",
+    "clements_decomposition",
+    "ReckMesh",
+    "reck_decomposition",
+    "CompactClementsMesh",
+    "FldzhyanMesh",
+    "ErrorSweepPoint",
+    "evaluate_mesh_under_error",
+    "sweep_error_magnitude",
+    "phase_error_model",
+    "coupler_error_model",
+    "loss_error_model",
+    "quantization_error_model",
+    "ExpressivityResult",
+    "evaluate_expressivity",
+    "expressivity_vs_layers",
+    "programming_fidelity",
+    "ArchitectureReport",
+    "DEFAULT_ARCHITECTURES",
+    "compare_architectures",
+    "format_report_table",
+]

@@ -1,0 +1,250 @@
+"""Base classes shared by all multiport-interferometer mesh architectures.
+
+A mesh is a programmable linear-optical circuit: an ordered sequence of
+two-mode MZI elements (each with phases theta and phi) plus a final column
+of single-mode output phase shifters.  Given programmed phases it realises
+an N x N matrix on the optical field amplitudes; given a target unitary a
+mesh architecture provides a programming routine (analytic decomposition or
+numerical optimisation) to find those phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.devices.coupler import DirectionalCoupler
+from repro.devices.mzi import ideal_mzi_matrix, physical_mzi_matrix
+from repro.utils.linalg import is_unitary
+
+
+@dataclass
+class MZIPlacement:
+    """One programmable MZI in a mesh.
+
+    Attributes:
+        mode: index of the upper mode the MZI couples (couples ``mode`` and
+            ``mode + 1``).
+        theta: splitting angle [rad] in [0, pi/2] for an ideal device.
+        phi: external phase [rad].
+        column: physical column (depth position) of the MZI; used for
+            circuit-depth and footprint accounting, not for the matrix
+            product order.
+    """
+
+    mode: int
+    theta: float = 0.0
+    phi: float = 0.0
+    column: int = 0
+
+
+@dataclass
+class MeshErrorModel:
+    """Hardware non-idealities applied when building a *physical* mesh matrix.
+
+    Attributes:
+        phase_error_std: std-dev of Gaussian phase programming error [rad],
+            applied independently to every theta and phi.
+        coupler_ratio_error_std: std-dev of the splitting-ratio error of
+            every directional coupler (nominal ratio 0.5).
+        mzi_insertion_loss_db: excess loss per MZI.
+        phase_quantization_levels: if not None, phases are quantised onto
+            this many uniform levels over [0, 2*pi) (models multilevel PCM
+            programming).
+        rng: seed or generator for drawing the random errors.
+    """
+
+    phase_error_std: float = 0.0
+    coupler_ratio_error_std: float = 0.0
+    mzi_insertion_loss_db: float = 0.0
+    phase_quantization_levels: Optional[int] = None
+    rng: object = None
+
+    def quantize_phase(self, phase: float) -> float:
+        """Quantise a phase onto the PCM level grid (no-op when disabled)."""
+        if self.phase_quantization_levels is None:
+            return phase
+        n_levels = int(self.phase_quantization_levels)
+        if n_levels < 2:
+            raise ValueError("phase_quantization_levels must be >= 2")
+        step = 2.0 * np.pi / n_levels
+        return float(np.round(np.mod(phase, 2.0 * np.pi) / step) * step)
+
+
+class MZIMesh:
+    """Base class for MZI mesh architectures.
+
+    Subclasses define the MZI layout (``_build_placements``) and a
+    programming routine (``program``).  The base class provides the forward
+    model: composing the per-MZI 2x2 blocks (ideal or with an error model)
+    into the full N x N transfer matrix.
+    """
+
+    #: human-readable architecture name, overridden by subclasses
+    name = "base"
+
+    def __init__(self, n_modes: int):
+        if n_modes < 2:
+            raise ValueError("a mesh needs at least 2 modes")
+        self.n_modes = int(n_modes)
+        self.output_phases = np.zeros(self.n_modes)
+        self.placements: List[MZIPlacement] = self._build_placements()
+
+    # ------------------------------------------------------------------ #
+    # layout / bookkeeping
+    # ------------------------------------------------------------------ #
+    def _build_placements(self) -> List[MZIPlacement]:
+        """Return the ordered MZI placements of an un-programmed mesh."""
+        raise NotImplementedError
+
+    @property
+    def n_mzis(self) -> int:
+        """Number of MZIs in the mesh."""
+        return len(self.placements)
+
+    @property
+    def n_phase_shifters(self) -> int:
+        """Total number of programmable phase shifters (2 per MZI + outputs)."""
+        return 2 * self.n_mzis + self.n_modes
+
+    @property
+    def depth(self) -> int:
+        """Circuit depth: number of physical MZI columns."""
+        if not self.placements:
+            return 0
+        return max(p.column for p in self.placements) + 1
+
+    def phase_vector(self) -> np.ndarray:
+        """All programmable phases as a flat vector (thetas, phis, outputs)."""
+        thetas = np.array([p.theta for p in self.placements])
+        phis = np.array([p.phi for p in self.placements])
+        return np.concatenate([thetas, phis, self.output_phases])
+
+    def set_phase_vector(self, phases: Sequence[float]) -> None:
+        """Set all programmable phases from a flat vector (inverse of ``phase_vector``)."""
+        phases = np.asarray(phases, dtype=float)
+        expected = 2 * self.n_mzis + self.n_modes
+        if phases.shape != (expected,):
+            raise ValueError(f"expected {expected} phases, got {phases.shape}")
+        for i, placement in enumerate(self.placements):
+            placement.theta = float(phases[i])
+            placement.phi = float(phases[self.n_mzis + i])
+        self.output_phases = phases[2 * self.n_mzis :].copy()
+
+    # ------------------------------------------------------------------ #
+    # forward model
+    # ------------------------------------------------------------------ #
+    def _embed(self, block: np.ndarray, mode: int) -> np.ndarray:
+        """Embed a 2x2 block acting on (mode, mode+1) into an N x N identity."""
+        matrix = np.eye(self.n_modes, dtype=complex)
+        matrix[mode : mode + 2, mode : mode + 2] = block
+        return matrix
+
+    def matrix(self, error_model: Optional[MeshErrorModel] = None) -> np.ndarray:
+        """Transfer matrix realised by the currently programmed phases.
+
+        Without an error model the ideal algebraic MZI matrices are used
+        and the result is exactly unitary.  With an error model, phases are
+        perturbed/quantised and physical MZI matrices (imperfect couplers,
+        loss) are composed instead.
+        """
+        if error_model is None:
+            return self._ideal_matrix()
+        return self._physical_matrix(error_model)
+
+    def _ideal_matrix(self) -> np.ndarray:
+        result = np.diag(np.exp(1j * self.output_phases)).astype(complex)
+        # placements[0] is the factor closest to the output-phase diagonal:
+        # U = D * T(placements[0]) * T(placements[1]) * ...
+        for placement in self.placements:
+            block = ideal_mzi_matrix(placement.theta, placement.phi)
+            result = result @ self._embed(block, placement.mode)
+        return result
+
+    def _physical_matrix(self, error_model: MeshErrorModel) -> np.ndarray:
+        from repro.utils.rng import ensure_rng
+
+        generator = ensure_rng(error_model.rng)
+        result = np.diag(
+            np.exp(
+                1j
+                * np.array(
+                    [
+                        error_model.quantize_phase(
+                            p + generator.normal(0.0, error_model.phase_error_std)
+                            if error_model.phase_error_std > 0
+                            else p
+                        )
+                        for p in self.output_phases
+                    ]
+                )
+            )
+        ).astype(complex)
+        for placement in self.placements:
+            theta = placement.theta
+            phi = placement.phi
+            if error_model.phase_error_std > 0:
+                theta = theta + generator.normal(0.0, error_model.phase_error_std)
+                phi = phi + generator.normal(0.0, error_model.phase_error_std)
+            theta = error_model.quantize_phase(theta)
+            phi = error_model.quantize_phase(phi)
+            coupler_in = DirectionalCoupler()
+            coupler_out = DirectionalCoupler()
+            if error_model.coupler_ratio_error_std > 0:
+                coupler_in = coupler_in.with_ratio_error(
+                    generator.normal(0.0, error_model.coupler_ratio_error_std)
+                )
+                coupler_out = coupler_out.with_ratio_error(
+                    generator.normal(0.0, error_model.coupler_ratio_error_std)
+                )
+            block = physical_mzi_matrix(
+                theta,
+                phi,
+                coupler_in=coupler_in,
+                coupler_out=coupler_out,
+                arm_loss_db=error_model.mzi_insertion_loss_db,
+            )
+            result = result @ self._embed(block, placement.mode)
+        return result
+
+    def transform(self, input_fields: np.ndarray, error_model: Optional[MeshErrorModel] = None) -> np.ndarray:
+        """Propagate a vector of input field amplitudes through the mesh."""
+        input_fields = np.asarray(input_fields, dtype=complex)
+        if input_fields.shape[-1] != self.n_modes:
+            raise ValueError(
+                f"input has {input_fields.shape[-1]} modes, mesh has {self.n_modes}"
+            )
+        return input_fields @ self.matrix(error_model).T
+
+    # ------------------------------------------------------------------ #
+    # programming
+    # ------------------------------------------------------------------ #
+    def program(self, target_unitary: np.ndarray) -> "MZIMesh":
+        """Program the mesh phases to realise ``target_unitary``.
+
+        Returns ``self`` for chaining.  Subclasses implement either an
+        analytic decomposition or a numerical optimisation.
+        """
+        raise NotImplementedError
+
+    def _check_target(self, target_unitary: np.ndarray) -> np.ndarray:
+        target = np.asarray(target_unitary, dtype=complex)
+        if target.shape != (self.n_modes, self.n_modes):
+            raise ValueError(
+                f"target must be {self.n_modes}x{self.n_modes}, got {target.shape}"
+            )
+        if not is_unitary(target, atol=1e-6):
+            raise ValueError("target matrix is not unitary; use an SVD core for general matrices")
+        return target
+
+    def component_count(self) -> dict:
+        """Inventory of active components (for footprint/energy accounting)."""
+        return {
+            "mzis": self.n_mzis,
+            "phase_shifters": self.n_phase_shifters,
+            "couplers": 2 * self.n_mzis,
+            "modes": self.n_modes,
+            "depth": self.depth,
+        }

@@ -1,0 +1,192 @@
+"""Clements rectangular mesh and its analytic decomposition.
+
+Clements et al. (Optica 2016) showed that any N x N unitary can be realised
+by a rectangular mesh of N(N-1)/2 MZIs with depth N, which halves the
+optical depth of the triangular Reck design and balances path-dependent
+losses.  The decomposition nulls the lower-triangular elements of the
+target along anti-diagonals, alternating between right-multiplications
+(MZIs placed at the circuit input side) and left-multiplications (output
+side); the residual diagonal is then commuted through the left factors so
+the final circuit is ``D . T_1 . T_2 ... T_K`` with a single diagonal layer
+of output phase shifters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.mesh.base import MZIMesh, MZIPlacement
+
+
+@dataclass
+class _NullingOp:
+    """One Givens-like nulling operation recorded during the decomposition."""
+
+    mode: int
+    theta: float
+    phi: float
+    side: str  # "left" or "right"
+
+
+def _right_nulling_angles(matrix: np.ndarray, row: int, mode: int) -> Tuple[float, float]:
+    """Angles (theta, phi) of ``T_mode^{-1}`` applied from the right that
+    null ``matrix[row, mode]``."""
+    a = matrix[row, mode]
+    b = matrix[row, mode + 1]
+    theta = float(np.arctan2(np.abs(a), np.abs(b)))
+    phi = float(np.angle(a) - np.angle(b)) if np.abs(a) > 0 and np.abs(b) > 0 else (
+        float(np.angle(a)) if np.abs(a) > 0 else 0.0
+    )
+    return theta, phi
+
+
+def _left_nulling_angles(matrix: np.ndarray, col: int, mode: int) -> Tuple[float, float]:
+    """Angles (theta, phi) of ``T_mode`` applied from the left that null
+    ``matrix[mode + 1, col]``."""
+    a = matrix[mode, col]
+    b = matrix[mode + 1, col]
+    theta = float(np.arctan2(np.abs(b), np.abs(a)))
+    phi = float(np.angle(-b) - np.angle(a)) if np.abs(a) > 0 and np.abs(b) > 0 else 0.0
+    return theta, phi
+
+
+def _mzi_block(theta: float, phi: float) -> np.ndarray:
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    phase = np.exp(1j * phi)
+    return np.array([[phase * cos_t, -sin_t], [phase * sin_t, cos_t]], dtype=complex)
+
+
+def _apply_right_inverse(matrix: np.ndarray, op: _NullingOp) -> np.ndarray:
+    """Return ``matrix @ T^{-1}`` for the two affected columns (in place)."""
+    block = _mzi_block(op.theta, op.phi).conj().T
+    cols = matrix[:, op.mode : op.mode + 2]
+    matrix[:, op.mode : op.mode + 2] = cols @ block
+    return matrix
+
+
+def _apply_left(matrix: np.ndarray, op: _NullingOp) -> np.ndarray:
+    """Return ``T @ matrix`` for the two affected rows (in place)."""
+    block = _mzi_block(op.theta, op.phi)
+    rows = matrix[op.mode : op.mode + 2, :]
+    matrix[op.mode : op.mode + 2, :] = block @ rows
+    return matrix
+
+
+def clements_decomposition(
+    unitary: np.ndarray,
+) -> Tuple[List[Tuple[int, float, float]], np.ndarray]:
+    """Decompose a unitary into Clements mesh parameters.
+
+    Returns ``(factors, output_phases)`` where ``factors`` is an ordered
+    list of ``(mode, theta, phi)`` tuples such that
+
+        U = diag(exp(i * output_phases)) . T(factors[0]) . T(factors[1]) ...
+
+    with ``T`` the ideal MZI matrix of :func:`repro.devices.mzi.ideal_mzi_matrix`.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    n = unitary.shape[0]
+    if unitary.shape != (n, n):
+        raise ValueError("unitary must be square")
+    working = unitary.copy()
+
+    left_ops: List[_NullingOp] = []
+    right_ops: List[_NullingOp] = []
+
+    for diag in range(1, n):
+        if diag % 2 == 1:
+            # Null along the anti-diagonal with right multiplications.
+            for j in range(diag):
+                row = n - 1 - j
+                col = diag - 1 - j
+                mode = col
+                theta, phi = _right_nulling_angles(working, row, mode)
+                op = _NullingOp(mode=mode, theta=theta, phi=phi, side="right")
+                _apply_right_inverse(working, op)
+                right_ops.append(op)
+        else:
+            # Null along the anti-diagonal with left multiplications.
+            for j in range(diag):
+                row = n - diag + j
+                col = j
+                mode = row - 1
+                theta, phi = _left_nulling_angles(working, col, mode)
+                op = _NullingOp(mode=mode, theta=theta, phi=phi, side="left")
+                _apply_left(working, op)
+                left_ops.append(op)
+
+    # ``working`` is now diagonal: D = L_k ... L_1 U R_1^{-1} ... R_k'^{-1}
+    diagonal_phases = np.angle(np.diag(working)).astype(float)
+
+    # Commute D through the inverted left factors: T^{-1}(theta, phi) D =
+    # D' T(theta, phi') with phi' = psi_m - psi_{m+1} + pi,
+    # psi_m' = psi_{m+1} - phi + pi, psi_{m+1}' = psi_{m+1}.
+    primed: List[Tuple[int, float, float]] = []
+    for op in reversed(left_ops):
+        psi_top = diagonal_phases[op.mode]
+        psi_bottom = diagonal_phases[op.mode + 1]
+        phi_prime = psi_top - psi_bottom + np.pi
+        diagonal_phases[op.mode] = psi_bottom - op.phi + np.pi
+        diagonal_phases[op.mode + 1] = psi_bottom
+        primed.append((op.mode, op.theta, float(np.mod(phi_prime, 2 * np.pi))))
+
+    # Processing order was L_k .. L_1; the physical product order is L_1 .. L_k.
+    primed.reverse()
+
+    factors: List[Tuple[int, float, float]] = list(primed)
+    for op in reversed(right_ops):
+        factors.append((op.mode, op.theta, float(np.mod(op.phi, 2 * np.pi))))
+
+    output_phases = np.mod(diagonal_phases, 2 * np.pi)
+    return factors, output_phases
+
+
+def assign_columns(placements: List[MZIPlacement]) -> None:
+    """Assign physical column indices by greedy packing from the input side.
+
+    In the product ``U = D . T_1 . T_2 ... T_K`` the last factor acts on the
+    input first, so the physical circuit order is the reverse of the factor
+    order.  MZIs acting on disjoint mode pairs commute and share a column.
+    """
+    if not placements:
+        return
+    n_modes = max(p.mode for p in placements) + 2
+    next_free = [0] * n_modes
+    for placement in reversed(placements):
+        column = max(next_free[placement.mode], next_free[placement.mode + 1])
+        placement.column = column
+        next_free[placement.mode] = column + 1
+        next_free[placement.mode + 1] = column + 1
+
+
+class ClementsMesh(MZIMesh):
+    """Rectangular universal mesh (Clements et al. 2016)."""
+
+    name = "clements"
+
+    def _build_placements(self) -> List[MZIPlacement]:
+        # The layout mirrors the decomposition: N(N-1)/2 MZIs. Placeholder
+        # placements are created in rectangular column order; programming
+        # overwrites modes and phases with the decomposition result.
+        placements = []
+        for column in range(self.n_modes):
+            start = 0 if column % 2 == 0 else 1
+            for mode in range(start, self.n_modes - 1, 2):
+                placements.append(MZIPlacement(mode=mode, column=column))
+        target = self.n_modes * (self.n_modes - 1) // 2
+        return placements[:target] if len(placements) >= target else placements
+
+    def program(self, target_unitary: np.ndarray) -> "ClementsMesh":
+        """Program the mesh with the analytic Clements decomposition."""
+        target = self._check_target(target_unitary)
+        factors, output_phases = clements_decomposition(target)
+        self.placements = [
+            MZIPlacement(mode=mode, theta=theta, phi=phi)
+            for mode, theta, phi in factors
+        ]
+        assign_columns(self.placements)
+        self.output_phases = np.asarray(output_phases, dtype=float)
+        return self

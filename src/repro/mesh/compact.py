@@ -1,0 +1,55 @@
+"""Compacted Clements mesh (Bell & Walmsley, APL Photonics 2021).
+
+Bell and Walmsley showed that the standard Clements mesh carries redundant
+phase shifters: by merging the external phase shifter of each MZI with the
+internal phase shifter of its neighbour, the same family of unitaries is
+reached with roughly half the phase-shifter count and a shorter physical
+cell, i.e. a *compacted* interferometer.  The DAC paper evaluates exactly
+this variant ("Clements architecture with compacted interferometers").
+
+For the architecture comparison what changes is the *hardware inventory*
+(phase shifters, cell length, loss, static power) — the realised matrix
+family is the same as Clements.  The class therefore reuses the Clements
+decomposition for programming but reports the compacted component counts
+and a reduced per-cell insertion loss, which feed the footprint and energy
+models (experiments E3, E4, E8).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mesh.base import MZIPlacement
+from repro.mesh.clements import ClementsMesh
+
+
+class CompactClementsMesh(ClementsMesh):
+    """Clements mesh with Bell-Walmsley compacted interferometer cells."""
+
+    name = "compact-clements"
+
+    #: fraction of the standard MZI cell length a compacted cell occupies
+    CELL_LENGTH_RATIO = 0.6
+    #: fraction of phase shifters remaining after merging redundant ones
+    PHASE_SHIFTER_RATIO = 0.5
+
+    @property
+    def n_phase_shifters(self) -> int:
+        """Programmable phase shifters after merging redundant ones.
+
+        The compacted design keeps one internal phase shifter per MZI, a
+        shared column of input phases, and the output phase column.
+        """
+        return self.n_mzis + 2 * self.n_modes
+
+    def component_count(self) -> dict:
+        """Inventory of the compacted mesh."""
+        counts = super().component_count()
+        counts["phase_shifters"] = self.n_phase_shifters
+        counts["cell_length_ratio"] = self.CELL_LENGTH_RATIO
+        return counts
+
+    def _build_placements(self) -> List[MZIPlacement]:
+        # Same rectangular layout as Clements: the compactification changes
+        # the physical cell, not the mesh topology.
+        return super()._build_placements()

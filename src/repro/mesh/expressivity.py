@@ -1,0 +1,100 @@
+"""Matrix-expressivity (universality) analysis of mesh architectures (E2).
+
+"Expressivity" in the paper means the degree of matrix universality a mesh
+arrangement offers: which fraction of Haar-random target unitaries it can
+realise, and how closely, given its number of programmable degrees of
+freedom.  Analytically decomposable meshes (Clements, Reck) are universal
+by construction; the optimisation-programmed Fldzhyan design approaches
+universality as the number of phase-shifter columns grows, which is the
+sweep this module provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.utils.linalg import matrix_fidelity, random_unitary
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ExpressivityResult:
+    """Expressivity of one architecture configuration.
+
+    Attributes:
+        architecture: mesh name.
+        n_modes: matrix dimension.
+        n_phase_shifters: programmable degrees of freedom.
+        mean_fidelity: mean programming fidelity over the target sample.
+        min_fidelity: worst-case fidelity over the sample.
+        coverage: fraction of targets reaching at least the fidelity
+            threshold used in the study.
+    """
+
+    architecture: str
+    n_modes: int
+    n_phase_shifters: int
+    mean_fidelity: float
+    min_fidelity: float
+    coverage: float
+
+
+def programming_fidelity(mesh, target_unitary: np.ndarray) -> float:
+    """Program a mesh for a target and return the achieved fidelity."""
+    mesh.program(target_unitary)
+    return matrix_fidelity(mesh.matrix(), target_unitary)
+
+
+def evaluate_expressivity(
+    mesh_factory: Callable[[], object],
+    n_targets: int = 10,
+    fidelity_threshold: float = 0.999,
+    rng: RngLike = 0,
+) -> ExpressivityResult:
+    """Measure expressivity of one architecture over Haar-random targets."""
+    generator = ensure_rng(rng)
+    mesh = mesh_factory()
+    fidelities = []
+    for _ in range(max(1, n_targets)):
+        target = random_unitary(mesh.n_modes, rng=generator)
+        mesh = mesh_factory()
+        fidelities.append(programming_fidelity(mesh, target))
+    fidelities = np.asarray(fidelities)
+    return ExpressivityResult(
+        architecture=mesh.name,
+        n_modes=mesh.n_modes,
+        n_phase_shifters=mesh.n_phase_shifters,
+        mean_fidelity=float(np.mean(fidelities)),
+        min_fidelity=float(np.min(fidelities)),
+        coverage=float(np.mean(fidelities >= fidelity_threshold)),
+    )
+
+
+def expressivity_vs_layers(
+    mesh_factory_for_layers: Callable[[int], object],
+    layer_counts: Sequence[int],
+    n_targets: int = 5,
+    fidelity_threshold: float = 0.99,
+    rng: RngLike = 0,
+) -> List[ExpressivityResult]:
+    """Sweep expressivity against the number of programmable layers.
+
+    Used for the Fldzhyan design where universality is reached only with a
+    sufficient number of phase-shifter columns.  ``mesh_factory_for_layers``
+    maps a layer count to a fresh mesh instance.
+    """
+    generator = ensure_rng(rng)
+    results = []
+    for n_layers in layer_counts:
+        results.append(
+            evaluate_expressivity(
+                lambda n=n_layers: mesh_factory_for_layers(n),
+                n_targets=n_targets,
+                fidelity_threshold=fidelity_threshold,
+                rng=generator.integers(0, 2**31 - 1),
+            )
+        )
+    return results

@@ -1,0 +1,223 @@
+"""Fldzhyan error-tolerant mesh with parallel phase-shifter blocks.
+
+Fldzhyan, Saygin and Kulik (Optics Letters 2020) proposed a multiport
+interferometer built from *fixed* mixing layers interleaved with columns of
+parallel single-mode phase shifters.  Because the programmable elements are
+plain phase shifters (no programmable splitting ratios), the design is much
+less sensitive to beamsplitter fabrication errors than MZI-based meshes —
+the "error-tolerant" property the DAC paper cites.  The price is that no
+analytic decomposition exists: the mesh is programmed by numerical
+optimisation, and with enough layers it is (numerically) universal.
+
+The mesh exposes the same duck-typed interface as :class:`repro.mesh.base.MZIMesh`
+(``program``, ``matrix``, ``component_count`` ...) so the architecture
+comparison can treat all designs uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+from repro.mesh.base import MeshErrorModel
+from repro.utils.linalg import is_unitary, matrix_fidelity
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _alternating_mixing_layer(n_modes: int, parity: int, splitting_ratio: float = 0.5) -> np.ndarray:
+    """Fixed mixing layer: 50:50 couplers on (even, odd) or (odd, even) pairs."""
+    matrix = np.eye(n_modes, dtype=complex)
+    bar = np.sqrt(1.0 - splitting_ratio)
+    cross = np.sqrt(splitting_ratio)
+    block = np.array([[bar, 1j * cross], [1j * cross, bar]], dtype=complex)
+    start = parity % 2
+    for mode in range(start, n_modes - 1, 2):
+        matrix[mode : mode + 2, mode : mode + 2] = block
+    return matrix
+
+
+def _dft_mixing_layer(n_modes: int) -> np.ndarray:
+    """Fixed mixing layer: the unitary discrete Fourier transform."""
+    indices = np.arange(n_modes)
+    return np.exp(2j * np.pi * np.outer(indices, indices) / n_modes) / np.sqrt(n_modes)
+
+
+class FldzhyanMesh:
+    """Error-tolerant mesh of parallel phase-shifter columns.
+
+    Attributes:
+        n_modes: number of optical modes.
+        n_layers: number of programmable phase-shifter columns.  The
+            original proposal needs about ``2 * n_modes`` columns for
+            numerical universality; fewer columns trade expressivity for
+            footprint (experiment E2 sweeps this).
+        mixing: ``"alternating"`` for nearest-neighbour 50:50 coupler
+            layers (hardware-realistic) or ``"dft"`` for ideal global
+            mixing.
+    """
+
+    name = "fldzhyan"
+
+    def __init__(self, n_modes: int, n_layers: Optional[int] = None, mixing: str = "alternating"):
+        if n_modes < 2:
+            raise ValueError("a mesh needs at least 2 modes")
+        if mixing not in ("alternating", "dft"):
+            raise ValueError("mixing must be 'alternating' or 'dft'")
+        self.n_modes = int(n_modes)
+        self.n_layers = int(n_layers) if n_layers is not None else 2 * self.n_modes
+        if self.n_layers < 1:
+            raise ValueError("n_layers must be >= 1")
+        self.mixing = mixing
+        self.phases = np.zeros((self.n_layers, self.n_modes))
+        self.output_phases = np.zeros(self.n_modes)
+        self._mixing_layers = [
+            _dft_mixing_layer(self.n_modes)
+            if mixing == "dft"
+            else _alternating_mixing_layer(self.n_modes, parity=layer)
+            for layer in range(self.n_layers)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping (same interface as MZIMesh)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_mzis(self) -> int:
+        """Number of fixed two-mode couplers (no programmable MZIs exist)."""
+        if self.mixing == "dft":
+            return 0
+        return sum(
+            len(range(layer % 2, self.n_modes - 1, 2)) for layer in range(self.n_layers)
+        )
+
+    @property
+    def n_phase_shifters(self) -> int:
+        """Total programmable phase shifters."""
+        return self.n_layers * self.n_modes + self.n_modes
+
+    @property
+    def depth(self) -> int:
+        """Circuit depth in programmable columns."""
+        return self.n_layers
+
+    def component_count(self) -> dict:
+        """Inventory of active components (for footprint/energy accounting)."""
+        return {
+            "mzis": 0,
+            "phase_shifters": self.n_phase_shifters,
+            "couplers": self.n_mzis,
+            "modes": self.n_modes,
+            "depth": self.depth,
+        }
+
+    def phase_vector(self) -> np.ndarray:
+        """All programmable phases as a flat vector."""
+        return np.concatenate([self.phases.ravel(), self.output_phases])
+
+    def set_phase_vector(self, phases) -> None:
+        """Set all programmable phases from a flat vector."""
+        phases = np.asarray(phases, dtype=float)
+        expected = self.n_layers * self.n_modes + self.n_modes
+        if phases.shape != (expected,):
+            raise ValueError(f"expected {expected} phases, got {phases.shape}")
+        self.phases = phases[: self.n_layers * self.n_modes].reshape(
+            self.n_layers, self.n_modes
+        )
+        self.output_phases = phases[self.n_layers * self.n_modes :].copy()
+
+    # ------------------------------------------------------------------ #
+    # forward model
+    # ------------------------------------------------------------------ #
+    def matrix(self, error_model: Optional[MeshErrorModel] = None) -> np.ndarray:
+        """Transfer matrix of the programmed mesh (optionally with errors)."""
+        generator = ensure_rng(error_model.rng) if error_model is not None else None
+        result = np.eye(self.n_modes, dtype=complex)
+        for layer in range(self.n_layers):
+            phases = self.phases[layer].copy()
+            if error_model is not None:
+                if error_model.phase_error_std > 0:
+                    phases = phases + generator.normal(
+                        0.0, error_model.phase_error_std, size=phases.shape
+                    )
+                phases = np.array([error_model.quantize_phase(p) for p in phases])
+            phase_layer = np.diag(np.exp(1j * phases))
+            mixing = self._mixing_layers[layer]
+            if (
+                error_model is not None
+                and error_model.coupler_ratio_error_std > 0
+                and self.mixing == "alternating"
+            ):
+                ratio_error = generator.normal(0.0, error_model.coupler_ratio_error_std)
+                mixing = _alternating_mixing_layer(
+                    self.n_modes,
+                    parity=layer,
+                    splitting_ratio=float(np.clip(0.5 + ratio_error, 0.0, 1.0)),
+                )
+            loss_amplitude = 1.0
+            if error_model is not None and error_model.mzi_insertion_loss_db > 0:
+                loss_amplitude = 10.0 ** (-error_model.mzi_insertion_loss_db / 40.0)
+            result = loss_amplitude * mixing @ phase_layer @ result
+        output = self.output_phases.copy()
+        if error_model is not None:
+            if error_model.phase_error_std > 0:
+                output = output + generator.normal(
+                    0.0, error_model.phase_error_std, size=output.shape
+                )
+            output = np.array([error_model.quantize_phase(p) for p in output])
+        return np.diag(np.exp(1j * output)) @ result
+
+    def transform(self, input_fields, error_model: Optional[MeshErrorModel] = None):
+        """Propagate a vector of input field amplitudes through the mesh."""
+        input_fields = np.asarray(input_fields, dtype=complex)
+        return input_fields @ self.matrix(error_model).T
+
+    # ------------------------------------------------------------------ #
+    # programming (numerical optimisation)
+    # ------------------------------------------------------------------ #
+    def program(
+        self,
+        target_unitary: np.ndarray,
+        max_iterations: int = 400,
+        n_restarts: int = 2,
+        rng: RngLike = 0,
+        tolerance: float = 1e-10,
+    ) -> "FldzhyanMesh":
+        """Program the mesh by minimising the infidelity to the target.
+
+        Uses L-BFGS-B over all phases with a few random restarts; keeps the
+        best solution found.  Returns ``self``.
+        """
+        target = np.asarray(target_unitary, dtype=complex)
+        if target.shape != (self.n_modes, self.n_modes):
+            raise ValueError("target has the wrong shape")
+        if not is_unitary(target, atol=1e-6):
+            raise ValueError("target matrix is not unitary")
+        generator = ensure_rng(rng)
+        n_params = self.n_layers * self.n_modes + self.n_modes
+
+        def cost(params: np.ndarray) -> float:
+            self.set_phase_vector(params)
+            return 1.0 - matrix_fidelity(self.matrix(), target)
+
+        best_params = None
+        best_cost = np.inf
+        for restart in range(max(1, n_restarts)):
+            initial = generator.uniform(0.0, 2.0 * np.pi, size=n_params)
+            result = optimize.minimize(
+                cost,
+                initial,
+                method="L-BFGS-B",
+                options={"maxiter": max_iterations, "ftol": tolerance},
+            )
+            if result.fun < best_cost:
+                best_cost = float(result.fun)
+                best_params = result.x
+            if best_cost < 1e-8:
+                break
+        self.set_phase_vector(best_params)
+        return self
+
+    def programming_fidelity(self, target_unitary: np.ndarray) -> float:
+        """Fidelity between the currently programmed matrix and a target."""
+        return matrix_fidelity(self.matrix(), np.asarray(target_unitary, dtype=complex))

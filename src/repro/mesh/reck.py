@@ -1,0 +1,81 @@
+"""Reck triangular mesh: the classic universal interferometer baseline.
+
+Reck et al. (1994) showed that any N x N unitary factors into a triangular
+arrangement of N(N-1)/2 two-mode elements.  It uses the same number of MZIs
+as the Clements design but has roughly twice the optical depth (2N-3
+columns) and strongly unbalanced path lengths, which is why the paper's
+architecture study treats it as the baseline the rectangular and
+error-tolerant meshes improve on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.mesh.base import MZIMesh, MZIPlacement
+from repro.mesh.clements import (
+    _NullingOp,
+    _apply_right_inverse,
+    _right_nulling_angles,
+    assign_columns,
+)
+
+
+def reck_decomposition(
+    unitary: np.ndarray,
+) -> Tuple[List[Tuple[int, float, float]], np.ndarray]:
+    """Decompose a unitary into triangular (Reck) mesh parameters.
+
+    Returns ``(factors, output_phases)`` with the same convention as
+    :func:`repro.mesh.clements.clements_decomposition`:
+
+        U = diag(exp(i * output_phases)) . T(factors[0]) . T(factors[1]) ...
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    n = unitary.shape[0]
+    if unitary.shape != (n, n):
+        raise ValueError("unitary must be square")
+    working = unitary.copy()
+
+    right_ops: List[_NullingOp] = []
+    for row in range(n - 1, 0, -1):
+        for col in range(row):
+            theta, phi = _right_nulling_angles(working, row, col)
+            op = _NullingOp(mode=col, theta=theta, phi=phi, side="right")
+            _apply_right_inverse(working, op)
+            right_ops.append(op)
+
+    output_phases = np.mod(np.angle(np.diag(working)), 2 * np.pi)
+    factors = [
+        (op.mode, op.theta, float(np.mod(op.phi, 2 * np.pi)))
+        for op in reversed(right_ops)
+    ]
+    return factors, output_phases
+
+
+class ReckMesh(MZIMesh):
+    """Triangular universal mesh (Reck et al. 1994)."""
+
+    name = "reck"
+
+    def _build_placements(self) -> List[MZIPlacement]:
+        placements = []
+        for row in range(self.n_modes - 1, 0, -1):
+            for col in range(row):
+                placements.append(MZIPlacement(mode=col))
+        assign_columns(placements)
+        return placements
+
+    def program(self, target_unitary: np.ndarray) -> "ReckMesh":
+        """Program the mesh with the analytic triangular decomposition."""
+        target = self._check_target(target_unitary)
+        factors, output_phases = reck_decomposition(target)
+        self.placements = [
+            MZIPlacement(mode=mode, theta=theta, phi=phi)
+            for mode, theta, phi in factors
+        ]
+        assign_columns(self.placements)
+        self.output_phases = np.asarray(output_phases, dtype=float)
+        return self

@@ -1,0 +1,32 @@
+"""Photonic spiking neural network substrate.
+
+Excitable-laser neurons, PCM synapses with accumulation behaviour, STDP
+learning, spike encodings and an event-driven network simulator — the
+spiking side of the paper's neuromorphic architecture (Section 3).
+"""
+
+from repro.snn.neuron import PhotonicLIFNeuron, ExcitableLaserNeuron
+from repro.snn.synapse import PhotonicSynapse
+from repro.snn.stdp import STDPRule
+from repro.snn.encoding import (
+    SpikeTrain,
+    rate_encode,
+    latency_encode,
+    merge_spike_trains,
+    spike_count_decode,
+)
+from repro.snn.network import PhotonicSNN, SNNResult
+
+__all__ = [
+    "PhotonicLIFNeuron",
+    "ExcitableLaserNeuron",
+    "PhotonicSynapse",
+    "STDPRule",
+    "SpikeTrain",
+    "rate_encode",
+    "latency_encode",
+    "merge_spike_trains",
+    "spike_count_decode",
+    "PhotonicSNN",
+    "SNNResult",
+]

@@ -1,0 +1,191 @@
+"""Event-driven photonic spiking neural network simulator.
+
+Wires :class:`PhotonicLIFNeuron` neurons with :class:`PhotonicSynapse` PCM
+synapses into a feed-forward network, simulates it event by event (spike by
+spike), and optionally applies the STDP rule online.  This is the substrate
+for experiment E7: unsupervised learning of input patterns through STDP on
+PCM synaptic weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import heapq
+
+import numpy as np
+
+from repro.devices.pcm_cell import PCMSynapticCell
+from repro.snn.encoding import SpikeTrain, merge_spike_trains
+from repro.snn.neuron import PhotonicLIFNeuron
+from repro.snn.stdp import STDPRule
+from repro.snn.synapse import PhotonicSynapse
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class SNNResult:
+    """Outcome of one SNN simulation run.
+
+    Attributes:
+        output_spikes: spike times per output neuron.
+        total_input_spikes: number of input events processed.
+        total_output_spikes: number of output spikes emitted.
+        plasticity_events: number of STDP weight updates applied.
+        energy_j: optical + programming energy consumed.
+    """
+
+    output_spikes: List[np.ndarray]
+    total_input_spikes: int
+    total_output_spikes: int
+    plasticity_events: int
+    energy_j: float
+
+    def spike_counts(self) -> np.ndarray:
+        """Output spike counts (the rate-decoded responses)."""
+        return np.array([len(times) for times in self.output_spikes])
+
+
+class PhotonicSNN:
+    """A single-layer, all-to-all photonic spiking network.
+
+    ``n_inputs`` input channels connect to ``n_outputs`` excitable-laser
+    neurons through PCM synapses.  Optional lateral inhibition implements a
+    soft winner-take-all so different output neurons specialise to
+    different input patterns during STDP learning.
+
+    Attributes:
+        n_inputs / n_outputs: layer dimensions.
+        neurons: the output LIF neurons.
+        synapses: dict keyed by (pre, post) with the PCM synapses.
+        stdp: the plasticity rule applied online (None disables learning).
+        inhibition: membrane decrement applied to all other output neurons
+            when one fires (lateral inhibition strength).
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        stdp: Optional[STDPRule] = None,
+        inhibition: float = 0.0,
+        initial_weight_spread: float = 0.2,
+        neuron_threshold: float = 1.0,
+        rng: RngLike = 0,
+    ):
+        if n_inputs < 1 or n_outputs < 1:
+            raise ValueError("network dimensions must be positive")
+        self.n_inputs = int(n_inputs)
+        self.n_outputs = int(n_outputs)
+        self.stdp = stdp
+        self.inhibition = float(inhibition)
+        generator = ensure_rng(rng)
+        self.neurons = [
+            PhotonicLIFNeuron(threshold=neuron_threshold) for _ in range(self.n_outputs)
+        ]
+        self.synapses: Dict[Tuple[int, int], PhotonicSynapse] = {}
+        for pre in range(self.n_inputs):
+            for post in range(self.n_outputs):
+                fraction = float(
+                    np.clip(0.5 + generator.uniform(-initial_weight_spread, initial_weight_spread), 0.0, 1.0)
+                )
+                cell = PCMSynapticCell(crystalline_fraction=fraction)
+                self.synapses[(pre, post)] = PhotonicSynapse(pre=pre, post=post, cell=cell)
+
+    # ------------------------------------------------------------------ #
+    # weights
+    # ------------------------------------------------------------------ #
+    def weight_matrix(self) -> np.ndarray:
+        """Current synaptic weights as an (n_inputs, n_outputs) matrix."""
+        weights = np.zeros((self.n_inputs, self.n_outputs))
+        for (pre, post), synapse in self.synapses.items():
+            weights[pre, post] = synapse.weight
+        return weights
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        input_trains: Sequence[SpikeTrain],
+        learning: bool = True,
+        input_amplitude: float = 0.6,
+    ) -> SNNResult:
+        """Simulate the network response to a set of input spike trains.
+
+        Events are processed in time order.  Each input spike is fanned out
+        through its synapses; when an output neuron fires, lateral
+        inhibition is applied and (if learning) STDP potentiates the
+        synapses whose presynaptic spikes preceded the output spike and
+        depresses later ones.
+        """
+        if len(input_trains) > self.n_inputs:
+            raise ValueError("more input trains than input channels")
+        for neuron in self.neurons:
+            neuron.reset()
+
+        events = merge_spike_trains(list(input_trains))
+        queue: List[Tuple[float, int, int]] = []
+        for order, (time, neuron_index) in enumerate(events):
+            heapq.heappush(queue, (time, order, neuron_index))
+
+        output_spikes: List[List[float]] = [[] for _ in range(self.n_outputs)]
+        plasticity_events = 0
+        energy = 0.0
+        spike_energy = self.neurons[0].spike_energy if self.neurons else 0.0
+        sequence = len(events)
+
+        while queue:
+            time, _, pre = heapq.heappop(queue)
+            for post in range(self.n_outputs):
+                synapse = self.synapses[(pre, post)]
+                arrival, amplitude = synapse.transmit(time, input_amplitude)
+                if learning and self.stdp is not None:
+                    self.stdp.apply_on_pre_spike(synapse, time)
+                fired = self.neurons[post].receive(amplitude, arrival)
+                if fired:
+                    output_spikes[post].append(arrival)
+                    energy += spike_energy
+                    if self.inhibition > 0:
+                        for other in range(self.n_outputs):
+                            if other != post:
+                                self.neurons[other].membrane -= self.inhibition
+                    if learning and self.stdp is not None:
+                        for input_index in range(self.n_inputs):
+                            updated = self.synapses[(input_index, post)]
+                            self.stdp.apply_on_post_spike(updated, arrival)
+                            plasticity_events += 1
+                            energy += updated.programming_energy()
+
+        return SNNResult(
+            output_spikes=[np.asarray(times) for times in output_spikes],
+            total_input_spikes=sequence,
+            total_output_spikes=int(sum(len(times) for times in output_spikes)),
+            plasticity_events=plasticity_events,
+            energy_j=energy,
+        )
+
+    def train(
+        self,
+        patterns: Sequence[Sequence[SpikeTrain]],
+        epochs: int = 5,
+    ) -> List[np.ndarray]:
+        """Run several epochs of unsupervised STDP over a pattern set.
+
+        Returns the weight matrix after every epoch so learning progress
+        can be inspected.
+        """
+        if self.stdp is None:
+            raise ValueError("training requires an STDP rule")
+        history = []
+        for _ in range(max(1, epochs)):
+            for pattern in patterns:
+                self.run(pattern, learning=True)
+            history.append(self.weight_matrix())
+        return history
+
+    def respond(self, pattern: Sequence[SpikeTrain]) -> np.ndarray:
+        """Inference-mode response: output spike counts without learning."""
+        result = self.run(pattern, learning=False)
+        return result.spike_counts()

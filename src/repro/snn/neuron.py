@@ -1,0 +1,160 @@
+"""Photonic spiking neuron models.
+
+Two abstraction levels are provided:
+
+* :class:`PhotonicLIFNeuron` — a leaky integrate-and-fire abstraction whose
+  parameters (threshold, leak, refractory period) are extracted from the
+  excitable-laser device model.  This is the neuron the network-level SNN
+  simulator uses, because time-stepping the full Yamada equations for every
+  neuron of a network is needlessly expensive.
+* :class:`ExcitableLaserNeuron` — a thin wrapper around the Yamada-model
+  laser (``repro.devices.laser.ExcitableLaser``) used to *validate* the
+  abstraction: it exhibits a firing threshold, all-or-nothing pulses and a
+  refractory period, the three behaviours the LIF abstraction keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.devices.laser import ExcitableLaser
+
+
+@dataclass
+class PhotonicLIFNeuron:
+    """Leaky integrate-and-fire abstraction of an excitable laser neuron.
+
+    The membrane variable models the gain-carrier reservoir of the laser:
+    incoming optical pulses deplete/charge it, it leaks back to rest, and
+    when it crosses the threshold the device emits one stereotyped spike
+    and becomes refractory.
+
+    Attributes:
+        threshold: firing threshold of the membrane variable.
+        leak_time_constant: exponential leak time constant [s].
+        refractory_period: time after a spike during which inputs are
+            ignored [s].
+        spike_energy: optical energy of one emitted spike [J] (energy
+            accounting only).
+        membrane: current membrane value.
+    """
+
+    threshold: float = 1.0
+    leak_time_constant: float = 1.0e-9
+    refractory_period: float = 0.5e-9
+    spike_energy: float = 20e-15
+    membrane: float = 0.0
+
+    def __post_init__(self):
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.leak_time_constant <= 0:
+            raise ValueError("leak_time_constant must be positive")
+        self._last_spike_time: Optional[float] = None
+        self._last_update_time = 0.0
+
+    def reset(self) -> None:
+        """Reset membrane and refractory state."""
+        self.membrane = 0.0
+        self._last_spike_time = None
+        self._last_update_time = 0.0
+
+    def _apply_leak(self, time: float) -> None:
+        elapsed = time - self._last_update_time
+        if elapsed > 0:
+            self.membrane *= float(np.exp(-elapsed / self.leak_time_constant))
+            self._last_update_time = time
+
+    def receive(self, amplitude: float, time: float) -> bool:
+        """Integrate an input pulse at ``time``; returns True if a spike fires.
+
+        ``amplitude`` is the weighted optical pulse energy arriving at the
+        gain section (already multiplied by the synaptic weight).
+        """
+        self._apply_leak(time)
+        if (
+            self._last_spike_time is not None
+            and time - self._last_spike_time < self.refractory_period
+        ):
+            return False
+        self.membrane += float(amplitude)
+        if self.membrane >= self.threshold:
+            self.membrane = 0.0
+            self._last_spike_time = time
+            return True
+        return False
+
+    @property
+    def last_spike_time(self) -> Optional[float]:
+        """Time of the most recent output spike, or None."""
+        return self._last_spike_time
+
+
+@dataclass
+class ExcitableLaserNeuron:
+    """Device-level spiking neuron: a Yamada-model Q-switched laser.
+
+    Attributes:
+        laser: the time-stepped excitable laser simulator.
+        input_coupling: scale factor from (weighted) input pulse amplitude
+            to the drive term of the intensity equation.
+    """
+
+    laser: ExcitableLaser = field(default_factory=ExcitableLaser)
+    input_coupling: float = 1.0
+
+    def stimulate(
+        self,
+        pulse_amplitudes: List[float],
+        pulse_times: List[float],
+        duration: float,
+        pulse_width: float = 1.0,
+    ) -> dict:
+        """Drive the laser with a pulse train and return the response.
+
+        Times and durations are in units of the cavity photon lifetime (the
+        natural time unit of the Yamada model).  Returns a dictionary with
+        the intensity trace, the detected output spike times, and the time
+        axis.
+        """
+        if len(pulse_amplitudes) != len(pulse_times):
+            raise ValueError("pulse_amplitudes and pulse_times must have equal length")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        dt = self.laser.dt
+        n_steps = int(np.ceil(duration / dt))
+        drive = np.zeros(n_steps)
+        for amplitude, time in zip(pulse_amplitudes, pulse_times):
+            start = int(round(time / dt))
+            stop = min(start + max(1, int(round(pulse_width / dt))), n_steps)
+            if 0 <= start < n_steps:
+                drive[start:stop] += self.input_coupling * amplitude
+        self.laser.reset()
+        trace = self.laser.run(drive)
+        spike_times = self.laser.detect_spikes(trace)
+        return {
+            "time": np.arange(n_steps) * dt,
+            "intensity": trace,
+            "spike_times": spike_times,
+        }
+
+    def firing_threshold(
+        self,
+        amplitudes: np.ndarray,
+        settle_time: float = 500.0,
+        pulse_width: float = 1.0,
+    ) -> float:
+        """Empirically find the minimum pulse amplitude that triggers a spike.
+
+        Sweeps the given amplitudes (sorted ascending) and returns the first
+        one that produces an output spike; returns ``inf`` if none does.
+        This is the excitability-threshold characterisation of experiment E7.
+        """
+        for amplitude in np.sort(np.asarray(amplitudes, dtype=float)):
+            response = self.stimulate([amplitude], [settle_time], settle_time * 2, pulse_width)
+            if response["spike_times"].size > 0:
+                return float(amplitude)
+        return float("inf")

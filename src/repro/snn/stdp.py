@@ -1,0 +1,89 @@
+"""Spike-timing-dependent plasticity (STDP) for photonic synapses.
+
+The paper proposes investigating "bio-inspired learning rules such as
+spike-timing dependent plasticity (STDP)" on top of the accumulation
+behaviour of PCM cells.  The rule implemented here is the standard
+exponential pair-based STDP window:
+
+* pre before post (``dt = t_post - t_pre > 0``): potentiation
+  ``dw = A_plus * exp(-dt / tau_plus)``
+* post before pre (``dt < 0``): depression
+  ``dw = -A_minus * exp(dt / tau_minus)``
+
+Updates are applied through the PCM pulse mechanism of the synapse, so the
+realised weight change is quantised by the per-pulse granularity of the
+device — the hardware-faithful detail that distinguishes this from textbook
+STDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.snn.synapse import PhotonicSynapse
+
+
+@dataclass(frozen=True)
+class STDPRule:
+    """Exponential pair-based STDP rule.
+
+    Attributes:
+        a_plus: potentiation amplitude (weight units).
+        a_minus: depression amplitude (weight units).
+        tau_plus: potentiation time constant [s].
+        tau_minus: depression time constant [s].
+        w_min / w_max: weight clipping range.
+    """
+
+    a_plus: float = 0.08
+    a_minus: float = 0.05
+    tau_plus: float = 2.0e-9
+    tau_minus: float = 2.0e-9
+    w_min: float = 0.0
+    w_max: float = 1.0
+
+    def __post_init__(self):
+        if self.tau_plus <= 0 or self.tau_minus <= 0:
+            raise ValueError("STDP time constants must be positive")
+        if self.w_min >= self.w_max:
+            raise ValueError("w_min must be below w_max")
+
+    def weight_change(self, delta_t: float) -> float:
+        """Weight change for a pre/post spike-time difference ``t_post - t_pre``."""
+        if delta_t >= 0:
+            return self.a_plus * float(np.exp(-delta_t / self.tau_plus))
+        return -self.a_minus * float(np.exp(delta_t / self.tau_minus))
+
+    def window(self, delta_times: np.ndarray) -> np.ndarray:
+        """Vectorised STDP window (for plotting / characterisation)."""
+        delta_times = np.asarray(delta_times, dtype=float)
+        potentiation = self.a_plus * np.exp(-delta_times / self.tau_plus)
+        depression = -self.a_minus * np.exp(delta_times / self.tau_minus)
+        return np.where(delta_times >= 0, potentiation, depression)
+
+    def apply_on_post_spike(self, synapse: PhotonicSynapse, post_time: float) -> float:
+        """Potentiate a synapse when its postsynaptic neuron fires.
+
+        Uses the most recent presynaptic spike; returns the realised weight.
+        """
+        synapse.record_post_spike(post_time)
+        if synapse.last_pre_spike is None:
+            return synapse.weight
+        delta_t = post_time - synapse.last_pre_spike
+        change = self.weight_change(delta_t)
+        return self._bounded_update(synapse, change)
+
+    def apply_on_pre_spike(self, synapse: PhotonicSynapse, pre_time: float) -> float:
+        """Depress a synapse when a presynaptic spike follows a postsynaptic one."""
+        if synapse.last_post_spike is None:
+            return synapse.weight
+        delta_t = synapse.last_post_spike - pre_time
+        change = self.weight_change(delta_t)
+        return self._bounded_update(synapse, change)
+
+    def _bounded_update(self, synapse: PhotonicSynapse, change: float) -> float:
+        current = synapse.weight
+        target = float(np.clip(current + change, self.w_min, self.w_max))
+        return synapse.update_weight(target - current)

@@ -1,0 +1,62 @@
+"""Photonic synapses: PCM cells between spiking neurons.
+
+A synapse weights the optical spike travelling from a presynaptic to a
+postsynaptic neuron.  The weight is stored in the transmission of a PCM
+cell (non-volatile, multilevel, with pulse-accumulation dynamics), so
+synaptic plasticity is implemented with the same SET/RESET pulses the
+device physics provides — this is what makes on-chip STDP possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.devices.pcm_cell import PCMSynapticCell
+
+
+@dataclass
+class PhotonicSynapse:
+    """A plastic photonic synapse backed by a PCM cell.
+
+    Attributes:
+        pre: index of the presynaptic neuron.
+        post: index of the postsynaptic neuron.
+        cell: the PCM device storing the weight.
+        delay: propagation delay of the connecting waveguide [s].
+    """
+
+    pre: int
+    post: int
+    cell: PCMSynapticCell = field(default_factory=PCMSynapticCell)
+    delay: float = 10e-12
+
+    def __post_init__(self):
+        if self.pre < 0 or self.post < 0:
+            raise ValueError("neuron indices must be non-negative")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.last_pre_spike: Optional[float] = None
+        self.last_post_spike: Optional[float] = None
+
+    @property
+    def weight(self) -> float:
+        """Current synaptic weight (PCM cell transmission, normalised)."""
+        return self.cell.weight
+
+    def transmit(self, spike_time: float, amplitude: float = 1.0) -> tuple:
+        """Weight a presynaptic spike; returns (arrival_time, weighted_amplitude)."""
+        self.last_pre_spike = spike_time
+        return spike_time + self.delay, amplitude * self.weight
+
+    def record_post_spike(self, spike_time: float) -> None:
+        """Record a postsynaptic spike (needed by the STDP rule)."""
+        self.last_post_spike = spike_time
+
+    def update_weight(self, delta: float) -> float:
+        """Apply a plasticity update through the PCM pulse mechanism."""
+        return self.cell.adjust_weight(delta)
+
+    def programming_energy(self) -> float:
+        """Energy of one plasticity programming pulse [J]."""
+        return self.cell.programming_energy(1)

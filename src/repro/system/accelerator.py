@@ -1,0 +1,297 @@
+"""Domain-specific accelerator (DSA) devices for the full-system simulator.
+
+Each accelerator follows the gem5-MARVEL structure: a Compute Unit (the
+datapath model) plus a Communications Interface (MMRs, scratchpad
+memories, a DMA engine and an interrupt line).  The host sees only the MMR
+block; it configures buffer addresses and matrix dimensions, sets the START
+bit, and waits for DONE (polling or interrupt).
+
+Two compute units are provided:
+
+* :class:`MACArrayAccelerator` — a digital MAC-array GeMM engine whose
+  timing comes from scheduling the corresponding dataflow graph
+  (``repro.system.dfg``).  This is the electronic DSA baseline.
+* :class:`PhotonicMVMAccelerator` — the photonic GeMM core: timing and
+  energy come from :class:`repro.core.energy.PhotonicCoreEnergyModel`, and
+  the functional result can optionally be produced by the full analog
+  model (:class:`repro.core.mvm.PhotonicMVM`) so analog error propagates
+  into the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.energy import PhotonicCoreEnergyModel
+from repro.core.mvm import PhotonicMVM
+from repro.core.quantization import QuantizationSpec
+from repro.system.bus import SystemBus
+from repro.system.dfg import build_gemm_dfg
+from repro.system.dma import DMAEngine
+from repro.system.event import EventScheduler
+from repro.system.interrupt import InterruptController
+from repro.system.memory import Scratchpad, WORD_BYTES, to_signed, to_unsigned
+from repro.system.mmr import MemoryMappedRegisters
+
+#: MMR data-register assignments shared by both accelerator types.
+REG_WEIGHTS_ADDR = 0
+REG_INPUT_ADDR = 1
+REG_OUTPUT_ADDR = 2
+REG_ROWS = 3        # M: output rows
+REG_INNER = 4       # K: inner (shared) dimension
+REG_COLS = 5        # N: input-matrix columns
+REG_SCALE_SHIFT = 6  # fixed-point scaling shift applied to results
+
+
+@dataclass
+class AcceleratorStats:
+    """Execution statistics of one accelerator device."""
+
+    invocations: int = 0
+    compute_cycles: int = 0
+    dma_cycles: int = 0
+    macs: int = 0
+    energy_j: float = 0.0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.dma_cycles
+
+
+class BaseMatrixAccelerator:
+    """Shared Communications Interface logic of the matrix accelerators."""
+
+    #: human-readable device type, overridden by subclasses
+    device_type = "base"
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        bus: SystemBus,
+        interrupt_controller: Optional[InterruptController] = None,
+        scratchpad_bytes: int = 64 * 1024,
+        clock_hz: float = 1e9,
+        name: str = "dsa0",
+    ):
+        self.scheduler = scheduler
+        self.bus = bus
+        self.clock_hz = float(clock_hz)
+        self.name = name
+        self.mmr = MemoryMappedRegisters(n_data_registers=16, on_start=self._on_start)
+        self.input_spm = Scratchpad(scratchpad_bytes)
+        self.weight_spm = Scratchpad(scratchpad_bytes)
+        self.output_spm = Scratchpad(scratchpad_bytes)
+        self.dma = DMAEngine(scheduler, bus, name=f"{name}-dma")
+        self.stats = AcceleratorStats()
+        self.interrupt_controller = interrupt_controller
+        self.irq_line = None
+        if interrupt_controller is not None:
+            self.irq_line = interrupt_controller.allocate_line(name)
+        self.busy = False
+        self._weights = None
+        self._inputs = None
+
+    # ------------------------------------------------------------------ #
+    # host protocol
+    # ------------------------------------------------------------------ #
+    def _read_config(self) -> dict:
+        return {
+            "weights_addr": self.mmr.data_register(REG_WEIGHTS_ADDR),
+            "input_addr": self.mmr.data_register(REG_INPUT_ADDR),
+            "output_addr": self.mmr.data_register(REG_OUTPUT_ADDR),
+            "rows": self.mmr.data_register(REG_ROWS),
+            "inner": self.mmr.data_register(REG_INNER),
+            "cols": self.mmr.data_register(REG_COLS),
+            "scale_shift": self.mmr.data_register(REG_SCALE_SHIFT),
+        }
+
+    def _on_start(self) -> None:
+        """Host set the START bit: run DMA-in, compute, DMA-out, signal DONE."""
+        if self.busy:
+            return
+        self.busy = True
+        config = self._read_config()
+        rows, inner, cols = config["rows"], config["inner"], config["cols"]
+        if min(rows, inner, cols) < 1:
+            self.mmr.mark_done(error=True)
+            self.busy = False
+            return
+
+        # --- DMA weights and inputs into the scratchpads (functional now) ----
+        dma_in = self.dma.copy_to_scratchpad(
+            config["weights_addr"], self.weight_spm, 0, rows * inner
+        )
+        dma_in += self.dma.copy_to_scratchpad(
+            config["input_addr"], self.input_spm, 0, inner * cols
+        )
+
+        weights = self._read_matrix(self.weight_spm, rows, inner)
+        inputs = self._read_matrix(self.input_spm, inner, cols)
+
+        compute_cycles, energy, outputs = self._compute(weights, inputs, config)
+
+        scaled = np.asarray(np.round(outputs), dtype=np.int64)
+        self._write_matrix(self.output_spm, scaled)
+        dma_out = self.dma.copy_from_scratchpad(
+            self.output_spm, 0, config["output_addr"], rows * cols
+        )
+
+        spm_energy = (
+            self.input_spm.energy_j() + self.weight_spm.energy_j() + self.output_spm.energy_j()
+        )
+        self.stats.invocations += 1
+        self.stats.compute_cycles += compute_cycles
+        self.stats.dma_cycles += dma_in + dma_out
+        self.stats.macs += rows * inner * cols
+        self.stats.energy_j += energy + self.dma.energy_j() + spm_energy
+
+        total_latency = dma_in + compute_cycles + dma_out
+        self.scheduler.schedule(total_latency, self._complete, label=f"{self.name}-done")
+
+    def _complete(self) -> None:
+        self.busy = False
+        self.mmr.mark_done()
+        if self.irq_line is not None and self.mmr.irq_enabled:
+            self.interrupt_controller.raise_interrupt(self.irq_line.index)
+
+    # ------------------------------------------------------------------ #
+    # scratchpad (de)serialisation: row-major signed 32-bit words
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _read_matrix(spm: Scratchpad, n_rows: int, n_cols: int) -> np.ndarray:
+        values = [
+            to_signed(spm.read_word(index * WORD_BYTES)) for index in range(n_rows * n_cols)
+        ]
+        return np.asarray(values, dtype=np.int64).reshape(n_rows, n_cols)
+
+    @staticmethod
+    def _write_matrix(spm: Scratchpad, matrix: np.ndarray) -> None:
+        flat = np.asarray(matrix, dtype=np.int64).reshape(-1)
+        for index, value in enumerate(flat):
+            spm.write_word(index * WORD_BYTES, to_unsigned(int(value)))
+
+    # ------------------------------------------------------------------ #
+    # compute unit (subclass responsibility)
+    # ------------------------------------------------------------------ #
+    def _compute(self, weights: np.ndarray, inputs: np.ndarray, config: dict):
+        """Run the datapath; returns (cycles, energy_j, output matrix)."""
+        raise NotImplementedError
+
+    def area_mm2(self) -> float:
+        """Die area of the accelerator [mm^2]."""
+        raise NotImplementedError
+
+
+class MACArrayAccelerator(BaseMatrixAccelerator):
+    """Digital MAC-array GeMM accelerator (electronic DSA baseline).
+
+    Attributes:
+        n_mac_units: parallel multiply-accumulate units.
+        mac_energy: energy per MAC [J] (digital 32-bit fixed point).
+    """
+
+    device_type = "mac-array"
+
+    def __init__(self, *args, n_mac_units: int = 16, mac_energy: float = 1e-12, **kwargs):
+        super().__init__(*args, **kwargs)
+        if n_mac_units < 1:
+            raise ValueError("n_mac_units must be >= 1")
+        self.n_mac_units = int(n_mac_units)
+        self.mac_energy = float(mac_energy)
+
+    def _compute(self, weights: np.ndarray, inputs: np.ndarray, config: dict):
+        rows, inner = weights.shape
+        cols = inputs.shape[1]
+        outputs = (weights @ inputs) >> config["scale_shift"] if config["scale_shift"] else weights @ inputs
+        # Timing: schedule the GeMM dataflow graph on the MAC array.  For
+        # large products the graph is sampled (one representative output
+        # block) and scaled, to keep simulation cost bounded.
+        sample_rows = min(rows, 4)
+        sample_cols = min(cols, 4)
+        dfg = build_gemm_dfg(sample_rows, inner, sample_cols)
+        schedule = dfg.schedule(resources={"mac": self.n_mac_units})
+        scale = (rows * cols) / (sample_rows * sample_cols)
+        cycles = int(np.ceil(schedule.total_cycles * scale))
+        energy = rows * inner * cols * self.mac_energy
+        return cycles, energy, outputs
+
+    def area_mm2(self) -> float:
+        """MAC array + SPM area (digital 16 nm-ish figures)."""
+        mac_area = self.n_mac_units * 0.002
+        spm_area = 3 * (self.input_spm.size_bytes / 1024) * 0.001
+        return mac_area + spm_area
+
+
+class PhotonicMVMAccelerator(BaseMatrixAccelerator):
+    """Photonic in-memory GeMM accelerator (the paper's DSA).
+
+    Attributes:
+        energy_model: photonic core speed/energy/footprint model (its MVM
+            dimensions must cover the offloaded tiles).
+        analog_model: optional :class:`PhotonicMVM` used for the functional
+            result so analog noise reaches the application; when ``None``
+            the result is exact and only timing/energy are photonic.
+        reprogram_every_call: if True the weight-programming energy is paid
+            on every offload (weights change per call); if False weights
+            are considered resident (in-memory computing) after the first
+            call.
+    """
+
+    device_type = "photonic"
+
+    def __init__(
+        self,
+        *args,
+        energy_model: Optional[PhotonicCoreEnergyModel] = None,
+        analog_model: Optional[PhotonicMVM] = None,
+        reprogram_every_call: bool = False,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.energy_model = energy_model
+        self.analog_model = analog_model
+        self.reprogram_every_call = reprogram_every_call
+        self._programmed = False
+
+    def _default_energy_model(self, rows: int, inner: int) -> PhotonicCoreEnergyModel:
+        component_count = {
+            "mzis": rows * (rows - 1) // 2 + inner * (inner - 1) // 2,
+            "phase_shifters": rows * (rows - 1) + inner * (inner - 1) + rows + inner,
+            "couplers": rows * (rows - 1) + inner * (inner - 1),
+            "modes": max(rows, inner),
+            "depth": rows + inner,
+        }
+        return PhotonicCoreEnergyModel(
+            n_inputs=inner, n_outputs=rows, component_count=component_count
+        )
+
+    def _compute(self, weights: np.ndarray, inputs: np.ndarray, config: dict):
+        rows, inner = weights.shape
+        cols = inputs.shape[1]
+        model = self.energy_model or self._default_energy_model(rows, inner)
+
+        if self.analog_model is not None:
+            analog = self.analog_model.apply_many(inputs.astype(float))
+            outputs = np.asarray(np.real(analog), dtype=np.int64)
+        else:
+            outputs = weights @ inputs
+        if config["scale_shift"]:
+            outputs = outputs >> config["scale_shift"]
+
+        # One optical pass per input column, pipelined at the modulator rate.
+        latency_s = model.mvm_latency_s + (cols - 1) / model.mvm_rate_hz
+        cycles = max(1, int(np.ceil(latency_s * self.clock_hz)))
+        include_programming = self.reprogram_every_call or not self._programmed
+        energy = model.inference_energy_j(cols, include_programming=include_programming)
+        self._programmed = True
+        return cycles, energy, outputs
+
+    def area_mm2(self) -> float:
+        """Photonic core + SPM area."""
+        spm_area = 3 * (self.input_spm.size_bytes / 1024) * 0.001
+        if self.energy_model is not None:
+            return self.energy_model.area_mm2() + spm_area
+        return 1.0 + spm_area

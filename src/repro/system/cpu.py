@@ -1,0 +1,300 @@
+"""RISC-V (RV32IM subset) host CPU model.
+
+An in-order, single-issue core with a simple timing model: every
+instruction costs its category's base latency plus, for loads and stores,
+the latency reported by the bus for the access.  This is deliberately a
+*system-level* CPU model in the gem5 "timing simple" spirit — accurate
+enough to compare a software GeMM against the photonic accelerator
+offload, cheap enough to run fault-injection campaigns with thousands of
+simulated executions.
+
+The CPU is event-driven: it schedules its own next-instruction events on
+the shared :class:`repro.system.event.EventScheduler`, so DMA transfers,
+accelerator completions and interrupts interleave with instruction
+execution at the right cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.system.assembler import Program
+from repro.system.event import EventScheduler
+from repro.system.bus import SystemBus
+from repro.system.isa import Instruction, IllegalInstructionError, N_REGISTERS
+from repro.system.memory import MemoryAccessError, to_signed, to_unsigned
+
+#: Base latency (cycles) per instruction category.
+DEFAULT_LATENCIES: Dict[str, int] = {
+    "alu": 1,
+    "mul": 3,
+    "load": 1,      # plus bus/memory latency
+    "store": 1,     # plus bus/memory latency
+    "branch": 1,
+    "jump": 1,
+    "system": 1,
+}
+
+#: Dynamic energy per instruction category [J] (small in-order RISC-V core).
+DEFAULT_ENERGIES: Dict[str, float] = {
+    "alu": 5e-12,
+    "mul": 15e-12,
+    "load": 10e-12,
+    "store": 10e-12,
+    "branch": 4e-12,
+    "jump": 4e-12,
+    "system": 2e-12,
+}
+
+
+class CPUError(Exception):
+    """Raised for architectural errors (bad pc, illegal instruction)."""
+
+
+@dataclass
+class CPUStats:
+    """Execution statistics of one CPU."""
+
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches_taken: int = 0
+    stall_cycles: int = 0
+    energy_j: float = 0.0
+    per_category: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+
+class RiscvCPU:
+    """Event-driven RV32IM subset core.
+
+    Attributes:
+        scheduler: shared event queue.
+        bus: system interconnect for loads/stores.
+        clock_hz: core clock (converts cycles to seconds for reports).
+        name: instance name (used by multi-core / cluster configurations).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        bus: SystemBus,
+        clock_hz: float = 1e9,
+        name: str = "cpu0",
+        latencies: Optional[Dict[str, int]] = None,
+        energies: Optional[Dict[str, float]] = None,
+    ):
+        self.scheduler = scheduler
+        self.bus = bus
+        self.clock_hz = float(clock_hz)
+        self.name = name
+        self.latencies = dict(DEFAULT_LATENCIES, **(latencies or {}))
+        self.energies = dict(DEFAULT_ENERGIES, **(energies or {}))
+        self.registers = [0] * N_REGISTERS
+        self.pc = 0
+        self.program: Optional[Program] = None
+        self.halted = False
+        self.waiting_for_interrupt = False
+        self.stats = CPUStats()
+        self._pending_interrupt = False
+        self._max_instructions: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # register file
+    # ------------------------------------------------------------------ #
+    def read_register(self, index: int) -> int:
+        if not 0 <= index < N_REGISTERS:
+            raise CPUError(f"register x{index} out of range")
+        return 0 if index == 0 else self.registers[index]
+
+    def write_register(self, index: int, value: int) -> None:
+        if not 0 <= index < N_REGISTERS:
+            raise CPUError(f"register x{index} out of range")
+        if index != 0:
+            self.registers[index] = to_unsigned(int(value))
+
+    # ------------------------------------------------------------------ #
+    # program control
+    # ------------------------------------------------------------------ #
+    def load_program(self, program: Program, max_instructions: Optional[int] = None) -> None:
+        """Load a program and reset the architectural state."""
+        self.program = program
+        self.pc = 0
+        self.registers = [0] * N_REGISTERS
+        self.halted = False
+        self.waiting_for_interrupt = False
+        self._pending_interrupt = False
+        self.stats = CPUStats()
+        self._max_instructions = max_instructions
+
+    def start(self, delay: int = 0) -> None:
+        """Schedule the first instruction fetch."""
+        if self.program is None:
+            raise CPUError("no program loaded")
+        self.scheduler.schedule(delay, self._execute_next, label=f"{self.name}-fetch")
+
+    def raise_interrupt(self) -> None:
+        """Signal an external interrupt (wakes a core waiting on WFI-style poll)."""
+        self._pending_interrupt = True
+        if self.waiting_for_interrupt and not self.halted:
+            self.waiting_for_interrupt = False
+            self.scheduler.schedule(1, self._execute_next, label=f"{self.name}-wake")
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _fetch(self) -> Instruction:
+        if self.program is None:
+            raise CPUError("no program loaded")
+        index = self.pc // 4
+        if self.pc % 4 != 0 or not 0 <= index < len(self.program.instructions):
+            raise CPUError(f"pc {self.pc:#x} outside program")
+        return self.program.instructions[index]
+
+    def _execute_next(self) -> None:
+        if self.halted or self.waiting_for_interrupt:
+            return
+        if (
+            self._max_instructions is not None
+            and self.stats.instructions >= self._max_instructions
+        ):
+            self.halted = True
+            return
+        try:
+            instruction = self._fetch()
+            latency = self._execute(instruction)
+        except (CPUError, MemoryAccessError, IllegalInstructionError) as exc:
+            # Architectural faults halt the core; the SoC records the cause.
+            self.halted = True
+            self.fault_cause = str(exc)
+            return
+        self.stats.instructions += 1
+        self.stats.cycles += latency
+        category = instruction.category
+        self.stats.per_category[category] = self.stats.per_category.get(category, 0) + 1
+        self.stats.energy_j += self.energies[category]
+        if not self.halted and not self.waiting_for_interrupt:
+            self.scheduler.schedule(latency, self._execute_next, label=f"{self.name}-exec")
+
+    def _execute(self, instruction: Instruction) -> int:
+        """Execute one instruction; returns its latency in cycles."""
+        op = instruction.op
+        latency = self.latencies[instruction.category]
+        next_pc = self.pc + 4
+
+        if op in ("ecall", "ebreak"):
+            self.halted = True
+        elif op == "lui":
+            self.write_register(instruction.rd, instruction.imm << 12)
+        elif op == "auipc":
+            self.write_register(instruction.rd, self.pc + (instruction.imm << 12))
+        elif op == "jal":
+            self.write_register(instruction.rd, self.pc + 4)
+            next_pc = self.pc + instruction.imm
+        elif op == "jalr":
+            target = (self.read_register(instruction.rs1) + instruction.imm) & ~1
+            self.write_register(instruction.rd, self.pc + 4)
+            next_pc = to_unsigned(target)
+        elif op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = self._branch_taken(instruction)
+            if taken:
+                next_pc = self.pc + instruction.imm
+                self.stats.branches_taken += 1
+                latency += 1  # simple taken-branch penalty
+        elif op == "lw":
+            address = to_unsigned(self.read_register(instruction.rs1) + instruction.imm)
+            value, access_latency = self.bus.read_word(address)
+            self.write_register(instruction.rd, value)
+            latency += access_latency
+            self.stats.loads += 1
+            self.stats.stall_cycles += access_latency
+        elif op == "sw":
+            address = to_unsigned(self.read_register(instruction.rs1) + instruction.imm)
+            access_latency = self.bus.write_word(address, self.read_register(instruction.rs2))
+            latency += access_latency
+            self.stats.stores += 1
+            self.stats.stall_cycles += access_latency
+        else:
+            self._execute_alu(instruction)
+
+        self.pc = next_pc
+        return latency
+
+    def _branch_taken(self, instruction: Instruction) -> bool:
+        lhs = self.read_register(instruction.rs1)
+        rhs = self.read_register(instruction.rs2)
+        signed_lhs, signed_rhs = to_signed(lhs), to_signed(rhs)
+        op = instruction.op
+        if op == "beq":
+            return lhs == rhs
+        if op == "bne":
+            return lhs != rhs
+        if op == "blt":
+            return signed_lhs < signed_rhs
+        if op == "bge":
+            return signed_lhs >= signed_rhs
+        if op == "bltu":
+            return lhs < rhs
+        if op == "bgeu":
+            return lhs >= rhs
+        raise IllegalInstructionError(op)
+
+    def _execute_alu(self, instruction: Instruction) -> None:
+        op = instruction.op
+        rs1 = self.read_register(instruction.rs1) if instruction.rs1 is not None else 0
+        signed_rs1 = to_signed(rs1)
+        if instruction.rs2 is not None:
+            operand = self.read_register(instruction.rs2)
+        else:
+            operand = to_unsigned(instruction.imm)
+        signed_operand = to_signed(operand) if instruction.rs2 is not None else instruction.imm
+
+        if op in ("add", "addi"):
+            result = rs1 + (operand if instruction.rs2 is not None else instruction.imm)
+        elif op == "sub":
+            result = rs1 - operand
+        elif op in ("and", "andi"):
+            result = rs1 & operand
+        elif op in ("or", "ori"):
+            result = rs1 | operand
+        elif op in ("xor", "xori"):
+            result = rs1 ^ operand
+        elif op in ("slt", "slti"):
+            result = 1 if signed_rs1 < signed_operand else 0
+        elif op in ("sltu", "sltiu"):
+            compare = operand if instruction.rs2 is not None else to_unsigned(instruction.imm)
+            result = 1 if rs1 < compare else 0
+        elif op in ("sll", "slli"):
+            result = rs1 << (operand & 0x1F)
+        elif op in ("srl", "srli"):
+            result = rs1 >> (operand & 0x1F)
+        elif op in ("sra", "srai"):
+            result = signed_rs1 >> (operand & 0x1F)
+        elif op == "mul":
+            result = signed_rs1 * to_signed(operand)
+        elif op == "mulh":
+            result = (signed_rs1 * to_signed(operand)) >> 32
+        elif op == "div":
+            divisor = to_signed(operand)
+            result = -1 if divisor == 0 else int(signed_rs1 / divisor)
+        elif op == "rem":
+            divisor = to_signed(operand)
+            result = signed_rs1 if divisor == 0 else signed_rs1 - int(signed_rs1 / divisor) * divisor
+        else:
+            raise IllegalInstructionError(op)
+        self.write_register(instruction.rd, result)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def runtime_seconds(self) -> float:
+        """Wall-clock runtime of the executed instructions at the core clock."""
+        return self.stats.cycles / self.clock_hz

@@ -1,0 +1,143 @@
+"""Memory devices: main memory, scratchpad memories and register banks.
+
+The gem5-MARVEL communications interface distinguishes several memory
+types: large off-accelerator main memory (DRAM, slow), on-accelerator
+scratchpad memories (SPMs, single-cycle) and register banks.  All of them
+implement the same word-addressed interface so the bus can route accesses
+uniformly; each carries its own latency and per-access energy figures for
+the system-level speed/energy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+WORD_BYTES = 4
+WORD_MASK = 0xFFFFFFFF
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python integer to an unsigned 32-bit word."""
+    return value & WORD_MASK
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit word as a signed integer."""
+    value &= WORD_MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class MemoryAccessError(Exception):
+    """Raised on out-of-range or misaligned memory accesses."""
+
+
+@dataclass
+class MemoryStats:
+    """Access counters of one memory device."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class MainMemory:
+    """Word-addressed main memory (DRAM model).
+
+    Attributes:
+        size_bytes: capacity.
+        read_latency / write_latency: access latency in cycles.
+        energy_per_access: energy per word access [J] (DRAM-ish, tens of pJ).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        read_latency: int = 30,
+        write_latency: int = 30,
+        energy_per_access: float = 20e-12,
+    ):
+        if size_bytes <= 0 or size_bytes % WORD_BYTES != 0:
+            raise ValueError("size_bytes must be a positive multiple of 4")
+        self.size_bytes = size_bytes
+        self.read_latency = int(read_latency)
+        self.write_latency = int(write_latency)
+        self.energy_per_access = float(energy_per_access)
+        self._words = np.zeros(size_bytes // WORD_BYTES, dtype=np.uint32)
+        self.stats = MemoryStats()
+
+    def _index(self, address: int) -> int:
+        if address < 0 or address + WORD_BYTES > self.size_bytes:
+            raise MemoryAccessError(f"address {address:#x} out of range")
+        if address % WORD_BYTES != 0:
+            raise MemoryAccessError(f"misaligned word access at {address:#x}")
+        return address // WORD_BYTES
+
+    def read_word(self, address: int) -> int:
+        """Read one 32-bit word; returns its unsigned value."""
+        index = self._index(address)
+        self.stats.reads += 1
+        return int(self._words[index])
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write one 32-bit word."""
+        index = self._index(address)
+        self.stats.writes += 1
+        self._words[index] = to_unsigned(int(value))
+
+    def load_words(self, address: int, values) -> None:
+        """Bulk-initialise memory starting at ``address`` (no stats impact)."""
+        for offset, value in enumerate(values):
+            index = self._index(address + offset * WORD_BYTES)
+            self._words[index] = to_unsigned(int(value))
+
+    def dump_words(self, address: int, count: int) -> list:
+        """Bulk-read ``count`` words starting at ``address`` (no stats impact)."""
+        return [
+            int(self._words[self._index(address + offset * WORD_BYTES)])
+            for offset in range(count)
+        ]
+
+    def energy_j(self) -> float:
+        """Total access energy consumed so far."""
+        return self.stats.accesses * self.energy_per_access
+
+
+class Scratchpad(MainMemory):
+    """On-accelerator scratchpad memory: single-cycle, SRAM energy."""
+
+    def __init__(self, size_bytes: int, energy_per_access: float = 0.5e-12):
+        super().__init__(
+            size_bytes,
+            read_latency=1,
+            write_latency=1,
+            energy_per_access=energy_per_access,
+        )
+
+
+class RegisterBank:
+    """A small bank of named 32-bit registers (accelerator-internal state)."""
+
+    def __init__(self, names):
+        self._values: Dict[str, int] = {str(name): 0 for name in names}
+        self.stats = MemoryStats()
+
+    def read(self, name: str) -> int:
+        if name not in self._values:
+            raise MemoryAccessError(f"unknown register {name!r}")
+        self.stats.reads += 1
+        return self._values[name]
+
+    def write(self, name: str, value: int) -> None:
+        if name not in self._values:
+            raise MemoryAccessError(f"unknown register {name!r}")
+        self.stats.writes += 1
+        self._values[name] = to_unsigned(int(value))
+
+    def names(self) -> list:
+        return list(self._values)

@@ -1,0 +1,199 @@
+"""Host (RISC-V) programs used by the system-level experiments.
+
+These generators emit RV32IM assembly for the workloads the full-system
+benchmarks run: a software GeMM (the CPU-only baseline), a vector-add
+smoke-test, and the accelerator-offload driver that programs the DSA's
+MMRs, starts it and waits for completion (polling or interrupt-enabled).
+Keeping them as importable generators means every experiment assembles its
+exact workload from parameters instead of shipping opaque binaries.
+"""
+
+from __future__ import annotations
+
+from repro.system.mmr import (
+    CTRL_IRQ_ENABLE,
+    CTRL_OFFSET,
+    CTRL_START,
+    DATA_OFFSET,
+    STATUS_DONE,
+    STATUS_OFFSET,
+)
+
+
+def vector_add_program(a_addr: int, b_addr: int, c_addr: int, length: int) -> str:
+    """Element-wise 32-bit integer vector add: ``c[i] = a[i] + b[i]``."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    return f"""
+        li   a0, {a_addr}        # base of a
+        li   a1, {b_addr}        # base of b
+        li   a2, {c_addr}        # base of c
+        li   t0, 0               # i = 0
+        li   t1, {length}        # loop bound
+    loop:
+        bge  t0, t1, done
+        slli t2, t0, 2
+        add  t3, a0, t2
+        lw   t4, 0(t3)
+        add  t3, a1, t2
+        lw   t5, 0(t3)
+        add  t4, t4, t5
+        add  t3, a2, t2
+        sw   t4, 0(t3)
+        addi t0, t0, 1
+        j    loop
+    done:
+        halt
+    """
+
+
+def gemm_program(
+    a_addr: int,
+    b_addr: int,
+    c_addr: int,
+    n_rows: int,
+    n_inner: int,
+    n_cols: int,
+) -> str:
+    """Software integer GeMM ``C[MxN] = A[MxK] @ B[KxN]`` (row-major).
+
+    This is the CPU-only baseline of experiment E8: a straightforward
+    triple loop with ``mul``/``add`` in the inner body, the code a compiler
+    would emit for the naive C kernel.
+    """
+    if min(n_rows, n_inner, n_cols) < 1:
+        raise ValueError("all GeMM dimensions must be >= 1")
+    return f"""
+        li   s0, {a_addr}        # A base
+        li   s1, {b_addr}        # B base
+        li   s2, {c_addr}        # C base
+        li   s3, {n_rows}        # M
+        li   s4, {n_inner}       # K
+        li   s5, {n_cols}        # N
+        li   t0, 0               # i = 0
+    loop_i:
+        bge  t0, s3, done
+        li   t1, 0               # j = 0
+    loop_j:
+        bge  t1, s5, end_i
+        li   t2, 0               # k = 0
+        li   t3, 0               # acc = 0
+    loop_k:
+        bge  t2, s4, store_c
+        # load A[i][k]
+        mul  t4, t0, s4
+        add  t4, t4, t2
+        slli t4, t4, 2
+        add  t4, t4, s0
+        lw   t5, 0(t4)
+        # load B[k][j]
+        mul  t4, t2, s5
+        add  t4, t4, t1
+        slli t4, t4, 2
+        add  t4, t4, s1
+        lw   t6, 0(t4)
+        # acc += A[i][k] * B[k][j]
+        mul  t5, t5, t6
+        add  t3, t3, t5
+        addi t2, t2, 1
+        j    loop_k
+    store_c:
+        mul  t4, t0, s5
+        add  t4, t4, t1
+        slli t4, t4, 2
+        add  t4, t4, s2
+        sw   t3, 0(t4)
+        addi t1, t1, 1
+        j    loop_j
+    end_i:
+        addi t0, t0, 1
+        j    loop_i
+    done:
+        halt
+    """
+
+
+def accelerator_offload_program(
+    mmr_base: int,
+    a_addr: int,
+    b_addr: int,
+    c_addr: int,
+    n_rows: int,
+    n_inner: int,
+    n_cols: int,
+    use_interrupt: bool = False,
+) -> str:
+    """Host driver: configure the DSA MMRs, start it, and wait for DONE.
+
+    With ``use_interrupt=False`` the host polls the STATUS register (the
+    "constant polling" the paper's interrupt support removes); with
+    ``use_interrupt=True`` it enables the IRQ and spins on a much slower
+    check loop, modelling a host that has gone off to do other work.
+    """
+    ctrl_value = CTRL_START | (CTRL_IRQ_ENABLE if use_interrupt else 0)
+    wait_body = """
+    wait:
+        lw   t1, {status_offset}(s0)
+        li   t2, {done_value}
+        bne  t1, t2, wait
+    """ if not use_interrupt else """
+    wait:
+        # interrupt-enabled host: check rarely, sleep (idle loop) in between
+        li   t3, 64
+    idle:
+        addi t3, t3, -1
+        bnez t3, idle
+        lw   t1, {status_offset}(s0)
+        li   t2, {done_value}
+        bne  t1, t2, wait
+    """
+    wait_code = wait_body.format(status_offset=STATUS_OFFSET, done_value=STATUS_DONE)
+    return f"""
+        li   s0, {mmr_base}            # MMR base address
+        li   t0, {a_addr}
+        sw   t0, {DATA_OFFSET + 0}(s0)  # weights address
+        li   t0, {b_addr}
+        sw   t0, {DATA_OFFSET + 4}(s0)  # input address
+        li   t0, {c_addr}
+        sw   t0, {DATA_OFFSET + 8}(s0)  # output address
+        li   t0, {n_rows}
+        sw   t0, {DATA_OFFSET + 12}(s0) # rows (M)
+        li   t0, {n_inner}
+        sw   t0, {DATA_OFFSET + 16}(s0) # inner (K)
+        li   t0, {n_cols}
+        sw   t0, {DATA_OFFSET + 20}(s0) # cols (N)
+        li   t0, 0
+        sw   t0, {DATA_OFFSET + 24}(s0) # scale shift
+        li   t0, {ctrl_value}
+        sw   t0, {CTRL_OFFSET}(s0)      # GO
+    {wait_code}
+        halt
+    """
+
+
+def dot_product_program(a_addr: int, b_addr: int, result_addr: int, length: int) -> str:
+    """Integer dot product of two vectors; result stored at ``result_addr``."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    return f"""
+        li   a0, {a_addr}
+        li   a1, {b_addr}
+        li   a2, {result_addr}
+        li   t0, 0
+        li   t1, {length}
+        li   t3, 0
+    loop:
+        bge  t0, t1, done
+        slli t2, t0, 2
+        add  t4, a0, t2
+        lw   t5, 0(t4)
+        add  t4, a1, t2
+        lw   t6, 0(t4)
+        mul  t5, t5, t6
+        add  t3, t3, t5
+        addi t0, t0, 1
+        j    loop
+    done:
+        sw   t3, 0(a2)
+        halt
+    """

@@ -1,0 +1,324 @@
+"""System-on-chip composition: CPU + memory + accelerators + interconnect.
+
+``PhotonicSoC`` builds the full-system configuration of the paper's Fig. 3:
+a RISC-V host CPU, main memory, a shared bus, an interrupt controller, and
+one or more domain-specific accelerators (photonic and/or digital), each
+with its own MMR block, scratchpads and DMA engine.  It also provides the
+workload runners used by experiments E8-E10 — CPU-only GeMM, single-PE
+offload, and multi-PE tiled GeMM — all returning a uniform
+:class:`WorkloadReport` with cycles, energy and area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.system.accelerator import (
+    BaseMatrixAccelerator,
+    MACArrayAccelerator,
+    PhotonicMVMAccelerator,
+    REG_COLS,
+    REG_INNER,
+    REG_INPUT_ADDR,
+    REG_OUTPUT_ADDR,
+    REG_ROWS,
+    REG_SCALE_SHIFT,
+    REG_WEIGHTS_ADDR,
+)
+from repro.system.assembler import assemble
+from repro.system.bus import SystemBus
+from repro.system.cpu import RiscvCPU
+from repro.system.event import EventScheduler
+from repro.system.interrupt import InterruptController
+from repro.system.memory import MainMemory, WORD_BYTES, to_signed, to_unsigned
+from repro.system.mmr import CTRL_IRQ_ENABLE, CTRL_START, STATUS_DONE
+from repro.system.programs import accelerator_offload_program, gemm_program
+
+#: Default address map.
+MAIN_MEMORY_BASE = 0x0000_0000
+MAIN_MEMORY_SIZE = 1 << 20          # 1 MiB
+MMR_REGION_BASE = 0x4000_0000
+MMR_REGION_STRIDE = 0x0000_1000     # one 4 KiB page per accelerator
+
+
+@dataclass
+class WorkloadReport:
+    """Cycles / energy / area of one full-system workload run.
+
+    Attributes:
+        label: human-readable workload name.
+        cycles: end-to-end cycle count (at the CPU clock).
+        runtime_s: cycles converted to seconds.
+        instructions: host instructions executed.
+        energy_j: total system energy (CPU + memory + bus + DMA + DSA).
+        area_mm2: silicon area of the configuration used.
+        energy_breakdown: per-component energy [J].
+        result: the numerical result of the workload (for correctness checks).
+    """
+
+    label: str
+    cycles: int
+    runtime_s: float
+    instructions: int
+    energy_j: float
+    area_mm2: float
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+    result: Optional[np.ndarray] = None
+
+    @property
+    def energy_per_cycle(self) -> float:
+        return self.energy_j / self.cycles if self.cycles else 0.0
+
+
+class PhotonicSoC:
+    """Configurable full-system model (CPU + accelerators).
+
+    Attributes:
+        clock_hz: system clock frequency.
+        cpu_area_mm2 / memory_area_mm2: area figures of the host side.
+        max_cycles: watchdog bound used by ``run`` (hang detection).
+    """
+
+    def __init__(
+        self,
+        clock_hz: float = 1e9,
+        main_memory_size: int = MAIN_MEMORY_SIZE,
+        cpu_area_mm2: float = 0.2,
+        memory_area_mm2: float = 0.5,
+        max_cycles: int = 50_000_000,
+    ):
+        self.clock_hz = float(clock_hz)
+        self.max_cycles = int(max_cycles)
+        self.cpu_area_mm2 = float(cpu_area_mm2)
+        self.memory_area_mm2 = float(memory_area_mm2)
+        self.scheduler = EventScheduler()
+        self.bus = SystemBus()
+        self.main_memory = MainMemory(main_memory_size)
+        self.bus.attach(MAIN_MEMORY_BASE, main_memory_size, self.main_memory, "main-memory")
+        self.interrupts = InterruptController()
+        self.cpu = RiscvCPU(self.scheduler, self.bus, clock_hz=clock_hz)
+        self.accelerators: List[BaseMatrixAccelerator] = []
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def add_photonic_accelerator(self, **kwargs) -> PhotonicMVMAccelerator:
+        """Attach a photonic GeMM accelerator; returns the device."""
+        accelerator = PhotonicMVMAccelerator(
+            self.scheduler,
+            self.bus,
+            interrupt_controller=self.interrupts,
+            clock_hz=self.clock_hz,
+            name=f"photonic{len(self.accelerators)}",
+            **kwargs,
+        )
+        self._attach_accelerator(accelerator)
+        return accelerator
+
+    def add_mac_array_accelerator(self, **kwargs) -> MACArrayAccelerator:
+        """Attach a digital MAC-array accelerator; returns the device."""
+        accelerator = MACArrayAccelerator(
+            self.scheduler,
+            self.bus,
+            interrupt_controller=self.interrupts,
+            clock_hz=self.clock_hz,
+            name=f"macarray{len(self.accelerators)}",
+            **kwargs,
+        )
+        self._attach_accelerator(accelerator)
+        return accelerator
+
+    def _attach_accelerator(self, accelerator: BaseMatrixAccelerator) -> None:
+        base = MMR_REGION_BASE + len(self.accelerators) * MMR_REGION_STRIDE
+        self.bus.attach(base, accelerator.mmr.size_bytes, accelerator.mmr, accelerator.name)
+        accelerator.mmr_base = base
+        if accelerator.irq_line is not None:
+            self.interrupts.subscribe(
+                accelerator.irq_line.index, lambda _line: self.cpu.raise_interrupt()
+            )
+        self.accelerators.append(accelerator)
+
+    # ------------------------------------------------------------------ #
+    # memory helpers
+    # ------------------------------------------------------------------ #
+    def write_matrix(self, address: int, matrix: np.ndarray) -> None:
+        """Store an integer matrix row-major into main memory."""
+        flat = np.asarray(matrix, dtype=np.int64).reshape(-1)
+        self.main_memory.load_words(address, [to_unsigned(int(v)) for v in flat])
+
+    def read_matrix(self, address: int, n_rows: int, n_cols: int) -> np.ndarray:
+        """Read a row-major signed integer matrix from main memory."""
+        words = self.main_memory.dump_words(address, n_rows * n_cols)
+        values = [to_signed(word) for word in words]
+        return np.asarray(values, dtype=np.int64).reshape(n_rows, n_cols)
+
+    # ------------------------------------------------------------------ #
+    # simulation driver
+    # ------------------------------------------------------------------ #
+    def run_program(self, source: str, max_cycles: Optional[int] = None) -> int:
+        """Assemble and run a host program to completion; returns cycles."""
+        program = assemble(source)
+        self.cpu.load_program(program)
+        self.cpu.start()
+        limit = max_cycles if max_cycles is not None else self.max_cycles
+        final_cycle = self.scheduler.run(max_cycles=limit)
+        return final_cycle
+
+    def _energy_breakdown(self) -> Dict[str, float]:
+        breakdown = {
+            "cpu": self.cpu.stats.energy_j,
+            "main_memory": self.main_memory.energy_j(),
+            "bus": self.bus.energy_j(),
+        }
+        for accelerator in self.accelerators:
+            breakdown[accelerator.name] = accelerator.stats.energy_j
+        return breakdown
+
+    def total_area_mm2(self) -> float:
+        """Total silicon area of the current configuration."""
+        return (
+            self.cpu_area_mm2
+            + self.memory_area_mm2
+            + sum(accelerator.area_mm2() for accelerator in self.accelerators)
+        )
+
+    def _report(self, label: str, cycles: int, result: Optional[np.ndarray]) -> WorkloadReport:
+        breakdown = self._energy_breakdown()
+        return WorkloadReport(
+            label=label,
+            cycles=int(cycles),
+            runtime_s=cycles / self.clock_hz,
+            instructions=self.cpu.stats.instructions,
+            energy_j=float(sum(breakdown.values())),
+            area_mm2=self.total_area_mm2(),
+            energy_breakdown=breakdown,
+            result=result,
+        )
+
+    # ------------------------------------------------------------------ #
+    # workloads (experiments E8-E10)
+    # ------------------------------------------------------------------ #
+    def run_cpu_gemm(
+        self,
+        weights: np.ndarray,
+        inputs: np.ndarray,
+        a_addr: int = 0x1000,
+        b_addr: int = 0x4000,
+        c_addr: int = 0x8000,
+    ) -> WorkloadReport:
+        """CPU-only baseline: software GeMM on the RISC-V host."""
+        weights = np.asarray(weights, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        n_rows, n_inner = weights.shape
+        n_cols = inputs.shape[1]
+        self.write_matrix(a_addr, weights)
+        self.write_matrix(b_addr, inputs)
+        source = gemm_program(a_addr, b_addr, c_addr, n_rows, n_inner, n_cols)
+        cycles = self.run_program(source)
+        result = self.read_matrix(c_addr, n_rows, n_cols)
+        return self._report("cpu-gemm", cycles, result)
+
+    def run_offloaded_gemm(
+        self,
+        weights: np.ndarray,
+        inputs: np.ndarray,
+        accelerator_index: int = 0,
+        use_interrupt: bool = False,
+        a_addr: int = 0x1000,
+        b_addr: int = 0x4000,
+        c_addr: int = 0x8000,
+    ) -> WorkloadReport:
+        """Offload the GeMM to one accelerator through its MMR interface."""
+        if not self.accelerators:
+            raise RuntimeError("no accelerator attached")
+        accelerator = self.accelerators[accelerator_index]
+        weights = np.asarray(weights, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        n_rows, n_inner = weights.shape
+        n_cols = inputs.shape[1]
+        self.write_matrix(a_addr, weights)
+        self.write_matrix(b_addr, inputs)
+        source = accelerator_offload_program(
+            accelerator.mmr_base,
+            a_addr,
+            b_addr,
+            c_addr,
+            n_rows,
+            n_inner,
+            n_cols,
+            use_interrupt=use_interrupt,
+        )
+        cycles = self.run_program(source)
+        result = self.read_matrix(c_addr, n_rows, n_cols)
+        label = f"offload-{accelerator.device_type}" + ("-irq" if use_interrupt else "")
+        return self._report(label, cycles, result)
+
+    def run_tiled_gemm(
+        self,
+        weights: np.ndarray,
+        inputs: np.ndarray,
+        a_addr: int = 0x1000,
+        b_addr: int = 0x4000,
+        c_addr: int = 0x8000,
+    ) -> WorkloadReport:
+        """Tile the GeMM across every attached accelerator (PE cluster).
+
+        Output rows are partitioned across the PEs.  The host-side driver
+        is modelled directly (MMR writes through the bus) rather than as an
+        assembled program, so arbitrarily many PEs can be coordinated; the
+        reported cycles are the scheduler time at which the last PE
+        finished plus the host configuration accesses.
+        """
+        if not self.accelerators:
+            raise RuntimeError("no accelerator attached")
+        weights = np.asarray(weights, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        n_rows, n_inner = weights.shape
+        n_cols = inputs.shape[1]
+        n_pes = len(self.accelerators)
+        row_chunks = np.array_split(np.arange(n_rows), n_pes)
+
+        self.write_matrix(b_addr, inputs)
+        host_cycles = 0
+        row_offset_addresses = []
+        for pe_index, (accelerator, rows) in enumerate(zip(self.accelerators, row_chunks)):
+            if rows.size == 0:
+                row_offset_addresses.append(None)
+                continue
+            tile_a_addr = a_addr + int(rows[0]) * n_inner * WORD_BYTES
+            tile_c_addr = c_addr + int(rows[0]) * n_cols * WORD_BYTES
+            self.write_matrix(tile_a_addr, weights[rows])
+            registers = {
+                REG_WEIGHTS_ADDR: tile_a_addr,
+                REG_INPUT_ADDR: b_addr,
+                REG_OUTPUT_ADDR: tile_c_addr,
+                REG_ROWS: int(rows.size),
+                REG_INNER: n_inner,
+                REG_COLS: n_cols,
+                REG_SCALE_SHIFT: 0,
+            }
+            for index, value in registers.items():
+                host_cycles += self.bus.write_word(
+                    accelerator.mmr_base + 0x08 + index * WORD_BYTES, value
+                )
+            host_cycles += self.bus.write_word(
+                accelerator.mmr_base, CTRL_START | CTRL_IRQ_ENABLE
+            )
+            row_offset_addresses.append(tile_c_addr)
+
+        final_cycle = self.scheduler.run(max_cycles=self.max_cycles)
+        result = self.read_matrix(c_addr, n_rows, n_cols)
+        return self._report(f"tiled-gemm-{n_pes}pe", final_cycle + host_cycles, result)
+
+    def accelerator_status(self, accelerator_index: int = 0) -> int:
+        """Read an accelerator's STATUS register (host-side view)."""
+        accelerator = self.accelerators[accelerator_index]
+        value, _ = self.bus.read_word(accelerator.mmr_base + 0x04)
+        return value
+
+    def all_accelerators_done(self) -> bool:
+        """True when every attached accelerator reports DONE or idle."""
+        return all(not accelerator.busy for accelerator in self.accelerators)

@@ -1,0 +1,37 @@
+"""Shared utilities: unit conversions, linear algebra helpers, RNG handling."""
+
+from repro.utils.units import (
+    db_to_linear,
+    linear_to_db,
+    dbm_to_watt,
+    watt_to_dbm,
+    wavelength_to_frequency,
+    frequency_to_wavelength,
+)
+from repro.utils.linalg import (
+    is_unitary,
+    random_unitary,
+    random_complex_matrix,
+    matrix_fidelity,
+    vector_fidelity,
+    normalized_frobenius_error,
+    condition_phases,
+)
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watt",
+    "watt_to_dbm",
+    "wavelength_to_frequency",
+    "frequency_to_wavelength",
+    "is_unitary",
+    "random_unitary",
+    "random_complex_matrix",
+    "matrix_fidelity",
+    "vector_fidelity",
+    "normalized_frobenius_error",
+    "condition_phases",
+    "ensure_rng",
+]

@@ -1,0 +1,90 @@
+"""Linear-algebra helpers for interferometer meshes and MVM evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return True if ``matrix`` is unitary within tolerance ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(
+        np.allclose(matrix @ matrix.conj().T, identity, atol=atol)
+        and np.allclose(matrix.conj().T @ matrix, identity, atol=atol)
+    )
+
+
+def random_unitary(n: int, rng: RngLike = None) -> np.ndarray:
+    """Draw an ``n x n`` unitary from the Haar measure.
+
+    Uses the QR decomposition of a complex Ginibre matrix with the phase
+    correction of Mezzadri (2007) so that the distribution is exactly Haar.
+    """
+    if n < 1:
+        raise ValueError("dimension must be >= 1")
+    generator = ensure_rng(rng)
+    ginibre = generator.normal(size=(n, n)) + 1j * generator.normal(size=(n, n))
+    q, r = np.linalg.qr(ginibre)
+    diagonal = np.diagonal(r)
+    phases = diagonal / np.abs(diagonal)
+    return q * phases
+
+
+def random_complex_matrix(
+    n_rows: int, n_cols: int, rng: RngLike = None, scale: float = 1.0
+) -> np.ndarray:
+    """Draw a dense complex Gaussian matrix (used as a generic MVM target)."""
+    generator = ensure_rng(rng)
+    real = generator.normal(size=(n_rows, n_cols))
+    imag = generator.normal(size=(n_rows, n_cols))
+    return scale * (real + 1j * imag) / np.sqrt(2.0)
+
+
+def matrix_fidelity(implemented: np.ndarray, target: np.ndarray) -> float:
+    """Normalised overlap fidelity between two matrices.
+
+    Defined as ``|tr(T^H I)|^2 / (||T||_F^2 ||I||_F^2)``; equals 1 when the
+    implemented matrix matches the target up to a global complex scale, and
+    decreases toward 0 as they become orthogonal in the Frobenius inner
+    product.  This is the standard figure of merit used to compare
+    programmed interferometer meshes with their target unitaries.
+    """
+    implemented = np.asarray(implemented, dtype=complex)
+    target = np.asarray(target, dtype=complex)
+    if implemented.shape != target.shape:
+        raise ValueError("shape mismatch between implemented and target matrices")
+    overlap = np.abs(np.vdot(target, implemented)) ** 2
+    norm = (np.linalg.norm(target) ** 2) * (np.linalg.norm(implemented) ** 2)
+    if norm == 0.0:
+        raise ValueError("fidelity is undefined for all-zero matrices")
+    return float(overlap / norm)
+
+
+def vector_fidelity(implemented: np.ndarray, target: np.ndarray) -> float:
+    """Normalised overlap fidelity between two vectors (same form as matrices)."""
+    return matrix_fidelity(
+        np.asarray(implemented).reshape(-1, 1), np.asarray(target).reshape(-1, 1)
+    )
+
+
+def normalized_frobenius_error(implemented: np.ndarray, target: np.ndarray) -> float:
+    """Relative Frobenius-norm error ``||I - T||_F / ||T||_F``."""
+    implemented = np.asarray(implemented, dtype=complex)
+    target = np.asarray(target, dtype=complex)
+    if implemented.shape != target.shape:
+        raise ValueError("shape mismatch between implemented and target matrices")
+    target_norm = np.linalg.norm(target)
+    if target_norm == 0.0:
+        raise ValueError("error is undefined for an all-zero target")
+    return float(np.linalg.norm(implemented - target) / target_norm)
+
+
+def condition_phases(phases: np.ndarray) -> np.ndarray:
+    """Wrap phases into the canonical interval ``[0, 2*pi)``."""
+    phases = np.asarray(phases, dtype=float)
+    return np.mod(phases, 2.0 * np.pi)

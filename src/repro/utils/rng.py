@@ -1,0 +1,25 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either ``None`` (fresh
+default generator), an integer seed, or a ``numpy.random.Generator``.  This
+keeps experiments reproducible without threading a generator everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for any accepted RNG specifier."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot interpret {rng!r} as a random generator")

@@ -1,0 +1,84 @@
+"""Unit conversions used across the photonic device and system models.
+
+All internal quantities are SI unless a function name says otherwise:
+power in watts, wavelength in metres, energy in joules, time in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Planck constant [J*s].
+PLANCK_CONSTANT = 6.626_070_15e-34
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602_176_634e-19
+
+#: Boltzmann constant [J/K].
+BOLTZMANN_CONSTANT = 1.380_649e-23
+
+
+def db_to_linear(value_db):
+    """Convert a ratio expressed in decibels to a linear power ratio."""
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value_linear):
+    """Convert a linear power ratio to decibels.
+
+    Values must be strictly positive; zero or negative ratios have no dB
+    representation and raise ``ValueError``.
+    """
+    value = np.asarray(value_linear, dtype=float)
+    if np.any(value <= 0.0):
+        raise ValueError("linear_to_db requires strictly positive ratios")
+    return 10.0 * np.log10(value)
+
+
+def dbm_to_watt(power_dbm):
+    """Convert optical power from dBm to watts."""
+    return 1e-3 * db_to_linear(power_dbm)
+
+
+def watt_to_dbm(power_watt):
+    """Convert optical power from watts to dBm."""
+    power = np.asarray(power_watt, dtype=float)
+    if np.any(power <= 0.0):
+        raise ValueError("watt_to_dbm requires strictly positive powers")
+    return linear_to_db(power / 1e-3)
+
+
+def wavelength_to_frequency(wavelength_m):
+    """Convert a vacuum wavelength [m] to optical frequency [Hz]."""
+    wavelength = np.asarray(wavelength_m, dtype=float)
+    if np.any(wavelength <= 0.0):
+        raise ValueError("wavelength must be positive")
+    return SPEED_OF_LIGHT / wavelength
+
+def frequency_to_wavelength(frequency_hz):
+    """Convert an optical frequency [Hz] to vacuum wavelength [m]."""
+    frequency = np.asarray(frequency_hz, dtype=float)
+    if np.any(frequency <= 0.0):
+        raise ValueError("frequency must be positive")
+    return SPEED_OF_LIGHT / frequency
+
+
+def photon_energy(wavelength_m):
+    """Energy of a single photon at the given vacuum wavelength [J]."""
+    return PLANCK_CONSTANT * wavelength_to_frequency(wavelength_m)
+
+
+def loss_db_per_cm_to_alpha(loss_db_per_cm):
+    """Convert waveguide loss in dB/cm to a field attenuation coefficient [1/m].
+
+    The returned ``alpha`` is defined such that the optical *power* after a
+    length ``L`` is ``P0 * exp(-alpha * L)``.
+    """
+    loss = np.asarray(loss_db_per_cm, dtype=float)
+    if np.any(loss < 0.0):
+        raise ValueError("loss must be non-negative")
+    # 1 dB/cm = 100 dB/m; 10*log10(e) dB corresponds to one neper.
+    return loss * 100.0 * np.log(10.0) / 10.0

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.utils.linalg import random_unitary
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def unitary4():
+    """A fixed Haar-random 4x4 unitary."""
+    return random_unitary(4, rng=42)
+
+
+@pytest.fixture
+def unitary6():
+    """A fixed Haar-random 6x6 unitary."""
+    return random_unitary(6, rng=43)
+
+
+@pytest.fixture
+def small_weights(rng):
+    """A small random real weight matrix (5 x 7)."""
+    return rng.normal(size=(5, 7))

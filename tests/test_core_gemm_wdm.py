@@ -1,0 +1,115 @@
+"""Tests for the GeMM schedulers and the DWDM channel model."""
+
+import numpy as np
+import pytest
+
+from repro.core.gemm import TDMGeMM, WDMGeMM
+from repro.core.mvm import PhotonicMVM
+from repro.core.quantization import QuantizationSpec
+from repro.core.wdm import WDMChannelPlan
+
+
+@pytest.fixture
+def ideal_engine(rng):
+    weights = rng.normal(size=(5, 6))
+    return PhotonicMVM(weights, quantization=QuantizationSpec.ideal(), rng=0)
+
+
+class TestWDMChannelPlan:
+    def test_wavelengths_count_and_ordering(self):
+        plan = WDMChannelPlan(n_channels=5)
+        wavelengths = plan.wavelengths
+        assert len(wavelengths) == 5
+        assert np.all(np.diff(wavelengths) < 0)  # increasing frequency
+
+    def test_crosstalk_matrix_rows_sum_to_one(self):
+        plan = WDMChannelPlan(n_channels=4, crosstalk_db=-20)
+        matrix = plan.crosstalk_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_zero_crosstalk_is_identity(self):
+        plan = WDMChannelPlan(n_channels=3, crosstalk_db=-300)
+        assert np.allclose(plan.crosstalk_matrix(), np.eye(3), atol=1e-12)
+
+    def test_apply_crosstalk_mixes_neighbours(self):
+        plan = WDMChannelPlan(n_channels=3, crosstalk_db=-10)
+        outputs = np.array([[1.0, 0.0], [0.0, 0.0], [0.0, 0.0]])
+        mixed = plan.apply_crosstalk(outputs)
+        assert mixed[1, 0] > 0
+        assert mixed[2, 0] == pytest.approx(0.0)
+
+    def test_apply_crosstalk_shape_check(self):
+        plan = WDMChannelPlan(n_channels=3)
+        with pytest.raises(ValueError):
+            plan.apply_crosstalk(np.zeros((2, 4)))
+
+    def test_resource_overhead_shares_mesh(self):
+        overhead = WDMChannelPlan(n_channels=6).resource_overhead()
+        assert overhead["meshes"] == 1
+        assert overhead["lasers"] == 6
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(ValueError):
+            WDMChannelPlan(n_channels=0)
+        with pytest.raises(ValueError):
+            WDMChannelPlan(crosstalk_db=5.0)
+
+
+class TestTDMGeMM:
+    def test_exact_product_without_noise(self, ideal_engine, rng):
+        inputs = rng.normal(size=(6, 8))
+        result = TDMGeMM(ideal_engine).multiply(inputs, add_noise=False)
+        assert result.relative_error < 1e-10
+        assert np.allclose(result.value, result.reference)
+
+    def test_latency_scales_with_columns(self, ideal_engine, rng):
+        short = TDMGeMM(ideal_engine).multiply(rng.normal(size=(6, 2)), add_noise=False)
+        long = TDMGeMM(ideal_engine).multiply(rng.normal(size=(6, 10)), add_noise=False)
+        assert long.latency_s == pytest.approx(5 * short.latency_s)
+        assert long.n_passes == 10
+
+    def test_total_macs(self, ideal_engine, rng):
+        result = TDMGeMM(ideal_engine).multiply(rng.normal(size=(6, 4)), add_noise=False)
+        assert result.total_macs == 5 * 6 * 4
+
+    def test_throughput_positive(self, ideal_engine, rng):
+        result = TDMGeMM(ideal_engine).multiply(rng.normal(size=(6, 4)), add_noise=False)
+        assert result.throughput_macs_per_s > 0
+
+    def test_rejects_wrong_row_count(self, ideal_engine):
+        with pytest.raises(ValueError):
+            TDMGeMM(ideal_engine).multiply(np.ones((5, 3)))
+
+
+class TestWDMGeMM:
+    def test_exact_product_without_noise(self, ideal_engine, rng):
+        inputs = rng.normal(size=(6, 8))
+        result = WDMGeMM(ideal_engine).multiply(inputs, add_noise=False)
+        assert result.relative_error < 1e-10
+
+    def test_wdm_is_faster_than_tdm(self, ideal_engine, rng):
+        inputs = rng.normal(size=(6, 12))
+        tdm = TDMGeMM(ideal_engine).multiply(inputs, add_noise=False)
+        wdm = WDMGeMM(ideal_engine, WDMChannelPlan(n_channels=4)).multiply(
+            inputs, add_noise=False
+        )
+        assert wdm.latency_s < tdm.latency_s
+        assert wdm.n_passes == 3
+
+    def test_more_channels_fewer_passes(self, ideal_engine, rng):
+        inputs = rng.normal(size=(6, 12))
+        few = WDMGeMM(ideal_engine, WDMChannelPlan(n_channels=2)).multiply(inputs, add_noise=False)
+        many = WDMGeMM(ideal_engine, WDMChannelPlan(n_channels=6)).multiply(inputs, add_noise=False)
+        assert many.n_passes < few.n_passes
+
+    def test_crosstalk_adds_error_when_noisy(self, rng):
+        weights = rng.normal(size=(5, 6))
+        engine = PhotonicMVM(weights, quantization=QuantizationSpec.ideal(), rng=0)
+        inputs = rng.normal(size=(6, 8))
+        clean = WDMGeMM(engine, WDMChannelPlan(n_channels=4, crosstalk_db=-300), rng=0).multiply(inputs)
+        dirty = WDMGeMM(engine, WDMChannelPlan(n_channels=4, crosstalk_db=-10), rng=0).multiply(inputs)
+        assert dirty.relative_error > clean.relative_error
+
+    def test_rejects_wrong_row_count(self, ideal_engine):
+        with pytest.raises(ValueError):
+            WDMGeMM(ideal_engine).multiply(np.ones((4, 3)))

@@ -1,0 +1,150 @@
+"""Tests for the photonic MVM engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.mvm import MVMResult, PhotonicMVM
+from repro.core.quantization import QuantizationSpec
+from repro.mesh.base import MeshErrorModel
+from repro.mesh.reck import ReckMesh
+from repro.utils.linalg import random_unitary
+
+
+class TestIdealOperation:
+    def test_exact_for_square_real_matrix(self, rng):
+        weights = rng.normal(size=(6, 6))
+        engine = PhotonicMVM(weights, quantization=QuantizationSpec.ideal(), rng=0)
+        x = rng.normal(size=6)
+        result = engine.apply(x, add_noise=False)
+        assert result.relative_error < 1e-10
+        assert np.allclose(result.value, weights @ x)
+
+    def test_exact_for_rectangular_matrix(self, rng):
+        weights = rng.normal(size=(3, 7))
+        engine = PhotonicMVM(weights, quantization=QuantizationSpec.ideal(), rng=0)
+        x = rng.normal(size=7)
+        assert engine.apply(x, add_noise=False).relative_error < 1e-10
+
+    def test_exact_for_complex_matrix(self, rng):
+        weights = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        engine = PhotonicMVM(weights, quantization=QuantizationSpec.ideal(), rng=0)
+        x = rng.normal(size=4) + 1j * rng.normal(size=4)
+        result = engine.apply(x, add_noise=False)
+        assert result.relative_error < 1e-10
+
+    def test_unitary_weight_matrix(self):
+        weights = random_unitary(5, rng=1)
+        engine = PhotonicMVM(weights, quantization=QuantizationSpec.ideal(), rng=0)
+        x = np.ones(5)
+        assert engine.apply(x, add_noise=False).relative_error < 1e-10
+
+    def test_realized_matrix_matches_weights_when_ideal(self, small_weights):
+        engine = PhotonicMVM(small_weights, quantization=QuantizationSpec.ideal(), rng=0)
+        assert np.allclose(engine.realized_matrix, small_weights, atol=1e-10)
+
+    def test_zero_vector_returns_zero(self, small_weights):
+        engine = PhotonicMVM(small_weights, quantization=QuantizationSpec.ideal(), rng=0)
+        result = engine.apply(np.zeros(small_weights.shape[1]))
+        assert np.allclose(result.value, 0.0)
+
+    def test_works_with_alternative_mesh(self, rng):
+        weights = rng.normal(size=(4, 4))
+        engine = PhotonicMVM(
+            weights, mesh_factory=ReckMesh, quantization=QuantizationSpec.ideal(), rng=0
+        )
+        x = rng.normal(size=4)
+        assert engine.apply(x, add_noise=False).relative_error < 1e-10
+
+
+class TestAnalogNonIdealities:
+    def test_default_precision_gives_small_but_nonzero_error(self, rng):
+        weights = rng.normal(size=(6, 6))
+        engine = PhotonicMVM(weights, rng=0)
+        x = rng.normal(size=6)
+        error = engine.apply(x).relative_error
+        assert 0.0 < error < 0.2
+
+    def test_noise_is_reproducible_with_seed(self, rng):
+        weights = rng.normal(size=(5, 5))
+        x = rng.normal(size=5)
+        a = PhotonicMVM(weights, rng=7).apply(x).value
+        b = PhotonicMVM(weights, rng=7).apply(x).value
+        assert np.allclose(a, b)
+
+    def test_weight_quantization_increases_error(self, rng):
+        weights = rng.normal(size=(6, 6))
+        x = rng.normal(size=6)
+        fine = PhotonicMVM(weights, quantization=QuantizationSpec(8, 8, None), rng=0)
+        coarse = PhotonicMVM(weights, quantization=QuantizationSpec(8, 8, 8), rng=0)
+        assert coarse.apply(x, add_noise=False).relative_error > fine.apply(
+            x, add_noise=False
+        ).relative_error
+
+    def test_mesh_error_model_degrades_result(self, rng):
+        weights = rng.normal(size=(6, 6))
+        x = rng.normal(size=6)
+        ideal = PhotonicMVM(weights, quantization=QuantizationSpec.ideal(), rng=0)
+        errored = PhotonicMVM(
+            weights,
+            quantization=QuantizationSpec.ideal(),
+            error_model=MeshErrorModel(phase_error_std=0.05, rng=3),
+            rng=0,
+        )
+        assert errored.apply(x, add_noise=False).relative_error > ideal.apply(
+            x, add_noise=False
+        ).relative_error
+
+    def test_intensity_detection_loses_sign(self, rng):
+        weights = rng.normal(size=(4, 4))
+        x = rng.normal(size=4)
+        engine = PhotonicMVM(
+            weights, coherent_detection=False, quantization=QuantizationSpec.ideal(), rng=0
+        )
+        result = engine.apply(x, add_noise=False)
+        assert np.all(np.real(result.value) >= 0)
+
+    def test_input_quantization_bits_effect(self, rng):
+        weights = rng.normal(size=(6, 6))
+        x = rng.normal(size=6)
+        low = PhotonicMVM(weights, quantization=QuantizationSpec(2, None, None), rng=0)
+        high = PhotonicMVM(weights, quantization=QuantizationSpec(10, None, None), rng=0)
+        assert high.apply(x, add_noise=False).relative_error < low.apply(
+            x, add_noise=False
+        ).relative_error
+
+
+class TestInterfaces:
+    def test_shape_property(self, small_weights):
+        assert PhotonicMVM(small_weights, rng=0).shape == small_weights.shape
+
+    def test_component_count_contains_meshes_and_io(self, small_weights):
+        counts = PhotonicMVM(small_weights, rng=0).component_count
+        assert counts["modulators"] == small_weights.shape[1]
+        assert counts["detectors"] == small_weights.shape[0]
+        assert "left_mzis" in counts
+        assert "right_mzis" in counts
+
+    def test_apply_rejects_wrong_length(self, small_weights):
+        engine = PhotonicMVM(small_weights, rng=0)
+        with pytest.raises(ValueError):
+            engine.apply(np.ones(small_weights.shape[1] + 1))
+
+    def test_apply_many_shape(self, rng, small_weights):
+        engine = PhotonicMVM(small_weights, quantization=QuantizationSpec.ideal(), rng=0)
+        batch = rng.normal(size=(small_weights.shape[1], 3))
+        out = engine.apply_many(batch, add_noise=False)
+        assert out.shape == (small_weights.shape[0], 3)
+        assert np.allclose(np.real(out), small_weights @ batch, atol=1e-8)
+
+    def test_apply_many_rejects_bad_shape(self, small_weights):
+        engine = PhotonicMVM(small_weights, rng=0)
+        with pytest.raises(ValueError):
+            engine.apply_many(np.ones((small_weights.shape[1] + 1, 2)))
+
+    def test_rejects_non_matrix_weights(self):
+        with pytest.raises(ValueError):
+            PhotonicMVM(np.ones(4))
+
+    def test_result_relative_error_zero_reference(self):
+        result = MVMResult(value=np.array([1.0]), reference=np.array([0.0]))
+        assert result.relative_error == pytest.approx(1.0)

@@ -1,0 +1,126 @@
+"""Tests for the neural-network stack and its photonic execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.nn import MLP, DenseLayer, PhotonicMLP, relu, softmax, train_mlp
+from repro.core.quantization import QuantizationSpec
+from repro.eval.workloads import make_digit_dataset
+from repro.mesh.base import MeshErrorModel
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), np.array([0.0, 0.0, 2.0]))
+
+    def test_softmax_sums_to_one(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_softmax_is_stable_for_large_logits(self):
+        probs = softmax(np.array([1000.0, 1000.0]))
+        assert np.allclose(probs, [0.5, 0.5])
+
+
+class TestDenseLayerAndMLP:
+    def test_forward_matches_manual_computation(self):
+        layer = DenseLayer(weights=np.array([[1.0, -1.0]]), biases=np.array([0.5]), activation="relu")
+        assert layer.forward(np.array([2.0, 1.0]))[0] == pytest.approx(1.5)
+        assert layer.forward(np.array([0.0, 2.0]))[0] == pytest.approx(0.0)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            DenseLayer(weights=np.ones((2, 3)), biases=np.ones(3))
+        with pytest.raises(ValueError):
+            DenseLayer(weights=np.ones((2, 3)), biases=np.ones(2), activation="sigmoid")
+
+    def test_mlp_layer_chaining_validated(self):
+        good = [
+            DenseLayer(np.ones((4, 3)), np.zeros(4)),
+            DenseLayer(np.ones((2, 4)), np.zeros(2), activation="identity"),
+        ]
+        MLP(good)
+        bad = [
+            DenseLayer(np.ones((4, 3)), np.zeros(4)),
+            DenseLayer(np.ones((2, 5)), np.zeros(2)),
+        ]
+        with pytest.raises(ValueError):
+            MLP(bad)
+
+    def test_random_init_shapes(self):
+        model = MLP.random_init([6, 5, 3], rng=0)
+        assert model.n_inputs == 6
+        assert model.n_outputs == 3
+        assert model.layers[-1].activation == "identity"
+
+    def test_predict_shape(self, rng):
+        model = MLP.random_init([4, 3], rng=0)
+        assert model.predict(rng.normal(size=(10, 4))).shape == (10,)
+
+    def test_empty_mlp_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([])
+
+
+class TestTraining:
+    def test_loss_decreases_on_separable_data(self):
+        dataset = make_digit_dataset(n_samples_per_class=30, n_classes=3, rng=0)
+        model = MLP.random_init([dataset.n_features, 10, 3], rng=0)
+        losses = train_mlp(model, dataset.train_x, dataset.train_y, epochs=15, rng=0)
+        assert losses[-1] < losses[0]
+
+    def test_trained_model_beats_chance(self):
+        dataset = make_digit_dataset(n_samples_per_class=30, n_classes=3, rng=1)
+        model = MLP.random_init([dataset.n_features, 10, 3], rng=1)
+        train_mlp(model, dataset.train_x, dataset.train_y, epochs=20, rng=1)
+        accuracy = np.mean(model.predict(dataset.test_x) == dataset.test_y)
+        assert accuracy > 0.8
+
+
+class TestPhotonicMLP:
+    @pytest.fixture(scope="class")
+    def trained_setup(self):
+        dataset = make_digit_dataset(n_samples_per_class=30, n_classes=3, rng=2)
+        model = MLP.random_init([dataset.n_features, 8, 3], rng=2)
+        train_mlp(model, dataset.train_x, dataset.train_y, epochs=20, rng=2)
+        return dataset, model
+
+    def test_ideal_photonic_matches_float_model(self, trained_setup):
+        dataset, model = trained_setup
+        photonic = PhotonicMLP(
+            model, quantization=QuantizationSpec.ideal(), add_noise=False, rng=0
+        )
+        x = dataset.test_x[:5]
+        assert np.allclose(photonic.forward(x), model.forward(x), atol=1e-8)
+
+    def test_photonic_accuracy_close_to_float(self, trained_setup):
+        dataset, model = trained_setup
+        photonic = PhotonicMLP(model, quantization=QuantizationSpec(8, 8, None), rng=0)
+        subset_x, subset_y = dataset.test_x[:20], dataset.test_y[:20]
+        float_accuracy = np.mean(model.predict(subset_x) == subset_y)
+        photonic_accuracy = photonic.accuracy(subset_x, subset_y)
+        assert photonic_accuracy >= float_accuracy - 0.2
+
+    def test_strong_mesh_errors_hurt_accuracy_more_than_ideal(self, trained_setup):
+        dataset, model = trained_setup
+        subset_x, subset_y = dataset.test_x[:15], dataset.test_y[:15]
+        clean = PhotonicMLP(model, quantization=QuantizationSpec.ideal(), add_noise=False, rng=0)
+        noisy = PhotonicMLP(
+            model,
+            quantization=QuantizationSpec.ideal(),
+            error_model=MeshErrorModel(phase_error_std=0.5, rng=1),
+            add_noise=False,
+            rng=0,
+        )
+        assert noisy.accuracy(subset_x, subset_y) <= clean.accuracy(subset_x, subset_y)
+
+    def test_single_vector_forward(self, trained_setup):
+        dataset, model = trained_setup
+        photonic = PhotonicMLP(model, quantization=QuantizationSpec.ideal(), add_noise=False, rng=0)
+        out = photonic.forward(dataset.test_x[0])
+        assert out.shape == (3,)
+
+    def test_engines_per_layer(self, trained_setup):
+        _, model = trained_setup
+        photonic = PhotonicMLP(model, rng=0)
+        assert len(photonic.engines) == len(model.layers)

@@ -1,0 +1,120 @@
+"""Tests for the quantisation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantization import (
+    QuantizationSpec,
+    effective_bits,
+    quantize_nonnegative,
+    quantize_uniform,
+    quantize_weights,
+)
+
+
+class TestQuantizationSpec:
+    def test_defaults(self):
+        spec = QuantizationSpec()
+        assert spec.input_bits == 8
+        assert spec.output_bits == 8
+        assert spec.weight_levels is None
+
+    def test_ideal(self):
+        spec = QuantizationSpec.ideal()
+        assert spec.input_bits is None
+        assert spec.output_bits is None
+        assert spec.weight_levels is None
+
+    @pytest.mark.parametrize("kwargs", [{"input_bits": 0}, {"output_bits": 0}, {"weight_levels": 1}])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QuantizationSpec(**kwargs)
+
+
+class TestQuantizeUniform:
+    def test_preserves_grid_points(self):
+        values = np.array([-1.0, -0.5, 0.0, 0.5])
+        assert np.allclose(quantize_uniform(values, 2), values)
+
+    def test_error_bounded_by_half_step(self):
+        values = np.linspace(-0.99, 0.99, 101)
+        quantized = quantize_uniform(values, 6)
+        step = 2.0 / 2**6
+        assert np.max(np.abs(quantized - values)) <= step / 2 + 1e-12
+
+    def test_saturation(self):
+        assert quantize_uniform(np.array([5.0]), 4)[0] <= 1.0
+        assert quantize_uniform(np.array([-5.0]), 4)[0] == -1.0
+
+    def test_more_bits_reduce_error(self):
+        values = np.linspace(-1, 1, 51)
+        coarse = np.mean((quantize_uniform(values, 3) - values) ** 2)
+        fine = np.mean((quantize_uniform(values, 8) - values) ** 2)
+        assert fine < coarse
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            quantize_uniform(np.array([0.0]), 0)
+        with pytest.raises(ValueError):
+            quantize_uniform(np.array([0.0]), 4, full_scale=0.0)
+
+
+class TestQuantizeNonnegative:
+    def test_endpoints_exact(self):
+        values = np.array([0.0, 1.0])
+        assert np.allclose(quantize_nonnegative(values, 4), values)
+
+    def test_grid_size(self):
+        values = np.linspace(0, 1, 200)
+        quantized = quantize_nonnegative(values, 3)
+        assert len(np.unique(quantized)) <= 2**3
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            quantize_nonnegative(np.array([-0.1]), 4)
+
+
+class TestQuantizeWeights:
+    def test_level_count(self):
+        weights = np.random.default_rng(0).normal(size=(6, 6))
+        quantized = quantize_weights(weights, 5)
+        assert len(np.unique(quantized)) <= 5
+
+    def test_preserves_max_magnitude(self):
+        weights = np.array([[0.3, -1.2], [0.9, 0.1]])
+        quantized = quantize_weights(weights, 9)
+        assert np.max(np.abs(quantized)) == pytest.approx(1.2)
+
+    def test_zero_matrix_unchanged(self):
+        weights = np.zeros((3, 3))
+        assert np.array_equal(quantize_weights(weights, 4), weights)
+
+    def test_error_decreases_with_levels(self):
+        weights = np.random.default_rng(1).normal(size=(8, 8))
+        coarse = np.linalg.norm(quantize_weights(weights, 3) - weights)
+        fine = np.linalg.norm(quantize_weights(weights, 65) - weights)
+        assert fine < coarse
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            quantize_weights(np.ones((2, 2)), 1)
+
+
+class TestEffectiveBits:
+    def test_exact_signal_is_infinite(self):
+        signal = np.linspace(-1, 1, 100)
+        assert effective_bits(signal, signal) == float("inf")
+
+    def test_quantized_signal_enob_close_to_bits(self):
+        reference = np.random.default_rng(2).uniform(-1, 1, size=4000)
+        quantized = quantize_uniform(reference, 6)
+        enob = effective_bits(quantized, reference)
+        assert 5.0 < enob < 7.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            effective_bits(np.zeros(3), np.zeros(4))
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            effective_bits(np.ones(4), np.zeros(4))

@@ -1,0 +1,99 @@
+"""Tests for the CW and excitable (Yamada) laser models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.laser import CWLaser, ExcitableLaser, YamadaModel
+
+
+class TestCWLaser:
+    def test_electrical_power_from_efficiency(self):
+        laser = CWLaser(output_power_w=10e-3, wall_plug_efficiency=0.2)
+        assert laser.electrical_power_w == pytest.approx(50e-3)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            CWLaser(output_power_w=0.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            CWLaser(wall_plug_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CWLaser(wall_plug_efficiency=1.5)
+
+
+class TestYamadaModel:
+    def test_default_bias_is_excitable(self):
+        assert YamadaModel().excitable
+
+    def test_above_threshold_is_not_excitable(self):
+        assert not YamadaModel(pump=3.5, absorption=1.8).excitable
+
+    def test_equilibrium_has_low_intensity(self):
+        equilibrium = YamadaModel().equilibrium()
+        assert equilibrium[2] < 1e-3
+
+    def test_derivatives_at_equilibrium_are_small(self):
+        model = YamadaModel(spontaneous_emission=0.0)
+        derivatives = model.derivatives(np.array([model.pump, model.absorption, 0.0]))
+        assert np.allclose(derivatives, 0.0, atol=1e-12)
+
+
+class TestExcitableLaser:
+    def test_rest_state_stays_quiet(self):
+        laser = ExcitableLaser()
+        trace = laser.run(np.zeros(2000))
+        assert np.max(trace) < laser.spike_threshold
+
+    def test_strong_perturbation_triggers_spike(self):
+        laser = ExcitableLaser()
+        drive = np.zeros(8000)
+        drive[2000:2020] = 2.0
+        trace = laser.run(drive)
+        spikes = laser.detect_spikes(trace)
+        assert len(spikes) >= 1
+        assert np.max(trace) > laser.spike_threshold
+
+    def test_weak_perturbation_does_not_trigger(self):
+        laser = ExcitableLaser()
+        drive = np.zeros(8000)
+        drive[2000:2020] = 0.001
+        trace = laser.run(drive)
+        assert len(laser.detect_spikes(trace)) == 0
+
+    def test_all_or_nothing_response(self):
+        # Near threshold the emitted pulse is regenerative: its peak is much
+        # larger than the input and grows only weakly with input strength —
+        # the defining excitable property.
+        peaks = []
+        for amplitude in (0.5, 1.0):
+            laser = ExcitableLaser()
+            drive = np.zeros(12000)
+            drive[2000:2020] = amplitude
+            peaks.append(np.max(laser.run(drive)))
+        assert peaks[0] > 0.5 * 3  # pulse peak well above the input level
+        assert peaks[1] < peaks[0] * 2.0  # doubling the input far from doubles the pulse
+
+    def test_reset_restores_rest_state(self):
+        laser = ExcitableLaser()
+        drive = np.zeros(4000)
+        drive[1000:1020] = 2.0
+        laser.run(drive)
+        laser.reset()
+        assert laser.intensity < 1e-3
+
+    def test_refractory_period_limits_spike_detection(self):
+        laser = ExcitableLaser(refractory_time=1e9)
+        trace = np.zeros(1000)
+        trace[100] = 10.0
+        trace[300] = 10.0
+        assert len(laser.detect_spikes(trace)) == 1
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            ExcitableLaser(dt=0.0)
+
+    def test_step_returns_intensity(self):
+        laser = ExcitableLaser()
+        value = laser.step(0.0)
+        assert value == pytest.approx(laser.intensity)

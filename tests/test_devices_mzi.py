@@ -1,0 +1,104 @@
+"""Tests for the MZI unit cell."""
+
+import numpy as np
+import pytest
+
+from repro.devices.coupler import DirectionalCoupler
+from repro.devices.mzi import (
+    MachZehnderInterferometer,
+    ideal_mzi_matrix,
+    physical_mzi_matrix,
+)
+from repro.devices.phase_shifter import PCMPhaseShifter, ThermoOpticPhaseShifter
+
+
+class TestIdealMZIMatrix:
+    def test_unitarity(self):
+        matrix = ideal_mzi_matrix(0.7, 2.1)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-12)
+
+    def test_theta_zero_is_diagonal(self):
+        matrix = ideal_mzi_matrix(0.0, 1.0)
+        assert abs(matrix[0, 1]) == pytest.approx(0.0)
+        assert abs(matrix[1, 0]) == pytest.approx(0.0)
+
+    def test_theta_pi_over_two_is_full_swap(self):
+        matrix = ideal_mzi_matrix(np.pi / 2, 0.0)
+        assert abs(matrix[0, 0]) == pytest.approx(0.0, abs=1e-12)
+        assert abs(matrix[1, 0]) == pytest.approx(1.0)
+
+    def test_phi_only_affects_first_column_phase(self):
+        base = ideal_mzi_matrix(0.4, 0.0)
+        shifted = ideal_mzi_matrix(0.4, 1.3)
+        assert np.allclose(shifted[:, 1], base[:, 1])
+        assert np.allclose(shifted[:, 0], np.exp(1j * 1.3) * base[:, 0])
+
+
+class TestPhysicalMZIMatrix:
+    @pytest.mark.parametrize("theta,phi", [(0.0, 0.0), (0.3, 1.0), (0.8, 4.0), (np.pi / 2, 2.0)])
+    def test_ideal_couplers_reproduce_ideal_matrix(self, theta, phi):
+        assert np.allclose(
+            physical_mzi_matrix(theta, phi), ideal_mzi_matrix(theta, phi), atol=1e-12
+        )
+
+    def test_coupler_imbalance_causes_deviation(self):
+        imbalanced = DirectionalCoupler(power_splitting_ratio=0.42)
+        deviation = np.max(
+            np.abs(
+                physical_mzi_matrix(0.6, 1.0, coupler_in=imbalanced, coupler_out=imbalanced)
+                - ideal_mzi_matrix(0.6, 1.0)
+            )
+        )
+        assert deviation > 1e-3
+
+    def test_arm_loss_reduces_power(self):
+        lossy = physical_mzi_matrix(0.5, 0.5, arm_loss_db=1.0)
+        power_out = np.sum(np.abs(lossy @ np.array([1.0, 0.0])) ** 2)
+        assert power_out < 1.0
+
+    def test_lossless_is_unitary(self):
+        matrix = physical_mzi_matrix(1.1, 0.2)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-12)
+
+
+class TestMachZehnderInterferometer:
+    def test_program_and_read_back(self):
+        mzi = MachZehnderInterferometer()
+        theta, phi = mzi.program(0.5, 1.2)
+        assert theta == pytest.approx(0.5)
+        assert phi == pytest.approx(1.2)
+        assert mzi.theta == pytest.approx(0.5)
+        assert mzi.phi == pytest.approx(1.2)
+
+    def test_pcm_shifters_quantize_programming(self):
+        mzi = MachZehnderInterferometer(
+            theta_shifter=PCMPhaseShifter(n_levels=4),
+            phi_shifter=PCMPhaseShifter(n_levels=4),
+        )
+        theta, phi = mzi.program(0.37, 0.9)
+        # Realised values must come from the discrete level grids.
+        assert np.min(np.abs(mzi.theta_shifter.phase_levels - 2 * theta)) < 1e-9
+        assert np.min(np.abs(mzi.phi_shifter.phase_levels - phi)) < 1e-9
+
+    def test_static_power_thermo_vs_pcm(self):
+        thermo = MachZehnderInterferometer()
+        thermo.program(0.6, 1.0)
+        pcm = MachZehnderInterferometer(
+            theta_shifter=PCMPhaseShifter(), phi_shifter=PCMPhaseShifter()
+        )
+        pcm.program(0.6, 1.0)
+        assert thermo.static_power() > 0
+        assert pcm.static_power() == 0
+
+    def test_transfer_matrix_close_to_ideal_for_good_devices(self):
+        mzi = MachZehnderInterferometer(
+            theta_shifter=ThermoOpticPhaseShifter(insertion_loss_db=0.0),
+            phi_shifter=ThermoOpticPhaseShifter(insertion_loss_db=0.0),
+        )
+        mzi.program(0.8, 2.0)
+        assert np.allclose(mzi.transfer_matrix, mzi.ideal_matrix, atol=1e-10)
+
+    def test_programming_energy_nonnegative(self):
+        mzi = MachZehnderInterferometer()
+        mzi.program(0.3, 0.3)
+        assert mzi.programming_energy() >= 0

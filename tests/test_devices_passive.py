@@ -1,0 +1,78 @@
+"""Tests for passive devices: waveguides and directional couplers."""
+
+import numpy as np
+import pytest
+
+from repro.devices.coupler import DirectionalCoupler
+from repro.devices.waveguide import Waveguide
+from repro.materials.silicon import SiliconWaveguideMaterial
+
+
+class TestWaveguide:
+    def test_zero_length_is_transparent(self):
+        waveguide = Waveguide(length=0.0)
+        assert waveguide.power_transmission == pytest.approx(1.0)
+        assert waveguide.delay == pytest.approx(0.0)
+
+    def test_loss_matches_material_figure(self):
+        material = SiliconWaveguideMaterial(propagation_loss_db_per_cm=2.0)
+        waveguide = Waveguide(length=0.01, material=material)  # 1 cm
+        assert 10 * np.log10(waveguide.power_transmission) == pytest.approx(-2.0)
+
+    def test_field_transmission_magnitude(self):
+        waveguide = Waveguide(length=0.005)
+        assert abs(waveguide.field_transmission) == pytest.approx(
+            np.sqrt(waveguide.power_transmission)
+        )
+
+    def test_propagate_applies_phase_and_loss(self):
+        waveguide = Waveguide(length=0.001)
+        out = waveguide.propagate(1.0 + 0j)
+        assert abs(out) == pytest.approx(abs(waveguide.field_transmission))
+
+    def test_delay_positive(self):
+        assert Waveguide(length=0.002).delay > 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Waveguide(length=-1e-6)
+
+
+class TestDirectionalCoupler:
+    def test_lossless_5050_is_unitary(self):
+        matrix = DirectionalCoupler().transfer_matrix
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-12)
+
+    def test_full_cross_coupler(self):
+        matrix = DirectionalCoupler(power_splitting_ratio=1.0).transfer_matrix
+        assert abs(matrix[0, 0]) == pytest.approx(0.0)
+        assert abs(matrix[0, 1]) == pytest.approx(1.0)
+
+    def test_full_bar_coupler(self):
+        matrix = DirectionalCoupler(power_splitting_ratio=0.0).transfer_matrix
+        assert abs(matrix[0, 0]) == pytest.approx(1.0)
+        assert abs(matrix[0, 1]) == pytest.approx(0.0)
+
+    def test_insertion_loss_scales_field(self):
+        lossy = DirectionalCoupler(insertion_loss_db=3.0)
+        assert lossy.field_transmission == pytest.approx(10 ** (-3.0 / 20.0))
+        power_out = np.sum(np.abs(lossy.transfer_matrix @ np.array([1.0, 0.0])) ** 2)
+        assert power_out == pytest.approx(10 ** (-0.3), rel=1e-6)
+
+    def test_with_ratio_error_clips(self):
+        coupler = DirectionalCoupler(power_splitting_ratio=0.5)
+        assert coupler.with_ratio_error(1.0).power_splitting_ratio == 1.0
+        assert coupler.with_ratio_error(-1.0).power_splitting_ratio == 0.0
+
+    def test_with_ratio_error_preserves_loss(self):
+        coupler = DirectionalCoupler(insertion_loss_db=0.2)
+        assert coupler.with_ratio_error(0.05).insertion_loss_db == 0.2
+
+    @pytest.mark.parametrize("ratio", [-0.1, 1.1])
+    def test_invalid_ratio_rejected(self, ratio):
+        with pytest.raises(ValueError):
+            DirectionalCoupler(power_splitting_ratio=ratio)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            DirectionalCoupler(insertion_loss_db=-1.0)

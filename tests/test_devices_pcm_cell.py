@@ -1,0 +1,89 @@
+"""Tests for the PCM synaptic cell (accumulation behaviour)."""
+
+import pytest
+
+from repro.devices.pcm_cell import PCMSynapticCell
+from repro.materials.pcm import GST225
+
+
+class TestPCMSynapticCell:
+    def test_weight_bounds(self):
+        amorphous = PCMSynapticCell(crystalline_fraction=0.0)
+        crystalline = PCMSynapticCell(crystalline_fraction=1.0)
+        assert amorphous.weight == pytest.approx(1.0)
+        assert crystalline.weight == pytest.approx(0.0, abs=1e-9)
+
+    def test_transmission_decreases_with_crystallization(self):
+        low = PCMSynapticCell(crystalline_fraction=0.1)
+        high = PCMSynapticCell(crystalline_fraction=0.9)
+        assert low.transmission > high.transmission
+
+    def test_crystallization_pulses_accumulate(self):
+        cell = PCMSynapticCell(crystalline_fraction=0.5, pulse_crystallization_step=0.1)
+        weight_before = cell.weight
+        cell.apply_crystallization_pulses(3)
+        assert cell.crystalline_fraction == pytest.approx(0.8)
+        assert cell.weight < weight_before
+
+    def test_amorphization_pulses_accumulate(self):
+        cell = PCMSynapticCell(crystalline_fraction=0.5, pulse_amorphization_step=0.1)
+        weight_before = cell.weight
+        cell.apply_amorphization_pulses(2)
+        assert cell.crystalline_fraction == pytest.approx(0.3)
+        assert cell.weight > weight_before
+
+    def test_fraction_saturates_at_bounds(self):
+        cell = PCMSynapticCell(crystalline_fraction=0.95, pulse_crystallization_step=0.2)
+        cell.apply_crystallization_pulses(5)
+        assert cell.crystalline_fraction == 1.0
+        cell.apply_amorphization_pulses(100)
+        assert cell.crystalline_fraction == 0.0
+
+    def test_adjust_weight_positive_potentiates(self):
+        cell = PCMSynapticCell(crystalline_fraction=0.6)
+        before = cell.weight
+        cell.adjust_weight(0.2)
+        assert cell.weight > before
+
+    def test_adjust_weight_negative_depresses(self):
+        cell = PCMSynapticCell(crystalline_fraction=0.4)
+        before = cell.weight
+        cell.adjust_weight(-0.2)
+        assert cell.weight < before
+
+    def test_adjust_weight_zero_is_noop(self):
+        cell = PCMSynapticCell(crystalline_fraction=0.5)
+        before = cell.crystalline_fraction
+        cell.adjust_weight(0.0)
+        assert cell.crystalline_fraction == before
+
+    def test_tiny_update_below_pulse_granularity_may_do_nothing(self):
+        cell = PCMSynapticCell(crystalline_fraction=0.5, pulse_amorphization_step=0.2)
+        before = cell.crystalline_fraction
+        cell.adjust_weight(1e-6)
+        # Granularity-limited: either unchanged or one pulse, never partial.
+        assert cell.crystalline_fraction in (before, pytest.approx(before - 0.2))
+
+    def test_drift_relaxes_toward_amorphous(self):
+        cell = PCMSynapticCell(crystalline_fraction=0.5, drift_rate=0.01)
+        cell.apply_drift(10.0)
+        assert cell.crystalline_fraction == pytest.approx(0.4)
+
+    def test_drift_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            PCMSynapticCell().apply_drift(-1.0)
+
+    def test_programming_energy_scales_with_pulses(self):
+        cell = PCMSynapticCell()
+        assert cell.programming_energy(4) == pytest.approx(4 * cell.programming_energy(1))
+
+    def test_lossy_material_has_wider_weight_range(self):
+        # GST has much higher crystalline absorption, so its transmission
+        # contrast (weight dynamic range in absolute transmission) is larger.
+        gsst_cell = PCMSynapticCell(crystalline_fraction=1.0)
+        gst_cell = PCMSynapticCell(material=GST225, crystalline_fraction=1.0)
+        assert gst_cell.transmission < gsst_cell.transmission
+
+    def test_invalid_initial_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            PCMSynapticCell(crystalline_fraction=1.2)

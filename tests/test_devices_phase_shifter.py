@@ -1,0 +1,111 @@
+"""Tests for thermo-optic and PCM phase shifters."""
+
+import numpy as np
+import pytest
+
+from repro.devices.phase_shifter import PCMPhaseShifter, ThermoOpticPhaseShifter
+from repro.materials.pcm import GESE, GST225
+
+
+class TestThermoOpticPhaseShifter:
+    def test_is_volatile(self):
+        assert ThermoOpticPhaseShifter().is_volatile
+
+    def test_static_power_zero_at_zero_phase(self):
+        shifter = ThermoOpticPhaseShifter()
+        shifter.set_phase(0.0)
+        assert shifter.static_power() == pytest.approx(0.0)
+
+    def test_static_power_increases_with_phase(self):
+        shifter = ThermoOpticPhaseShifter()
+        shifter.set_phase(np.pi / 4)
+        low = shifter.static_power()
+        shifter.set_phase(np.pi)
+        assert shifter.static_power() > low > 0
+
+    def test_set_phase_wraps(self):
+        shifter = ThermoOpticPhaseShifter()
+        realized = shifter.set_phase(2 * np.pi + 1.0)
+        assert realized == pytest.approx(1.0)
+
+    def test_programming_energy_positive_for_nonzero_phase(self):
+        shifter = ThermoOpticPhaseShifter()
+        shifter.set_phase(np.pi)
+        assert shifter.programming_energy() > 0
+
+    def test_field_transmission_phase(self):
+        shifter = ThermoOpticPhaseShifter(insertion_loss_db=0.0)
+        shifter.set_phase(np.pi / 2)
+        assert np.angle(shifter.field_transmission) == pytest.approx(np.pi / 2)
+
+
+class TestPCMPhaseShifter:
+    def test_is_non_volatile_and_free_to_hold(self):
+        shifter = PCMPhaseShifter()
+        shifter.set_phase(np.pi)
+        assert not shifter.is_volatile
+        assert shifter.static_power() == 0.0
+
+    def test_phase_is_quantized_to_levels(self):
+        shifter = PCMPhaseShifter(n_levels=4)
+        realized = shifter.set_phase(1.0)
+        assert np.min(np.abs(shifter.phase_levels - realized)) < 1e-9
+
+    def test_more_levels_give_finer_phase(self):
+        target = 1.3
+        coarse = PCMPhaseShifter(n_levels=4)
+        fine = PCMPhaseShifter(n_levels=64)
+        coarse_error = abs(coarse.set_phase(target) - target)
+        fine_error = abs(fine.set_phase(target) - target)
+        assert fine_error <= coarse_error
+
+    def test_full_range_covers_two_pi_by_default(self):
+        shifter = PCMPhaseShifter()
+        assert shifter.phase_levels[-1] >= 2 * np.pi * 0.9
+
+    def test_level_tracking_monotone_in_requested_phase(self):
+        shifter = PCMPhaseShifter(n_levels=8)
+        shifter.set_phase(0.0)
+        assert shifter.level == 0
+        levels = [shifter.set_phase(phase) or shifter.level for phase in (0.5, 1.5, 3.0)]
+        assert levels == sorted(levels)
+        assert levels[-1] > 0
+
+    def test_crystalline_loss_increases_with_level(self):
+        shifter = PCMPhaseShifter(n_levels=8)
+        shifter.set_phase(0.0)
+        low_loss = shifter.total_loss_db
+        shifter.set_phase(np.pi)
+        assert shifter.total_loss_db > low_loss
+
+    def test_lossier_material_gives_more_loss(self):
+        good = PCMPhaseShifter(material=GESE, n_levels=8)
+        bad = PCMPhaseShifter(material=GST225, n_levels=8)
+        good.set_phase(np.pi)
+        bad.set_phase(np.pi)
+        assert bad.total_loss_db > good.total_loss_db
+
+    def test_programming_energy_zero_when_level_unchanged(self):
+        shifter = PCMPhaseShifter(n_levels=8)
+        realized = shifter.set_phase(np.pi / 2)
+        assert shifter.programming_energy(previous_phase=realized) == pytest.approx(0.0)
+
+    def test_programming_energy_positive_when_level_changes(self):
+        shifter = PCMPhaseShifter(n_levels=8)
+        shifter.set_phase(np.pi)
+        assert shifter.programming_energy(previous_phase=0.0) > 0
+
+    def test_quantize_does_not_change_state(self):
+        shifter = PCMPhaseShifter(n_levels=8)
+        shifter.set_phase(0.5)
+        level_before = shifter.level
+        shifter.quantize(3.0)
+        assert shifter.level == level_before
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            PCMPhaseShifter(n_levels=1)
+
+    def test_rejects_nonpositive_patch(self):
+        with pytest.raises(ValueError):
+            PCMPhaseShifter(patch_length=0.0)

@@ -1,0 +1,149 @@
+"""Tests for the evaluation harness: workloads, metrics, sweeps, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    classification_accuracy,
+    energy_efficiency_gain,
+    geometric_mean,
+    signal_to_noise_db,
+    speedup,
+    summarize_fidelity,
+)
+from repro.eval.reporting import format_dict, format_series, format_table
+from repro.eval.sweeps import cross_sweep, run_sweep
+from repro.eval.workloads import make_digit_dataset, make_gemm_workload, make_spike_patterns
+from repro.utils.linalg import random_unitary
+
+
+class TestWorkloads:
+    def test_digit_dataset_shapes_and_labels(self):
+        dataset = make_digit_dataset(n_samples_per_class=20, n_classes=3, n_features=9, rng=0)
+        assert dataset.train_x.shape[1] == 9
+        assert dataset.n_features == 9
+        assert set(np.unique(dataset.train_y)) <= {0, 1, 2}
+        assert dataset.test_x.shape[0] + dataset.train_x.shape[0] == 60
+
+    def test_digit_dataset_is_learnable(self):
+        dataset = make_digit_dataset(n_samples_per_class=30, n_classes=3, noise=0.1, rng=1)
+        # Nearest-prototype classification must beat chance by a wide margin.
+        prototypes = np.stack(
+            [dataset.train_x[dataset.train_y == c].mean(axis=0) for c in range(3)]
+        )
+        distances = np.linalg.norm(dataset.test_x[:, None, :] - prototypes[None], axis=2)
+        accuracy = np.mean(np.argmin(distances, axis=1) == dataset.test_y)
+        assert accuracy > 0.9
+
+    def test_digit_dataset_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            make_digit_dataset(n_classes=1)
+
+    def test_gemm_workload_shapes_and_range(self):
+        weights, inputs = make_gemm_workload(4, 5, 6, value_range=3, rng=0)
+        assert weights.shape == (4, 5)
+        assert inputs.shape == (5, 6)
+        assert np.max(np.abs(weights)) <= 3
+
+    def test_spike_patterns_are_distinct(self):
+        patterns = make_spike_patterns(n_inputs=8, n_patterns=2, rng=0)
+        active_0 = {t.neuron for t in patterns[0] if t.times.size > 0}
+        active_1 = {t.neuron for t in patterns[1] if t.times.size > 0}
+        assert active_0 != active_1
+
+    def test_spike_patterns_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            make_spike_patterns(active_fraction=0.0)
+
+
+class TestMetrics:
+    def test_classification_accuracy(self):
+        assert classification_accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_accuracy_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            classification_accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_snr_known_value(self):
+        signal = np.ones(1000)
+        noisy = signal + 0.1
+        assert signal_to_noise_db(signal, noisy) == pytest.approx(20.0, abs=0.1)
+
+    def test_snr_infinite_for_exact(self):
+        assert signal_to_noise_db(np.ones(5), np.ones(5)) == float("inf")
+
+    def test_speedup_and_efficiency(self):
+        assert speedup(100, 10) == pytest.approx(10.0)
+        assert energy_efficiency_gain(1e-3, 1e-6) == pytest.approx(1000.0)
+
+    def test_speedup_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+    def test_summarize_fidelity_keys(self):
+        unitary = random_unitary(4, rng=0)
+        summary = summarize_fidelity(unitary, unitary)
+        assert summary["fidelity"] == pytest.approx(1.0)
+        assert summary["frobenius_error"] == pytest.approx(0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestReporting:
+    def test_format_table_alignment_and_content(self):
+        table = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "1.235" in table
+
+    def test_format_table_empty_rows(self):
+        assert "name" in format_table(["name"], [])
+
+    def test_format_series(self):
+        series = format_series("fidelity-vs-error", [0, 1], [1.0, 0.9], "sigma", "F")
+        assert "fidelity-vs-error" in series
+        assert "sigma" in series
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1, 2])
+
+    def test_format_dict(self):
+        block = format_dict("summary", {"cycles": 100, "energy": 1.5e-9})
+        assert "cycles" in block
+        assert "1.5e-09" in block
+
+    def test_format_dict_empty(self):
+        assert "(empty)" in format_dict("nothing", {})
+
+
+class TestSweeps:
+    def test_run_sweep_collects_points(self):
+        def experiment(x, offset=0.0):
+            return {"y": x**2 + offset}
+
+        result = run_sweep("x", [1, 2, 3], experiment, offset=1.0)
+        assert result.column("y") == [2.0, 5.0, 10.0]
+        assert result.column("x") == [1, 2, 3]
+
+    def test_sweep_table_rendering(self):
+        result = run_sweep("x", [1, 2], lambda x: {"y": x})
+        table = result.as_table()
+        assert "x" in table and "y" in table
+
+    def test_cross_sweep(self):
+        results = cross_sweep(
+            "a", [1, 2], "b", [10, 20], lambda a, b: {"sum": a + b}
+        )
+        assert len(results) == 2
+        assert results[1].points[1]["sum"] == 22
+
+    def test_empty_sweep_table(self):
+        result = run_sweep("x", [], lambda x: {"y": x})
+        assert result.as_table() == "(empty sweep)"

@@ -1,0 +1,104 @@
+"""Tests for the phase-change material models."""
+
+import numpy as np
+import pytest
+
+from repro.materials.pcm import GESE, GSST, GST225, PCMState, get_material, registry
+
+
+class TestPCMState:
+    def test_valid_fraction(self):
+        state = PCMState(crystalline_fraction=0.5, level=3)
+        assert state.crystalline_fraction == 0.5
+        assert state.level == 3
+
+    @pytest.mark.parametrize("fraction", [-0.01, 1.01])
+    def test_invalid_fraction_rejected(self, fraction):
+        with pytest.raises(ValueError):
+            PCMState(crystalline_fraction=fraction)
+
+
+class TestMaterialProperties:
+    def test_gsst_has_larger_fom_than_gst(self):
+        # The whole point of GSST/GeSe in the paper: better delta_n/delta_k.
+        assert GSST.figure_of_merit > GST225.figure_of_merit
+
+    def test_gese_has_largest_fom(self):
+        assert GESE.figure_of_merit > GSST.figure_of_merit
+
+    def test_delta_n_positive(self):
+        for material in (GSST, GESE, GST225):
+            assert material.delta_n > 0
+
+    def test_registry_lookup(self):
+        assert get_material("gsst") is GSST
+        assert get_material("GeSe") is GESE
+
+    def test_registry_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_material("unknownium")
+
+    def test_registry_contains_all_builtins(self):
+        assert set(registry) == {"gsst", "gese", "gst225"}
+
+
+class TestRefractiveIndexModel:
+    def test_endpoints_match_datasheet(self):
+        amorphous = GSST.refractive_index(0.0)
+        crystalline = GSST.refractive_index(1.0)
+        assert amorphous.real == pytest.approx(GSST.n_amorphous, rel=1e-6)
+        assert crystalline.real == pytest.approx(GSST.n_crystalline, rel=1e-6)
+
+    def test_index_monotonic_in_fraction(self):
+        fractions = np.linspace(0, 1, 11)
+        indices = [GSST.refractive_index(f).real for f in fractions]
+        assert np.all(np.diff(indices) > 0)
+
+    def test_absorption_increases_with_crystallization(self):
+        assert GSST.refractive_index(1.0).imag > GSST.refractive_index(0.0).imag
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            GSST.refractive_index(1.5)
+
+
+class TestPhaseShiftAndAbsorption:
+    def test_phase_shift_zero_at_amorphous(self):
+        assert GSST.phase_shift_per_length(0.0) == pytest.approx(0.0)
+
+    def test_phase_shift_grows_with_fraction(self):
+        assert GSST.phase_shift_per_length(1.0) > GSST.phase_shift_per_length(0.5) > 0
+
+    def test_phase_shift_scales_with_confinement(self):
+        low = GSST.phase_shift_per_length(1.0, confinement=0.05)
+        high = GSST.phase_shift_per_length(1.0, confinement=0.1)
+        assert high == pytest.approx(2 * low, rel=1e-6)
+
+    def test_absorption_nonnegative_and_increasing(self):
+        assert GSST.absorption_per_length(0.0) == pytest.approx(0.0)
+        assert GSST.absorption_per_length(1.0) > 0
+
+    def test_invalid_confinement_rejected(self):
+        with pytest.raises(ValueError):
+            GSST.phase_shift_per_length(0.5, confinement=0.0)
+        with pytest.raises(ValueError):
+            GSST.absorption_per_length(0.5, confinement=1.5)
+
+
+class TestMultilevelAndEnergy:
+    def test_level_fractions_span_unit_interval(self):
+        fractions = GSST.level_fractions(8)
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+        assert len(fractions) == 8
+
+    def test_level_fractions_require_two_levels(self):
+        with pytest.raises(ValueError):
+            GSST.level_fractions(1)
+
+    def test_switching_energy_scales_with_volume(self):
+        assert GSST.switching_energy(2.0) == pytest.approx(2 * GSST.switching_energy(1.0))
+
+    def test_switching_energy_rejects_nonpositive_volume(self):
+        with pytest.raises(ValueError):
+            GSST.switching_energy(0.0)

@@ -1,0 +1,57 @@
+"""Tests for the silicon and III-V material models."""
+
+import numpy as np
+import pytest
+
+from repro.materials.iii_v import IIIVGainMaterial
+from repro.materials.silicon import SiliconWaveguideMaterial
+
+
+class TestSiliconThermoOptic:
+    def test_phase_shift_linear_in_temperature(self):
+        material = SiliconWaveguideMaterial()
+        one_kelvin = material.phase_shift_from_temperature(1.0, 100e-6)
+        ten_kelvin = material.phase_shift_from_temperature(10.0, 100e-6)
+        assert ten_kelvin == pytest.approx(10 * one_kelvin)
+
+    def test_phase_shift_requires_positive_length(self):
+        with pytest.raises(ValueError):
+            SiliconWaveguideMaterial().phase_shift_from_temperature(1.0, 0.0)
+
+    def test_heater_power_scales_with_phase(self):
+        material = SiliconWaveguideMaterial(heater_efficiency_mw_per_pi=25.0)
+        assert material.heater_power_for_phase(np.pi) == pytest.approx(25e-3)
+        assert material.heater_power_for_phase(np.pi / 2) == pytest.approx(12.5e-3)
+
+    def test_heater_power_wraps_phase(self):
+        material = SiliconWaveguideMaterial()
+        assert material.heater_power_for_phase(2 * np.pi + 0.5) == pytest.approx(
+            material.heater_power_for_phase(0.5)
+        )
+
+    def test_zero_phase_costs_nothing(self):
+        assert SiliconWaveguideMaterial().heater_power_for_phase(0.0) == pytest.approx(0.0)
+
+    def test_propagation_delay(self):
+        material = SiliconWaveguideMaterial(group_index=4.0)
+        delay = material.propagation_delay(0.003)
+        assert delay == pytest.approx(4.0 * 0.003 / 299792458.0)
+
+    def test_propagation_delay_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            SiliconWaveguideMaterial().propagation_delay(-1.0)
+
+
+class TestIIIVGainMaterial:
+    def test_default_timescale_ratio_is_small(self):
+        material = IIIVGainMaterial()
+        assert material.timescale_ratio < 0.1
+
+    def test_timescale_ratio_definition(self):
+        material = IIIVGainMaterial(carrier_lifetime=2e-9, photon_lifetime=4e-12)
+        assert material.timescale_ratio == pytest.approx(2e-3)
+
+    def test_frozen_dataclass(self):
+        material = IIIVGainMaterial()
+        with pytest.raises(Exception):
+            material.pump_efficiency = 0.5

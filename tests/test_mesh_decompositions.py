@@ -1,0 +1,157 @@
+"""Tests for the Clements and Reck decompositions and mesh forward models."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.base import MeshErrorModel
+from repro.mesh.clements import ClementsMesh, clements_decomposition
+from repro.mesh.reck import ReckMesh, reck_decomposition
+from repro.utils.linalg import matrix_fidelity, random_unitary
+
+
+class TestClementsDecomposition:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 10])
+    def test_roundtrip_reconstruction(self, n):
+        target = random_unitary(n, rng=100 + n)
+        mesh = ClementsMesh(n).program(target)
+        assert np.allclose(mesh.matrix(), target, atol=1e-10)
+
+    def test_mzi_count(self):
+        for n in (2, 4, 7):
+            factors, _ = clements_decomposition(random_unitary(n, rng=n))
+            assert len(factors) == n * (n - 1) // 2
+
+    def test_depth_equals_n(self):
+        for n in (4, 6, 8):
+            mesh = ClementsMesh(n).program(random_unitary(n, rng=n))
+            assert mesh.depth == n
+
+    def test_identity_decomposition(self):
+        mesh = ClementsMesh(4).program(np.eye(4))
+        assert np.allclose(mesh.matrix(), np.eye(4), atol=1e-10)
+
+    def test_permutation_matrix(self):
+        permutation = np.eye(5)[[4, 0, 1, 2, 3]]
+        mesh = ClementsMesh(5).program(permutation.astype(complex))
+        assert np.allclose(mesh.matrix(), permutation, atol=1e-10)
+
+    def test_diagonal_phase_matrix(self):
+        phases = np.exp(1j * np.array([0.1, 1.0, 2.0, 3.0]))
+        mesh = ClementsMesh(4).program(np.diag(phases))
+        assert np.allclose(mesh.matrix(), np.diag(phases), atol=1e-10)
+
+    def test_dft_matrix(self):
+        n = 6
+        indices = np.arange(n)
+        dft = np.exp(2j * np.pi * np.outer(indices, indices) / n) / np.sqrt(n)
+        mesh = ClementsMesh(n).program(dft)
+        assert np.allclose(mesh.matrix(), dft, atol=1e-9)
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(ValueError):
+            ClementsMesh(4).program(np.ones((4, 4)))
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            ClementsMesh(4).program(random_unitary(5, rng=0))
+
+    def test_phase_vector_roundtrip(self, unitary6):
+        mesh = ClementsMesh(6).program(unitary6)
+        phases = mesh.phase_vector()
+        other = ClementsMesh(6).program(random_unitary(6, rng=9))
+        other.placements = [type(p)(mode=p.mode) for p in mesh.placements]
+        other.set_phase_vector(phases)
+        assert np.allclose(other.matrix(), mesh.matrix(), atol=1e-10)
+
+    def test_transform_matches_matrix_product(self, unitary4):
+        mesh = ClementsMesh(4).program(unitary4)
+        x = np.array([1.0, 0.5j, -0.2, 0.1 + 0.3j])
+        assert np.allclose(mesh.transform(x), unitary4 @ x, atol=1e-10)
+
+
+class TestReckDecomposition:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 9])
+    def test_roundtrip_reconstruction(self, n):
+        target = random_unitary(n, rng=200 + n)
+        mesh = ReckMesh(n).program(target)
+        assert np.allclose(mesh.matrix(), target, atol=1e-10)
+
+    def test_mzi_count(self):
+        for n in (3, 5, 8):
+            factors, _ = reck_decomposition(random_unitary(n, rng=n))
+            assert len(factors) == n * (n - 1) // 2
+
+    def test_depth_is_larger_than_clements(self):
+        n = 8
+        target = random_unitary(n, rng=7)
+        reck = ReckMesh(n).program(target)
+        clements = ClementsMesh(n).program(target)
+        assert reck.depth > clements.depth
+
+    def test_identity(self):
+        mesh = ReckMesh(5).program(np.eye(5))
+        assert np.allclose(mesh.matrix(), np.eye(5), atol=1e-10)
+
+    def test_same_unitary_as_clements(self, unitary6):
+        reck = ReckMesh(6).program(unitary6)
+        clements = ClementsMesh(6).program(unitary6)
+        assert np.allclose(reck.matrix(), clements.matrix(), atol=1e-9)
+
+
+class TestMeshErrorModelForwardPath:
+    def test_zero_error_model_matches_ideal(self, unitary4):
+        mesh = ClementsMesh(4).program(unitary4)
+        assert np.allclose(mesh.matrix(MeshErrorModel(rng=0)), mesh.matrix(), atol=1e-10)
+
+    def test_phase_error_reduces_fidelity(self, unitary6):
+        mesh = ClementsMesh(6).program(unitary6)
+        noisy = mesh.matrix(MeshErrorModel(phase_error_std=0.1, rng=0))
+        assert matrix_fidelity(noisy, unitary6) < 0.999
+
+    def test_larger_phase_error_is_worse(self, unitary6):
+        mesh = ClementsMesh(6).program(unitary6)
+        small = matrix_fidelity(mesh.matrix(MeshErrorModel(phase_error_std=0.02, rng=1)), unitary6)
+        large = matrix_fidelity(mesh.matrix(MeshErrorModel(phase_error_std=0.3, rng=1)), unitary6)
+        assert large < small
+
+    def test_coupler_error_reduces_fidelity(self, unitary6):
+        mesh = ClementsMesh(6).program(unitary6)
+        noisy = mesh.matrix(MeshErrorModel(coupler_ratio_error_std=0.05, rng=0))
+        assert matrix_fidelity(noisy, unitary6) < 1.0
+
+    def test_insertion_loss_shrinks_singular_values(self, unitary4):
+        mesh = ClementsMesh(4).program(unitary4)
+        lossy = mesh.matrix(MeshErrorModel(mzi_insertion_loss_db=0.5))
+        assert np.max(np.linalg.svd(lossy, compute_uv=False)) < 1.0
+
+    def test_quantization_reduces_fidelity_monotonically_on_average(self, unitary6):
+        mesh = ClementsMesh(6).program(unitary6)
+        coarse = matrix_fidelity(
+            mesh.matrix(MeshErrorModel(phase_quantization_levels=8)), unitary6
+        )
+        fine = matrix_fidelity(
+            mesh.matrix(MeshErrorModel(phase_quantization_levels=256)), unitary6
+        )
+        assert fine > coarse
+
+    def test_error_model_reproducible_with_seed(self, unitary4):
+        mesh = ClementsMesh(4).program(unitary4)
+        model_a = MeshErrorModel(phase_error_std=0.1, rng=11)
+        model_b = MeshErrorModel(phase_error_std=0.1, rng=11)
+        assert np.allclose(mesh.matrix(model_a), mesh.matrix(model_b))
+
+    def test_component_count_keys(self):
+        counts = ClementsMesh(5).component_count()
+        assert counts["mzis"] == 10
+        assert counts["couplers"] == 20
+        assert counts["modes"] == 5
+        assert counts["phase_shifters"] == 2 * 10 + 5
+
+    def test_minimum_size_rejected(self):
+        with pytest.raises(ValueError):
+            ClementsMesh(1)
+
+    def test_transform_rejects_wrong_length(self, unitary4):
+        mesh = ClementsMesh(4).program(unitary4)
+        with pytest.raises(ValueError):
+            mesh.transform(np.ones(3))

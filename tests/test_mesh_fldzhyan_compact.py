@@ -1,0 +1,119 @@
+"""Tests for the Fldzhyan and compact-Clements mesh architectures."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.base import MeshErrorModel
+from repro.mesh.clements import ClementsMesh
+from repro.mesh.compact import CompactClementsMesh
+from repro.mesh.fldzhyan import FldzhyanMesh, _alternating_mixing_layer, _dft_mixing_layer
+from repro.utils.linalg import is_unitary, matrix_fidelity, random_unitary
+
+
+class TestMixingLayers:
+    def test_alternating_layer_is_unitary(self):
+        for parity in (0, 1):
+            layer = _alternating_mixing_layer(6, parity)
+            assert is_unitary(layer)
+
+    def test_dft_layer_is_unitary(self):
+        assert is_unitary(_dft_mixing_layer(5))
+
+    def test_parity_changes_coupled_pairs(self):
+        even = _alternating_mixing_layer(4, 0)
+        odd = _alternating_mixing_layer(4, 1)
+        assert abs(even[0, 1]) > 0  # modes 0-1 coupled in even layers
+        assert abs(odd[0, 1]) == pytest.approx(0.0)  # but not in odd layers
+
+
+class TestFldzhyanMesh:
+    def test_unprogrammed_matrix_is_unitary(self):
+        mesh = FldzhyanMesh(4)
+        assert is_unitary(mesh.matrix())
+
+    def test_programming_reaches_high_fidelity(self):
+        target = random_unitary(4, rng=3)
+        mesh = FldzhyanMesh(4).program(target, max_iterations=400, n_restarts=2, rng=0)
+        assert mesh.programming_fidelity(target) > 0.999
+
+    def test_too_few_layers_limit_expressivity(self):
+        target = random_unitary(4, rng=5)
+        shallow = FldzhyanMesh(4, n_layers=2).program(target, max_iterations=300, rng=0)
+        deep = FldzhyanMesh(4, n_layers=8).program(target, max_iterations=300, rng=0)
+        assert deep.programming_fidelity(target) >= shallow.programming_fidelity(target)
+
+    def test_phase_vector_roundtrip(self):
+        mesh = FldzhyanMesh(4, n_layers=3)
+        phases = np.linspace(0, 1, mesh.n_phase_shifters)
+        mesh.set_phase_vector(phases)
+        assert np.allclose(mesh.phase_vector(), phases)
+
+    def test_set_phase_vector_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            FldzhyanMesh(4).set_phase_vector(np.zeros(3))
+
+    def test_component_count_has_no_programmable_mzis(self):
+        counts = FldzhyanMesh(4, n_layers=6).component_count()
+        assert counts["mzis"] == 0
+        assert counts["phase_shifters"] == 6 * 4 + 4
+        assert counts["depth"] == 6
+
+    def test_error_model_applies_phase_noise(self):
+        target = random_unitary(4, rng=7)
+        mesh = FldzhyanMesh(4).program(target, max_iterations=300, rng=0)
+        noisy = mesh.matrix(MeshErrorModel(phase_error_std=0.2, rng=0))
+        assert matrix_fidelity(noisy, target) < mesh.programming_fidelity(target)
+
+    def test_coupler_error_tolerance_vs_clements(self):
+        # The Fldzhyan design's selling point: programmable elements are
+        # phase shifters only, so beamsplitter errors hurt it no more (and
+        # typically less) than an MZI mesh at equal size.
+        target = random_unitary(4, rng=11)
+        fldzhyan = FldzhyanMesh(4).program(target, max_iterations=400, n_restarts=2, rng=0)
+        clements = ClementsMesh(4).program(target)
+        error = {"coupler_ratio_error_std": 0.05}
+        fldzhyan_fidelities = [
+            matrix_fidelity(fldzhyan.matrix(MeshErrorModel(rng=seed, **error)), target)
+            for seed in range(5)
+        ]
+        clements_fidelities = [
+            matrix_fidelity(clements.matrix(MeshErrorModel(rng=seed, **error)), target)
+            for seed in range(5)
+        ]
+        assert np.mean(fldzhyan_fidelities) > np.mean(clements_fidelities) - 0.05
+
+    def test_dft_mixing_variant(self):
+        mesh = FldzhyanMesh(4, mixing="dft")
+        assert is_unitary(mesh.matrix())
+
+    def test_invalid_mixing_rejected(self):
+        with pytest.raises(ValueError):
+            FldzhyanMesh(4, mixing="bogus")
+
+    def test_non_unitary_target_rejected(self):
+        with pytest.raises(ValueError):
+            FldzhyanMesh(4).program(np.ones((4, 4)))
+
+    def test_transform_applies_matrix(self):
+        mesh = FldzhyanMesh(4, n_layers=2)
+        x = np.array([1.0, 0.0, 0.0, 0.0], dtype=complex)
+        assert np.allclose(mesh.transform(x), mesh.matrix() @ x)
+
+
+class TestCompactClementsMesh:
+    def test_same_unitary_as_clements(self, unitary6):
+        compact = CompactClementsMesh(6).program(unitary6)
+        assert np.allclose(compact.matrix(), unitary6, atol=1e-10)
+
+    def test_fewer_phase_shifters_than_clements(self):
+        n = 8
+        compact = CompactClementsMesh(n)
+        clements = ClementsMesh(n)
+        assert compact.n_phase_shifters < clements.n_phase_shifters
+
+    def test_component_count_reports_cell_ratio(self):
+        counts = CompactClementsMesh(4).component_count()
+        assert counts["cell_length_ratio"] == pytest.approx(0.6)
+
+    def test_name_differs(self):
+        assert CompactClementsMesh(4).name != ClementsMesh(4).name

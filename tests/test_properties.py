@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quantization import quantize_uniform, quantize_weights
+from repro.devices.coupler import DirectionalCoupler
+from repro.devices.mzi import ideal_mzi_matrix, physical_mzi_matrix
+from repro.mesh.clements import ClementsMesh
+from repro.mesh.reck import ReckMesh
+from repro.system.assembler import assemble
+from repro.system.memory import to_signed, to_unsigned
+from repro.utils.linalg import is_unitary, matrix_fidelity, random_unitary
+from repro.utils.units import db_to_linear, linear_to_db
+
+# Keep hypothesis example counts modest: several properties build meshes.
+DEFAULT_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+class TestUnitConversionProperties:
+    @DEFAULT_SETTINGS
+    @given(st.floats(min_value=-120, max_value=120))
+    def test_db_roundtrip(self, value_db):
+        assert linear_to_db(db_to_linear(value_db)) == pytest.approx(value_db, abs=1e-9)
+
+    @DEFAULT_SETTINGS
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_linear_roundtrip(self, ratio):
+        assert db_to_linear(linear_to_db(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+
+class TestWordConversionProperties:
+    @DEFAULT_SETTINGS
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    @DEFAULT_SETTINGS
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_unsigned_fixed_point(self, word):
+        assert to_unsigned(to_signed(word)) == word
+
+
+class TestMZIProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        st.floats(min_value=0.0, max_value=np.pi / 2),
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+    )
+    def test_ideal_mzi_always_unitary(self, theta, phi):
+        matrix = ideal_mzi_matrix(theta, phi)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-10)
+
+    @DEFAULT_SETTINGS
+    @given(
+        st.floats(min_value=0.0, max_value=np.pi / 2),
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+        st.floats(min_value=0.3, max_value=0.7),
+    )
+    def test_physical_mzi_conserves_power_without_loss(self, theta, phi, ratio):
+        coupler = DirectionalCoupler(power_splitting_ratio=ratio)
+        matrix = physical_mzi_matrix(theta, phi, coupler_in=coupler, coupler_out=coupler)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-10)
+
+
+class TestMeshProperties:
+    @DEFAULT_SETTINGS
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=10_000))
+    def test_clements_decomposition_roundtrip(self, n, seed):
+        target = random_unitary(n, rng=seed)
+        mesh = ClementsMesh(n).program(target)
+        assert np.allclose(mesh.matrix(), target, atol=1e-8)
+
+    @DEFAULT_SETTINGS
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=10_000))
+    def test_reck_decomposition_roundtrip(self, n, seed):
+        target = random_unitary(n, rng=seed)
+        mesh = ReckMesh(n).program(target)
+        assert np.allclose(mesh.matrix(), target, atol=1e-8)
+
+    @DEFAULT_SETTINGS
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=10_000))
+    def test_programmed_mesh_matrix_is_unitary(self, n, seed):
+        mesh = ClementsMesh(n).program(random_unitary(n, rng=seed))
+        assert is_unitary(mesh.matrix(), atol=1e-8)
+
+    @DEFAULT_SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_fidelity_is_bounded_and_symmetric(self, seed):
+        a = random_unitary(4, rng=seed)
+        b = random_unitary(4, rng=seed + 1)
+        forward = matrix_fidelity(a, b)
+        backward = matrix_fidelity(b, a)
+        assert 0.0 <= forward <= 1.0 + 1e-12
+        assert forward == pytest.approx(backward, abs=1e-12)
+
+
+class TestQuantizationProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=32),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_quantize_uniform_error_bound(self, values, bits):
+        values = np.asarray(values)
+        quantized = quantize_uniform(values, bits)
+        step = 2.0 / 2**bits
+        assert np.max(np.abs(quantized - values)) <= step / 2 + 1e-12
+
+    @DEFAULT_SETTINGS
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=4, max_size=36),
+        st.integers(min_value=2, max_value=33),
+    )
+    def test_quantize_weights_never_exceeds_range(self, values, levels):
+        weights = np.asarray(values).reshape(-1)
+        quantized = quantize_weights(weights, levels)
+        assert np.max(np.abs(quantized)) <= np.max(np.abs(weights)) + 1e-12
+        assert len(np.unique(quantized)) <= levels
+
+    @DEFAULT_SETTINGS
+    @given(st.integers(min_value=1, max_value=10))
+    def test_quantizer_is_idempotent(self, bits):
+        values = np.linspace(-1, 1, 41)
+        once = quantize_uniform(values, bits)
+        twice = quantize_uniform(once, bits)
+        assert np.allclose(once, twice)
+
+
+class TestAssemblerProperties:
+    @DEFAULT_SETTINGS
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_li_accepts_any_32bit_immediate(self, value):
+        program = assemble(f"li a0, {value}\nhalt")
+        assert program.instructions[0].imm == value
+
+    @DEFAULT_SETTINGS
+    @given(st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31))
+    def test_register_operand_roundtrip(self, rd, rs1):
+        program = assemble(f"add x{rd}, x{rs1}, x0\nhalt")
+        assert program.instructions[0].rd == rd
+        assert program.instructions[0].rs1 == rs1

@@ -1,0 +1,185 @@
+"""Tests for SNN neurons, synapses, STDP and spike encodings."""
+
+import numpy as np
+import pytest
+
+from repro.devices.pcm_cell import PCMSynapticCell
+from repro.snn.encoding import (
+    SpikeTrain,
+    latency_encode,
+    merge_spike_trains,
+    rate_encode,
+    spike_count_decode,
+)
+from repro.snn.neuron import ExcitableLaserNeuron, PhotonicLIFNeuron
+from repro.snn.stdp import STDPRule
+from repro.snn.synapse import PhotonicSynapse
+
+
+class TestPhotonicLIFNeuron:
+    def test_subthreshold_input_does_not_fire(self):
+        neuron = PhotonicLIFNeuron(threshold=1.0)
+        assert not neuron.receive(0.5, time=0.0)
+        assert neuron.membrane == pytest.approx(0.5)
+
+    def test_accumulation_fires(self):
+        neuron = PhotonicLIFNeuron(threshold=1.0, leak_time_constant=1.0)
+        assert not neuron.receive(0.6, time=0.0)
+        assert neuron.receive(0.6, time=1e-12)
+
+    def test_membrane_resets_after_spike(self):
+        neuron = PhotonicLIFNeuron(threshold=0.5)
+        neuron.receive(1.0, time=0.0)
+        assert neuron.membrane == 0.0
+
+    def test_leak_decays_membrane(self):
+        neuron = PhotonicLIFNeuron(threshold=10.0, leak_time_constant=1e-9)
+        neuron.receive(1.0, time=0.0)
+        neuron.receive(0.0, time=5e-9)
+        assert neuron.membrane < 0.01
+
+    def test_refractory_period_blocks_input(self):
+        neuron = PhotonicLIFNeuron(threshold=0.5, refractory_period=1e-9)
+        assert neuron.receive(1.0, time=0.0)
+        assert not neuron.receive(10.0, time=0.1e-9)
+        assert neuron.last_spike_time == 0.0
+
+    def test_reset(self):
+        neuron = PhotonicLIFNeuron(threshold=0.5)
+        neuron.receive(1.0, time=0.0)
+        neuron.reset()
+        assert neuron.membrane == 0.0
+        assert neuron.last_spike_time is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicLIFNeuron(threshold=0.0)
+        with pytest.raises(ValueError):
+            PhotonicLIFNeuron(leak_time_constant=0.0)
+
+
+class TestExcitableLaserNeuron:
+    def test_firing_threshold_is_finite_and_positive(self):
+        neuron = ExcitableLaserNeuron()
+        threshold = neuron.firing_threshold(np.array([0.05, 0.2, 0.5, 1.0]))
+        assert 0.05 <= threshold <= 1.0
+
+    def test_stimulate_returns_trace_and_spikes(self):
+        neuron = ExcitableLaserNeuron()
+        response = neuron.stimulate([1.0], [300.0], duration=900.0)
+        assert response["intensity"].shape == response["time"].shape
+        assert response["spike_times"].size >= 1
+
+    def test_no_input_no_spike(self):
+        neuron = ExcitableLaserNeuron()
+        response = neuron.stimulate([], [], duration=500.0)
+        assert response["spike_times"].size == 0
+
+    def test_mismatched_pulse_lists_rejected(self):
+        with pytest.raises(ValueError):
+            ExcitableLaserNeuron().stimulate([1.0], [1.0, 2.0], duration=10.0)
+
+
+class TestPhotonicSynapse:
+    def test_transmit_weights_amplitude_and_adds_delay(self):
+        synapse = PhotonicSynapse(pre=0, post=1, delay=1e-12)
+        arrival, amplitude = synapse.transmit(1e-9, amplitude=1.0)
+        assert arrival == pytest.approx(1e-9 + 1e-12)
+        assert amplitude == pytest.approx(synapse.weight)
+
+    def test_update_weight_changes_cell_state(self):
+        synapse = PhotonicSynapse(pre=0, post=0, cell=PCMSynapticCell(crystalline_fraction=0.5))
+        before = synapse.weight
+        synapse.update_weight(0.3)
+        assert synapse.weight > before
+
+    def test_records_spike_times(self):
+        synapse = PhotonicSynapse(pre=0, post=0)
+        synapse.transmit(1.0)
+        synapse.record_post_spike(2.0)
+        assert synapse.last_pre_spike == 1.0
+        assert synapse.last_post_spike == 2.0
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicSynapse(pre=-1, post=0)
+        with pytest.raises(ValueError):
+            PhotonicSynapse(pre=0, post=0, delay=-1.0)
+
+
+class TestSTDPRule:
+    def test_causal_pairing_potentiates(self):
+        rule = STDPRule()
+        assert rule.weight_change(1e-9) > 0
+
+    def test_anticausal_pairing_depresses(self):
+        rule = STDPRule()
+        assert rule.weight_change(-1e-9) < 0
+
+    def test_window_decays_with_time_difference(self):
+        rule = STDPRule()
+        assert rule.weight_change(0.5e-9) > rule.weight_change(3e-9) > 0
+
+    def test_window_vectorised_matches_scalar(self):
+        rule = STDPRule()
+        deltas = np.array([-2e-9, -0.5e-9, 0.5e-9, 2e-9])
+        vector = rule.window(deltas)
+        scalar = [rule.weight_change(d) for d in deltas]
+        assert np.allclose(vector, scalar)
+
+    def test_post_spike_after_pre_potentiates_synapse(self):
+        synapse = PhotonicSynapse(pre=0, post=0, cell=PCMSynapticCell(crystalline_fraction=0.5))
+        rule = STDPRule(a_plus=0.3)
+        synapse.transmit(0.0)
+        before = synapse.weight
+        rule.apply_on_post_spike(synapse, 0.5e-9)
+        assert synapse.weight > before
+
+    def test_pre_spike_after_post_depresses_synapse(self):
+        synapse = PhotonicSynapse(pre=0, post=0, cell=PCMSynapticCell(crystalline_fraction=0.5))
+        rule = STDPRule(a_minus=0.3)
+        synapse.record_post_spike(0.0)
+        before = synapse.weight
+        rule.apply_on_pre_spike(synapse, 0.5e-9)
+        assert synapse.weight < before
+
+    def test_no_update_without_prior_spike(self):
+        synapse = PhotonicSynapse(pre=0, post=0)
+        rule = STDPRule()
+        before = synapse.weight
+        rule.apply_on_post_spike(synapse, 1.0)
+        assert synapse.weight == before
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            STDPRule(tau_plus=0.0)
+        with pytest.raises(ValueError):
+            STDPRule(w_min=1.0, w_max=0.5)
+
+
+class TestEncodings:
+    def test_rate_encode_spike_counts_scale_with_value(self):
+        trains = rate_encode(np.array([0.0, 0.5, 1.0]), max_spikes=10)
+        counts = [len(train.times) for train in trains]
+        assert counts == [0, 5, 10]
+
+    def test_rate_encode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            rate_encode(np.array([1.5]))
+
+    def test_latency_encode_orders_by_value(self):
+        trains = latency_encode(np.array([0.9, 0.3]), window=10e-9)
+        assert trains[0].times[0] < trains[1].times[0]
+
+    def test_latency_encode_threshold_suppresses_spikes(self):
+        trains = latency_encode(np.array([0.01]), threshold=0.05)
+        assert trains[0].times.size == 0
+
+    def test_merge_spike_trains_sorted(self):
+        trains = [SpikeTrain(0, np.array([3.0, 1.0])), SpikeTrain(1, np.array([2.0]))]
+        events = merge_spike_trains(trains)
+        assert [time for time, _ in events] == [1.0, 2.0, 3.0]
+
+    def test_spike_count_decode(self):
+        counts = spike_count_decode([np.array([1.0, 2.0]), np.array([])])
+        assert np.array_equal(counts, np.array([2.0, 0.0]))

@@ -1,0 +1,226 @@
+"""Tests for the dataflow-graph scheduler and the DSA compute units."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import PhotonicCoreEnergyModel
+from repro.system.accelerator import (
+    MACArrayAccelerator,
+    PhotonicMVMAccelerator,
+    REG_COLS,
+    REG_INNER,
+    REG_INPUT_ADDR,
+    REG_OUTPUT_ADDR,
+    REG_ROWS,
+    REG_WEIGHTS_ADDR,
+)
+from repro.system.bus import SystemBus
+from repro.system.dfg import DataflowError, DataflowGraph, build_gemm_dfg
+from repro.system.event import EventScheduler
+from repro.system.interrupt import InterruptController
+from repro.system.memory import MainMemory, to_signed, to_unsigned
+from repro.system.mmr import CTRL_IRQ_ENABLE, CTRL_START, STATUS_DONE
+
+
+class TestDataflowGraph:
+    def test_chain_latency_is_sum(self):
+        dfg = DataflowGraph()
+        dfg.add_node("a", "load")
+        dfg.add_node("b", "mul")
+        dfg.add_node("c", "store")
+        dfg.add_edge("a", "b")
+        dfg.add_edge("b", "c")
+        result = dfg.schedule()
+        assert result.total_cycles == 2 + 3 + 2
+        assert result.critical_path == ["a", "b", "c"]
+
+    def test_parallel_nodes_overlap_without_resource_limit(self):
+        dfg = DataflowGraph()
+        for index in range(4):
+            dfg.add_node(f"m{index}", "mul")
+        assert dfg.schedule().total_cycles == 3
+
+    def test_resource_limit_serialises(self):
+        dfg = DataflowGraph()
+        for index in range(4):
+            dfg.add_node(f"m{index}", "mul")
+        limited = dfg.schedule(resources={"mul": 1})
+        assert limited.total_cycles == 12
+        assert limited.resource_limited
+
+    def test_per_node_latency_override(self):
+        dfg = DataflowGraph()
+        dfg.add_node("slow", "mul", latency=10)
+        assert dfg.schedule().total_cycles == 10
+
+    def test_energy_is_summed(self):
+        dfg = DataflowGraph()
+        dfg.add_node("a", "mac")
+        dfg.add_node("b", "mac")
+        assert dfg.schedule().energy_j == pytest.approx(2 * dfg.op_energy["mac"])
+
+    def test_cycle_detection(self):
+        dfg = DataflowGraph()
+        dfg.add_node("a", "add")
+        dfg.add_node("b", "add")
+        dfg.add_edge("a", "b")
+        dfg.add_edge("b", "a")
+        with pytest.raises(DataflowError):
+            dfg.schedule()
+
+    def test_duplicate_node_rejected(self):
+        dfg = DataflowGraph()
+        dfg.add_node("a", "add")
+        with pytest.raises(DataflowError):
+            dfg.add_node("a", "mul")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DataflowError):
+            DataflowGraph().add_node("x", "quantum_op")
+
+    def test_empty_graph(self):
+        assert DataflowGraph().schedule().total_cycles == 0
+
+    def test_gemm_dfg_node_count(self):
+        dfg = build_gemm_dfg(2, 3, 2)
+        # per output: 1 load + 3 macs + 1 store = 5; 4 outputs
+        assert dfg.n_nodes == 20
+
+    def test_gemm_dfg_scales_with_mac_units(self):
+        dfg = build_gemm_dfg(3, 4, 3)
+        serial = dfg.schedule(resources={"mac": 1}).total_cycles
+        parallel = dfg.schedule(resources={"mac": 16}).total_cycles
+        assert parallel < serial
+
+
+def _make_system():
+    scheduler = EventScheduler()
+    bus = SystemBus()
+    memory = MainMemory(1 << 16)
+    bus.attach(0, 1 << 16, memory, "mem")
+    interrupts = InterruptController()
+    return scheduler, bus, memory, interrupts
+
+
+def _drive_accelerator(accelerator, memory, scheduler, weights, inputs, irq=False):
+    """Configure and start an accelerator directly through its MMR block."""
+    n_rows, n_inner = weights.shape
+    n_cols = inputs.shape[1]
+    memory.load_words(0x100, [to_unsigned(int(v)) for v in weights.reshape(-1)])
+    memory.load_words(0x800, [to_unsigned(int(v)) for v in inputs.reshape(-1)])
+    mmr = accelerator.mmr
+    mmr.set_data_register(REG_WEIGHTS_ADDR, 0x100)
+    mmr.set_data_register(REG_INPUT_ADDR, 0x800)
+    mmr.set_data_register(REG_OUTPUT_ADDR, 0x1000)
+    mmr.set_data_register(REG_ROWS, n_rows)
+    mmr.set_data_register(REG_INNER, n_inner)
+    mmr.set_data_register(REG_COLS, n_cols)
+    mmr.write_word(0x00, CTRL_START | (CTRL_IRQ_ENABLE if irq else 0))
+    scheduler.run()
+    flat = memory.dump_words(0x1000, n_rows * n_cols)
+    return np.array([to_signed(v) for v in flat]).reshape(n_rows, n_cols)
+
+
+class TestMACArrayAccelerator:
+    def test_computes_correct_product(self, rng):
+        scheduler, bus, memory, interrupts = _make_system()
+        accelerator = MACArrayAccelerator(scheduler, bus, interrupt_controller=interrupts)
+        weights = rng.integers(-5, 6, size=(4, 3))
+        inputs = rng.integers(-5, 6, size=(3, 5))
+        result = _drive_accelerator(accelerator, memory, scheduler, weights, inputs)
+        assert np.array_equal(result, weights @ inputs)
+        assert accelerator.mmr.read_word(0x04) == STATUS_DONE
+
+    def test_stats_updated(self, rng):
+        scheduler, bus, memory, interrupts = _make_system()
+        accelerator = MACArrayAccelerator(scheduler, bus, interrupt_controller=interrupts)
+        weights = rng.integers(-2, 3, size=(3, 3))
+        inputs = rng.integers(-2, 3, size=(3, 3))
+        _drive_accelerator(accelerator, memory, scheduler, weights, inputs)
+        assert accelerator.stats.invocations == 1
+        assert accelerator.stats.macs == 27
+        assert accelerator.stats.energy_j > 0
+
+    def test_more_mac_units_reduce_compute_cycles(self, rng):
+        weights = rng.integers(-2, 3, size=(4, 8))
+        inputs = rng.integers(-2, 3, size=(8, 4))
+        cycles = []
+        for units in (1, 16):
+            scheduler, bus, memory, interrupts = _make_system()
+            accelerator = MACArrayAccelerator(
+                scheduler, bus, interrupt_controller=interrupts, n_mac_units=units
+            )
+            _drive_accelerator(accelerator, memory, scheduler, weights, inputs)
+            cycles.append(accelerator.stats.compute_cycles)
+        assert cycles[1] < cycles[0]
+
+    def test_zero_dimension_flags_error(self):
+        scheduler, bus, memory, interrupts = _make_system()
+        accelerator = MACArrayAccelerator(scheduler, bus, interrupt_controller=interrupts)
+        accelerator.mmr.write_word(0x00, CTRL_START)
+        scheduler.run()
+        assert accelerator.mmr.read_word(0x04) != STATUS_DONE
+
+    def test_area_positive(self):
+        scheduler, bus, _, interrupts = _make_system()
+        accelerator = MACArrayAccelerator(scheduler, bus, interrupt_controller=interrupts)
+        assert accelerator.area_mm2() > 0
+
+
+class TestPhotonicMVMAccelerator:
+    def test_computes_correct_product(self, rng):
+        scheduler, bus, memory, interrupts = _make_system()
+        accelerator = PhotonicMVMAccelerator(scheduler, bus, interrupt_controller=interrupts)
+        weights = rng.integers(-5, 6, size=(4, 4))
+        inputs = rng.integers(-5, 6, size=(4, 6))
+        result = _drive_accelerator(accelerator, memory, scheduler, weights, inputs)
+        assert np.array_equal(result, weights @ inputs)
+
+    def test_interrupt_raised_on_completion(self, rng):
+        scheduler, bus, memory, interrupts = _make_system()
+        accelerator = PhotonicMVMAccelerator(scheduler, bus, interrupt_controller=interrupts)
+        fired = []
+        interrupts.subscribe(accelerator.irq_line.index, lambda index: fired.append(index))
+        weights = rng.integers(-2, 3, size=(3, 3))
+        inputs = rng.integers(-2, 3, size=(3, 2))
+        _drive_accelerator(accelerator, memory, scheduler, weights, inputs, irq=True)
+        assert fired == [accelerator.irq_line.index]
+
+    def test_photonic_compute_cycles_below_mac_array(self, rng):
+        weights = rng.integers(-3, 4, size=(8, 8))
+        inputs = rng.integers(-3, 4, size=(8, 8))
+        compute_cycles = {}
+        for label, cls in (("mac", MACArrayAccelerator), ("photonic", PhotonicMVMAccelerator)):
+            scheduler, bus, memory, interrupts = _make_system()
+            accelerator = cls(scheduler, bus, interrupt_controller=interrupts)
+            _drive_accelerator(accelerator, memory, scheduler, weights, inputs)
+            compute_cycles[label] = accelerator.stats.compute_cycles
+        assert compute_cycles["photonic"] < compute_cycles["mac"]
+
+    def test_weight_programming_energy_amortised(self, rng):
+        scheduler, bus, memory, interrupts = _make_system()
+        model = PhotonicCoreEnergyModel(
+            n_inputs=3, n_outputs=3,
+            component_count={"mzis": 6, "phase_shifters": 18, "couplers": 12, "modes": 3, "depth": 6},
+        )
+        accelerator = PhotonicMVMAccelerator(
+            scheduler, bus, interrupt_controller=interrupts, energy_model=model
+        )
+        weights = rng.integers(-2, 3, size=(3, 3))
+        inputs = rng.integers(-2, 3, size=(3, 2))
+        _drive_accelerator(accelerator, memory, scheduler, weights, inputs)
+        first_energy = accelerator.stats.energy_j
+        _drive_accelerator(accelerator, memory, scheduler, weights, inputs)
+        second_call_energy = accelerator.stats.energy_j - first_energy
+        assert second_call_energy < first_energy
+
+    def test_area_uses_energy_model_when_available(self):
+        scheduler, bus, _, interrupts = _make_system()
+        model = PhotonicCoreEnergyModel(
+            n_inputs=4, n_outputs=4,
+            component_count={"mzis": 12, "phase_shifters": 32, "couplers": 24, "modes": 4, "depth": 8},
+        )
+        accelerator = PhotonicMVMAccelerator(
+            scheduler, bus, interrupt_controller=interrupts, energy_model=model
+        )
+        assert accelerator.area_mm2() > model.area_mm2()

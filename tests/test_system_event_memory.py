@@ -1,0 +1,175 @@
+"""Tests for the event scheduler, memory devices and system bus."""
+
+import numpy as np
+import pytest
+
+from repro.system.bus import SystemBus
+from repro.system.event import EventScheduler
+from repro.system.memory import (
+    MainMemory,
+    MemoryAccessError,
+    RegisterBank,
+    Scratchpad,
+    to_signed,
+    to_unsigned,
+)
+from repro.system.mmr import MemoryMappedRegisters
+
+
+class TestEventScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(10, lambda: order.append("late"))
+        scheduler.schedule(1, lambda: order.append("early"))
+        scheduler.run()
+        assert order == ["early", "late"]
+
+    def test_ties_broken_by_scheduling_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(5, lambda: order.append("first"))
+        scheduler.schedule(5, lambda: order.append("second"))
+        scheduler.run()
+        assert order == ["first", "second"]
+
+    def test_current_cycle_advances(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(7, lambda: None)
+        scheduler.run()
+        assert scheduler.current_cycle == 7
+
+    def test_events_can_schedule_more_events(self):
+        scheduler = EventScheduler()
+        seen = []
+
+        def chain():
+            seen.append(scheduler.current_cycle)
+            if len(seen) < 3:
+                scheduler.schedule(2, chain)
+
+        scheduler.schedule(1, chain)
+        scheduler.run()
+        assert seen == [1, 3, 5]
+
+    def test_cancel(self):
+        scheduler = EventScheduler()
+        seen = []
+        handle = scheduler.schedule(1, lambda: seen.append("no"))
+        scheduler.cancel(handle)
+        scheduler.run()
+        assert seen == []
+
+    def test_max_cycles_limit(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(1, lambda: seen.append(1))
+        scheduler.schedule(100, lambda: seen.append(2))
+        scheduler.run(max_cycles=10)
+        assert seen == [1]
+
+    def test_schedule_in_past_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_cycle(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule_at(4, lambda: seen.append(scheduler.current_cycle))
+        scheduler.run()
+        assert seen == [4]
+
+
+class TestWordHelpers:
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+
+    def test_to_signed_roundtrip(self):
+        for value in (-5, 0, 7, -(2**31), 2**31 - 1):
+            assert to_signed(to_unsigned(value)) == value
+
+
+class TestMainMemoryAndScratchpad:
+    def test_read_write_roundtrip(self):
+        memory = MainMemory(1024)
+        memory.write_word(16, 0xDEADBEEF)
+        assert memory.read_word(16) == 0xDEADBEEF
+
+    def test_misaligned_access_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            MainMemory(1024).read_word(2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            MainMemory(64).write_word(64, 1)
+
+    def test_bulk_load_and_dump(self):
+        memory = MainMemory(256)
+        memory.load_words(0, [1, 2, 3, 4])
+        assert memory.dump_words(0, 4) == [1, 2, 3, 4]
+
+    def test_stats_and_energy(self):
+        memory = MainMemory(256, energy_per_access=1e-12)
+        memory.write_word(0, 5)
+        memory.read_word(0)
+        assert memory.stats.accesses == 2
+        assert memory.energy_j() == pytest.approx(2e-12)
+
+    def test_scratchpad_is_single_cycle(self):
+        scratchpad = Scratchpad(1024)
+        assert scratchpad.read_latency == 1
+        assert scratchpad.write_latency == 1
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MainMemory(10)
+
+
+class TestRegisterBank:
+    def test_named_access(self):
+        bank = RegisterBank(["ctrl", "status"])
+        bank.write("ctrl", 3)
+        assert bank.read("ctrl") == 3
+
+    def test_unknown_register_rejected(self):
+        bank = RegisterBank(["a"])
+        with pytest.raises(MemoryAccessError):
+            bank.read("b")
+
+
+class TestSystemBus:
+    def test_routes_to_memory(self):
+        bus = SystemBus()
+        memory = MainMemory(1024, read_latency=10)
+        bus.attach(0x1000, 1024, memory, "mem")
+        latency = bus.write_word(0x1010, 42)
+        value, read_latency = bus.read_word(0x1010)
+        assert value == 42
+        assert read_latency == bus.traversal_latency + 10
+        assert latency == bus.traversal_latency + memory.write_latency
+
+    def test_routes_to_mmr(self):
+        bus = SystemBus()
+        mmr = MemoryMappedRegisters()
+        bus.attach(0x2000, mmr.size_bytes, mmr, "mmr")
+        bus.write_word(0x2008, 99)
+        value, _ = bus.read_word(0x2008)
+        assert value == 99
+
+    def test_decode_error(self):
+        with pytest.raises(MemoryAccessError):
+            SystemBus().read_word(0x5000)
+
+    def test_overlapping_mappings_rejected(self):
+        bus = SystemBus()
+        bus.attach(0, 1024, MainMemory(1024), "a")
+        with pytest.raises(ValueError):
+            bus.attach(512, 1024, MainMemory(1024), "b")
+
+    def test_energy_counts_transfers(self):
+        bus = SystemBus(energy_per_transfer=2e-12)
+        bus.attach(0, 256, MainMemory(256), "mem")
+        bus.write_word(0, 1)
+        bus.read_word(0)
+        assert bus.energy_j() == pytest.approx(4e-12)

@@ -1,0 +1,156 @@
+"""Tests for MMR blocks, the interrupt controller and the DMA engine."""
+
+import pytest
+
+from repro.system.bus import SystemBus
+from repro.system.dma import DMAEngine
+from repro.system.event import EventScheduler
+from repro.system.interrupt import InterruptController
+from repro.system.memory import MainMemory, MemoryAccessError, Scratchpad
+from repro.system.mmr import (
+    CTRL_IRQ_ENABLE,
+    CTRL_OFFSET,
+    CTRL_RESET,
+    CTRL_START,
+    DATA_OFFSET,
+    MemoryMappedRegisters,
+    STATUS_BUSY,
+    STATUS_DONE,
+    STATUS_IDLE,
+    STATUS_OFFSET,
+)
+
+
+class TestMemoryMappedRegisters:
+    def test_start_bit_invokes_callback_and_sets_busy(self):
+        calls = []
+        mmr = MemoryMappedRegisters(on_start=lambda: calls.append("go"))
+        mmr.write_word(CTRL_OFFSET, CTRL_START)
+        assert calls == ["go"]
+        assert mmr.read_word(STATUS_OFFSET) == STATUS_BUSY
+
+    def test_reset_bit_invokes_callback_and_clears_status(self):
+        calls = []
+        mmr = MemoryMappedRegisters(on_reset=lambda: calls.append("reset"))
+        mmr.mark_done()
+        mmr.write_word(CTRL_OFFSET, CTRL_RESET)
+        assert calls == ["reset"]
+        assert mmr.read_word(STATUS_OFFSET) == STATUS_IDLE
+
+    def test_data_register_roundtrip(self):
+        mmr = MemoryMappedRegisters(n_data_registers=4)
+        mmr.write_word(DATA_OFFSET + 8, 77)
+        assert mmr.read_word(DATA_OFFSET + 8) == 77
+        assert mmr.data_register(2) == 77
+
+    def test_device_side_done_and_error(self):
+        mmr = MemoryMappedRegisters()
+        mmr.mark_done()
+        assert mmr.read_word(STATUS_OFFSET) == STATUS_DONE
+        mmr.mark_done(error=True)
+        assert mmr.read_word(STATUS_OFFSET) != STATUS_DONE
+
+    def test_irq_enable_flag(self):
+        mmr = MemoryMappedRegisters()
+        assert not mmr.irq_enabled
+        mmr.write_word(CTRL_OFFSET, CTRL_IRQ_ENABLE)
+        assert mmr.irq_enabled
+
+    def test_host_write_to_status_clears_it(self):
+        mmr = MemoryMappedRegisters()
+        mmr.mark_done()
+        mmr.write_word(STATUS_OFFSET, 0)
+        assert mmr.read_word(STATUS_OFFSET) == STATUS_IDLE
+
+    def test_invalid_offset_rejected(self):
+        mmr = MemoryMappedRegisters(n_data_registers=2)
+        with pytest.raises(MemoryAccessError):
+            mmr.read_word(DATA_OFFSET + 100)
+        with pytest.raises(MemoryAccessError):
+            mmr.read_word(DATA_OFFSET + 1)
+
+    def test_size_matches_register_count(self):
+        assert MemoryMappedRegisters(n_data_registers=4).size_bytes == DATA_OFFSET + 16
+
+
+class TestInterruptController:
+    def test_allocate_and_raise(self):
+        controller = InterruptController()
+        line = controller.allocate_line("dsa0")
+        seen = []
+        controller.subscribe(line.index, lambda index: seen.append(index))
+        controller.raise_interrupt(line.index)
+        assert seen == [line.index]
+        assert controller.pending_lines() == [line.index]
+
+    def test_acknowledge_clears_pending(self):
+        controller = InterruptController()
+        line = controller.allocate_line("dsa0")
+        controller.raise_interrupt(line.index)
+        controller.acknowledge(line.index)
+        assert controller.pending_lines() == []
+        assert controller.line(line.index).fire_count == 1
+
+    def test_unknown_line_rejected(self):
+        controller = InterruptController()
+        with pytest.raises(KeyError):
+            controller.raise_interrupt(3)
+        with pytest.raises(KeyError):
+            controller.subscribe(3, lambda index: None)
+
+
+class TestDMAEngine:
+    def _setup(self):
+        scheduler = EventScheduler()
+        bus = SystemBus()
+        memory = MainMemory(4096)
+        bus.attach(0, 4096, memory, "mem")
+        scratchpad = Scratchpad(1024)
+        return scheduler, bus, memory, scratchpad
+
+    def test_copy_to_scratchpad_moves_data(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(64, [10, 20, 30])
+        dma = DMAEngine(scheduler, bus)
+        latency = dma.copy_to_scratchpad(64, scratchpad, 0, 3)
+        assert [scratchpad.read_word(i * 4) for i in range(3)] == [10, 20, 30]
+        assert latency > 0
+        assert dma.stats.words_moved == 3
+
+    def test_copy_from_scratchpad_moves_data(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        scratchpad.load_words(0, [5, 6])
+        dma = DMAEngine(scheduler, bus)
+        dma.copy_from_scratchpad(scratchpad, 0, 128, 2)
+        assert memory.dump_words(128, 2) == [5, 6]
+
+    def test_burst_pipelining_reduces_per_word_cost(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(0, list(range(64)))
+        dma = DMAEngine(scheduler, bus, words_per_burst=16)
+        latency = dma.copy_to_scratchpad(0, scratchpad, 0, 64)
+        per_word_latency = bus.traversal_latency + memory.read_latency
+        assert latency < 64 * per_word_latency
+
+    def test_completion_callback_scheduled(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(0, [1])
+        dma = DMAEngine(scheduler, bus)
+        done = []
+        dma.copy_to_scratchpad(0, scratchpad, 0, 1, on_complete=lambda: done.append(True))
+        assert dma.busy
+        scheduler.run()
+        assert done == [True]
+        assert not dma.busy
+
+    def test_energy_accounting(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(0, [1, 2, 3, 4])
+        dma = DMAEngine(scheduler, bus, energy_per_word=1e-12)
+        dma.copy_to_scratchpad(0, scratchpad, 0, 4)
+        assert dma.energy_j() == pytest.approx(4e-12)
+
+    def test_invalid_burst_size_rejected(self):
+        scheduler, bus, _, _ = self._setup()
+        with pytest.raises(ValueError):
+            DMAEngine(scheduler, bus, words_per_burst=0)

@@ -1,0 +1,202 @@
+"""Tests for the full SoC workload runners and the fault-injection framework."""
+
+import numpy as np
+import pytest
+
+from repro.eval.workloads import make_gemm_workload
+from repro.system.faults import (
+    CampaignResult,
+    FaultInjector,
+    FaultSpec,
+    random_fault_spec,
+    run_fault_campaign,
+)
+from repro.system.soc import PhotonicSoC
+
+
+@pytest.fixture(scope="module")
+def gemm_operands():
+    return make_gemm_workload(5, 5, 3, rng=0)
+
+
+class TestPhotonicSoCWorkloads:
+    def test_cpu_gemm_is_functionally_correct(self, gemm_operands):
+        weights, inputs = gemm_operands
+        soc = PhotonicSoC()
+        report = soc.run_cpu_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+        assert report.cycles > 0
+        assert report.energy_j > 0
+
+    def test_offloaded_gemm_is_functionally_correct(self, gemm_operands):
+        weights, inputs = gemm_operands
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator()
+        report = soc.run_offloaded_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+
+    def test_photonic_offload_is_faster_than_cpu(self, gemm_operands):
+        weights, inputs = gemm_operands
+        cpu_report = PhotonicSoC().run_cpu_gemm(weights, inputs)
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator()
+        offload_report = soc.run_offloaded_gemm(weights, inputs)
+        assert offload_report.cycles < cpu_report.cycles
+
+    def test_offload_reduces_host_instruction_count(self, gemm_operands):
+        weights, inputs = gemm_operands
+        cpu_report = PhotonicSoC().run_cpu_gemm(weights, inputs)
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator()
+        offload_report = soc.run_offloaded_gemm(weights, inputs)
+        assert offload_report.instructions < cpu_report.instructions
+
+    def test_mac_array_offload_correct(self, gemm_operands):
+        weights, inputs = gemm_operands
+        soc = PhotonicSoC()
+        soc.add_mac_array_accelerator()
+        report = soc.run_offloaded_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+
+    def test_interrupt_mode_still_correct(self, gemm_operands):
+        weights, inputs = gemm_operands
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator()
+        report = soc.run_offloaded_gemm(weights, inputs, use_interrupt=True)
+        assert np.array_equal(report.result, weights @ inputs)
+
+    def test_tiled_gemm_across_two_pes(self, gemm_operands):
+        weights, inputs = gemm_operands
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator()
+        soc.add_photonic_accelerator()
+        report = soc.run_tiled_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+        assert "2pe" in report.label
+
+    def test_tiled_gemm_scales_with_pes(self):
+        weights, inputs = make_gemm_workload(12, 8, 8, rng=1)
+        cycles = {}
+        for n_pes in (1, 4):
+            soc = PhotonicSoC()
+            for _ in range(n_pes):
+                soc.add_photonic_accelerator()
+            cycles[n_pes] = soc.run_tiled_gemm(weights, inputs).cycles
+        assert cycles[4] < cycles[1]
+
+    def test_report_breakdown_and_area(self, gemm_operands):
+        weights, inputs = gemm_operands
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator()
+        report = soc.run_offloaded_gemm(weights, inputs)
+        assert set(report.energy_breakdown) >= {"cpu", "main_memory", "bus", "photonic0"}
+        assert report.area_mm2 > 0
+        assert report.energy_per_cycle > 0
+
+    def test_offload_without_accelerator_rejected(self, gemm_operands):
+        weights, inputs = gemm_operands
+        with pytest.raises(RuntimeError):
+            PhotonicSoC().run_offloaded_gemm(weights, inputs)
+
+    def test_matrix_roundtrip_helpers(self):
+        soc = PhotonicSoC()
+        matrix = np.array([[1, -2], [3, -4]])
+        soc.write_matrix(0x2000, matrix)
+        assert np.array_equal(soc.read_matrix(0x2000, 2, 2), matrix)
+
+    def test_accelerator_status_readable_from_host(self, gemm_operands):
+        weights, inputs = gemm_operands
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator()
+        soc.run_offloaded_gemm(weights, inputs)
+        assert soc.all_accelerators_done()
+
+
+class TestFaultSpecAndInjector:
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(target="gpu", fault_type="transient", location=0, bit=0, cycle=0)
+        with pytest.raises(ValueError):
+            FaultSpec(target="cpu_register", fault_type="sometimes", location=0, bit=0, cycle=0)
+        with pytest.raises(ValueError):
+            FaultSpec(target="cpu_register", fault_type="transient", location=0, bit=40, cycle=0)
+
+    def test_random_fault_spec_fields(self):
+        spec = random_fault_spec("main_memory", "permanent", max_cycle=100, rng=0)
+        assert spec.target == "main_memory"
+        assert spec.fault_type == "permanent"
+        assert 0 <= spec.bit < 32
+        assert 1 <= spec.cycle < 100
+
+    def test_transient_register_flip(self):
+        soc = PhotonicSoC()
+        soc.cpu.registers[5] = 0b1000
+        spec = FaultSpec(target="cpu_register", fault_type="transient", location=5, bit=0, cycle=1)
+        injector = FaultInjector(soc, spec)
+        injector.arm()
+        soc.scheduler.run()
+        assert injector.injected
+        assert soc.cpu.registers[5] == 0b1001
+
+    def test_register_zero_never_corrupted(self):
+        soc = PhotonicSoC()
+        spec = FaultSpec(target="cpu_register", fault_type="transient", location=32, bit=3, cycle=1)
+        FaultInjector(soc, spec).arm()
+        soc.scheduler.run()
+        assert soc.cpu.registers[0] == 0
+
+    def test_memory_fault_flips_stored_word(self):
+        soc = PhotonicSoC()
+        soc.main_memory.write_word(0, 0)
+        spec = FaultSpec(target="main_memory", fault_type="transient", location=0, bit=7, cycle=1)
+        FaultInjector(soc, spec).arm()
+        soc.scheduler.run()
+        assert soc.main_memory.read_word(0) == 1 << 7
+
+    def test_scratchpad_fault_requires_accelerator(self):
+        soc = PhotonicSoC()
+        spec = FaultSpec(target="scratchpad", fault_type="transient", location=0, bit=0, cycle=1)
+        with pytest.raises(ValueError):
+            FaultInjector(soc, spec).arm()
+
+
+class TestFaultCampaign:
+    def test_campaign_classifies_every_run(self):
+        weights, inputs = make_gemm_workload(3, 3, 2, rng=2)
+        golden = weights @ inputs
+
+        def workload(soc):
+            return soc.run_cpu_gemm(weights, inputs)
+
+        result = run_fault_campaign(
+            workload, PhotonicSoC, golden, n_injections=8,
+            target="cpu_register", fault_type="transient", rng=0,
+        )
+        assert result.n_runs == 8
+        assert sum(result.counts().values()) == 8
+        assert all(outcome in ("masked", "sdc", "crash", "hang") for outcome in result.outcomes)
+
+    def test_rates_sum_to_one(self):
+        result = CampaignResult(outcomes=["masked", "sdc", "masked", "hang"])
+        total = sum(result.rate(outcome) for outcome in ("masked", "sdc", "crash", "hang"))
+        assert total == pytest.approx(1.0)
+
+    def test_rate_rejects_unknown_outcome(self):
+        with pytest.raises(ValueError):
+            CampaignResult(outcomes=["masked"]).rate("meltdown")
+
+    def test_memory_faults_can_cause_sdc(self):
+        weights, inputs = make_gemm_workload(3, 3, 2, rng=3)
+        golden = weights @ inputs
+
+        def workload(soc):
+            return soc.run_cpu_gemm(weights, inputs)
+
+        result = run_fault_campaign(
+            workload, PhotonicSoC, golden, n_injections=10,
+            target="main_memory", fault_type="transient",
+            injection_window=5, rng=1,
+        )
+        # Faults injected into the operand region before/at the start of the
+        # run either corrupt the result (SDC) or land in unused words (masked).
+        assert result.rate("masked") + result.rate("sdc") + result.rate("crash") + result.rate("hang") == pytest.approx(1.0)

@@ -1,0 +1,116 @@
+"""Tests for repro.utils.linalg and repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils import linalg
+from repro.utils.rng import ensure_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = ensure_rng(7).normal(size=4)
+        b = ensure_rng(7).normal(size=4)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestIsUnitary:
+    def test_identity(self):
+        assert linalg.is_unitary(np.eye(5))
+
+    def test_random_unitary(self):
+        assert linalg.is_unitary(linalg.random_unitary(6, rng=0))
+
+    def test_non_square_rejected(self):
+        assert not linalg.is_unitary(np.ones((2, 3)))
+
+    def test_scaled_identity_is_not_unitary(self):
+        assert not linalg.is_unitary(2.0 * np.eye(3))
+
+
+class TestRandomUnitary:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 16])
+    def test_unitarity(self, n):
+        u = linalg.random_unitary(n, rng=n)
+        assert np.allclose(u @ u.conj().T, np.eye(n), atol=1e-10)
+
+    def test_determinism_with_seed(self):
+        assert np.allclose(linalg.random_unitary(4, rng=5), linalg.random_unitary(4, rng=5))
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(linalg.random_unitary(4, rng=1), linalg.random_unitary(4, rng=2))
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            linalg.random_unitary(0)
+
+
+class TestFidelity:
+    def test_perfect_match(self, unitary4):
+        assert linalg.matrix_fidelity(unitary4, unitary4) == pytest.approx(1.0)
+
+    def test_global_phase_invariance(self, unitary4):
+        rotated = np.exp(1j * 0.7) * unitary4
+        assert linalg.matrix_fidelity(rotated, unitary4) == pytest.approx(1.0)
+
+    def test_orthogonal_matrices_have_low_fidelity(self):
+        a = np.diag([1.0, 1.0, 0.0, 0.0])
+        b = np.diag([0.0, 0.0, 1.0, 1.0])
+        assert linalg.matrix_fidelity(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_fidelity_bounded(self, rng):
+        a = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        b = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        fidelity = linalg.matrix_fidelity(a, b)
+        assert 0.0 <= fidelity <= 1.0 + 1e-12
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            linalg.matrix_fidelity(np.eye(2), np.eye(3))
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(ValueError):
+            linalg.matrix_fidelity(np.zeros((2, 2)), np.eye(2))
+
+    def test_vector_fidelity_collinear(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert linalg.vector_fidelity(2.0 * v, v) == pytest.approx(1.0)
+
+
+class TestFrobeniusError:
+    def test_zero_for_equal(self, unitary4):
+        assert linalg.normalized_frobenius_error(unitary4, unitary4) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        target = np.eye(2)
+        implemented = np.diag([1.0, 0.0])
+        assert linalg.normalized_frobenius_error(implemented, target) == pytest.approx(
+            1.0 / np.sqrt(2.0)
+        )
+
+    def test_zero_target_raises(self):
+        with pytest.raises(ValueError):
+            linalg.normalized_frobenius_error(np.eye(2), np.zeros((2, 2)))
+
+
+class TestConditionPhases:
+    def test_wraps_into_range(self):
+        phases = np.array([-0.1, 2 * np.pi + 0.3, 7 * np.pi])
+        wrapped = linalg.condition_phases(phases)
+        assert np.all(wrapped >= 0.0)
+        assert np.all(wrapped < 2 * np.pi)
+
+    def test_preserves_in_range_values(self):
+        phases = np.array([0.0, 1.0, 3.0])
+        assert np.allclose(linalg.condition_phases(phases), phases)

@@ -1,0 +1,80 @@
+"""Tests for repro.utils.units."""
+
+import numpy as np
+import pytest
+
+from repro.utils import units
+
+
+class TestDecibelConversions:
+    def test_db_to_linear_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_db_to_linear_ten_db_is_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_db_to_linear_negative(self):
+        assert units.db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_linear_to_db_roundtrip(self):
+        values = np.array([0.1, 1.0, 2.5, 1000.0])
+        assert np.allclose(units.db_to_linear(units.linear_to_db(values)), values)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+
+class TestPowerConversions:
+    def test_dbm_to_watt_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_watt_to_dbm_roundtrip(self):
+        powers = np.array([1e-6, 1e-3, 0.5])
+        assert np.allclose(units.dbm_to_watt(units.watt_to_dbm(powers)), powers)
+
+    def test_watt_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watt_to_dbm(0.0)
+
+
+class TestWavelengthFrequency:
+    def test_1550nm_is_about_193_thz(self):
+        assert units.wavelength_to_frequency(1550e-9) == pytest.approx(193.4e12, rel=1e-3)
+
+    def test_roundtrip(self):
+        wavelength = 1310e-9
+        assert units.frequency_to_wavelength(
+            units.wavelength_to_frequency(wavelength)
+        ) == pytest.approx(wavelength)
+
+    def test_rejects_nonpositive_wavelength(self):
+        with pytest.raises(ValueError):
+            units.wavelength_to_frequency(0.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            units.frequency_to_wavelength(-1.0)
+
+    def test_photon_energy_at_1550nm(self):
+        # ~0.8 eV = 1.28e-19 J
+        assert units.photon_energy(1550e-9) == pytest.approx(1.28e-19, rel=0.01)
+
+
+class TestLossConversion:
+    def test_zero_loss_gives_zero_alpha(self):
+        assert units.loss_db_per_cm_to_alpha(0.0) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # 1 dB/cm over 1 cm must attenuate power by exactly 1 dB.
+        alpha = units.loss_db_per_cm_to_alpha(1.0)
+        transmission = np.exp(-alpha * 0.01)
+        assert 10 * np.log10(transmission) == pytest.approx(-1.0)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            units.loss_db_per_cm_to_alpha(-0.1)
