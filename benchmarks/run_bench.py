@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Run the throughput benchmark suite and persist a trajectory file.
+
+Executes ``benchmarks/test_bench_throughput.py`` under pytest-benchmark
+with ``--benchmark-json``, condenses the raw report into one record per
+benchmark (mean/min seconds and ops/s) and writes/extends
+``BENCH_throughput.json`` at the repository root:
+
+.. code-block:: json
+
+    {
+      "latest": {"<bench name>": {"mean_s": ..., "min_s": ..., "ops_per_s": ...}},
+      "history": [{"machine": ..., "results": {...}}, ...]
+    }
+
+Future performance PRs compare their run against ``latest`` (and the
+trajectory in ``history``) to prove a speedup or catch a regression.
+
+Usage::
+
+    python benchmarks/run_bench.py [--output BENCH_throughput.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = Path(__file__).resolve().parent / "test_bench_throughput.py"
+MAX_HISTORY = 50
+
+
+def run_benchmarks(raw_json: Path) -> int:
+    """Run the throughput suite with pytest-benchmark; returns the exit code."""
+    env_path = str(REPO_ROOT / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "-q",
+        f"--benchmark-json={raw_json}",
+    ]
+    return subprocess.call(command, cwd=str(REPO_ROOT), env=env)
+
+
+def condense(raw_json: Path) -> dict:
+    """Reduce the pytest-benchmark report to {name: {mean_s, min_s, ops_per_s}}."""
+    report = json.loads(raw_json.read_text())
+    results = {}
+    for bench in report.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        mean = stats.get("mean")
+        results[bench["name"]] = {
+            "mean_s": mean,
+            "min_s": stats.get("min"),
+            "ops_per_s": (1.0 / mean) if mean else None,
+        }
+    return results
+
+
+def update_trajectory(output: Path, results: dict) -> dict:
+    """Write the condensed results, appending to any existing history."""
+    record = {
+        "machine": platform.node() or "unknown",
+        "python": platform.python_version(),
+        "results": results,
+    }
+    payload = {"latest": results, "history": []}
+    if output.exists():
+        try:
+            previous = json.loads(output.read_text())
+            payload["history"] = list(previous.get("history", []))
+        except (json.JSONDecodeError, OSError):
+            pass
+    payload["history"].append(record)
+    payload["history"] = payload["history"][-MAX_HISTORY:]
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_throughput.json",
+        help="trajectory file to write (default: BENCH_throughput.json)",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = Path(tmp) / "benchmark_raw.json"
+        exit_code = run_benchmarks(raw_json)
+        if not raw_json.exists():
+            print("benchmark run produced no JSON report", file=sys.stderr)
+            return exit_code or 1
+        results = condense(raw_json)
+
+    update_trajectory(args.output, results)
+    print(f"wrote {args.output} ({len(results)} benchmarks)")
+    for name, stats in sorted(results.items()):
+        mean = stats["mean_s"]
+        print(f"  {name}: {mean * 1e3:.2f} ms/round" if mean else f"  {name}: n/a")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,19 +33,27 @@ from repro.utils.rng import RngLike, ensure_rng
 
 @dataclass
 class MVMResult:
-    """Result of one photonic MVM operation.
+    """Result of one photonic MVM operation (single vector or batch).
 
     Attributes:
-        value: the analog (noisy) estimate of ``W @ x``.
-        reference: the exact digital result for comparison.
-        relative_error: ``||value - reference|| / ||reference||``.
+        value: the analog (noisy) estimate of ``W @ x`` — a vector for
+            :meth:`PhotonicMVM.apply`, an ``(n_out, batch)`` matrix for
+            :meth:`PhotonicMVM.apply_batch`.
+        reference: the exact digital result for comparison (``None`` when
+            the caller opted out via ``compute_reference=False``).
+        relative_error: ``||value - reference|| / ||reference||``
+            (Frobenius norm for batches).
     """
 
     value: np.ndarray
-    reference: np.ndarray
+    reference: Optional[np.ndarray]
 
     @property
     def relative_error(self) -> float:
+        if self.reference is None:
+            raise ValueError(
+                "result has no reference (produced with compute_reference=False)"
+            )
         norm = np.linalg.norm(self.reference)
         if norm == 0.0:
             return float(np.linalg.norm(self.value))
@@ -126,16 +134,35 @@ class PhotonicMVM:
         left_real = (
             self._left_mesh.matrix(self._effective_error_model)
             if self._left_mesh is not None
-            else np.ones((1, 1), dtype=complex) * left
+            else self._realize_single_port(left)
         )
         right_real = (
             self._right_mesh.matrix(self._effective_error_model)
             if self._right_mesh is not None
-            else np.ones((1, 1), dtype=complex) * right_h
+            else self._realize_single_port(right_h)
         )
         sigma = np.zeros((n_out, n_in))
         np.fill_diagonal(sigma, self._singular)
         self._realized_normalized = left_real @ sigma @ right_real
+
+    def _realize_single_port(self, unitary_1x1: np.ndarray) -> np.ndarray:
+        """Realise a degenerate 1x1 unitary factor through the analog model.
+
+        A one-port side of the SVD core has no mesh — just a single output
+        phase shifter — but that shifter still sees the same phase
+        programming error and PCM quantisation as the mesh phases, exactly
+        like the output-phase column of :meth:`MZIMesh._physical_matrix`.
+        """
+        value = complex(np.asarray(unitary_1x1, dtype=complex).reshape(-1)[0])
+        error_model = self._effective_error_model
+        if error_model is None:
+            return np.array([[value]], dtype=complex)
+        phase = float(np.angle(value))
+        generator = ensure_rng(error_model.rng)
+        if error_model.phase_error_std > 0:
+            phase += generator.normal(0.0, error_model.phase_error_std)
+        phase = error_model.quantize_phase(phase)
+        return np.array([[abs(value) * np.exp(1j * phase)]], dtype=complex)
 
     @property
     def shape(self) -> tuple:
@@ -161,25 +188,36 @@ class PhotonicMVM:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def apply(self, vector: np.ndarray, add_noise: bool = True) -> MVMResult:
-        """Run one photonic MVM: estimate ``W @ x`` through the analog path.
+    def apply_batch(
+        self,
+        vectors: np.ndarray,
+        add_noise: bool = True,
+        compute_reference: bool = True,
+    ) -> MVMResult:
+        """Run a batched photonic MVM: estimate ``W @ X`` for an ``(n_in, B)`` block.
 
-        The input is normalised to the modulator full scale, pushed through
-        the (possibly imperfect) optical transfer matrix, detected, and
-        rescaled back to the digital domain.
+        The whole batch is encoded, propagated (one ``matrix @ batch``
+        product), detected and rescaled as ``(n_out, B)`` arrays — this is
+        the engine's hot path; :meth:`apply` and :meth:`apply_many` are thin
+        wrappers around it.  Each column is normalised to the modulator full
+        scale independently, exactly as the single-vector path does.
+
+        ``compute_reference=False`` skips the exact digital product (the
+        result's ``reference`` is ``None``) — callers that only consume
+        ``value`` save a second matmul of the same size as the optical one.
         """
-        vector = np.asarray(vector, dtype=complex).reshape(-1)
+        vectors = np.asarray(vectors, dtype=complex)
         n_out, n_in = self.weight_matrix.shape
-        if vector.shape[0] != n_in:
-            raise ValueError(f"input vector must have length {n_in}")
+        if vectors.ndim != 2 or vectors.shape[0] != n_in:
+            raise ValueError(f"vectors must be a ({n_in}, batch) matrix")
 
-        reference = self.weight_matrix @ vector
+        reference = self.weight_matrix @ vectors if compute_reference else None
 
         # --- input normalisation and encoding ---------------------------------
-        input_scale = float(np.max(np.abs(vector)))
-        if input_scale == 0.0:
-            return MVMResult(value=np.zeros(n_out, dtype=reference.dtype), reference=reference)
-        normalized = vector / input_scale
+        input_scale = np.max(np.abs(vectors), axis=0)
+        active = input_scale > 0.0
+        safe_scale = np.where(active, input_scale, 1.0)
+        normalized = vectors / safe_scale
         amplitudes = np.abs(normalized)
         phases = np.angle(normalized)
         if self.quantization.input_bits is not None:
@@ -221,13 +259,31 @@ class PhotonicMVM:
             analog = np.sqrt(np.maximum(intensities, 0.0))
 
         # --- digital rescaling -------------------------------------------------
-        value = analog * input_scale * self._scale
-        real_case = self._real_weights and bool(np.allclose(np.asarray(vector).imag, 0.0))
+        value = analog * safe_scale * self._scale
+        if not np.all(active):
+            # All-zero input columns produce exactly zero output (the early
+            # return of the scalar path), not the modulator extinction floor.
+            value = value * active
+        real_case = self._real_weights and bool(np.allclose(vectors.imag, 0.0))
         if real_case:
-            reference = reference.real
-            if self.coherent_detection:
-                value = value.real
+            if reference is not None:
+                reference = reference.real
+            value = value.real if np.iscomplexobj(value) else value
         return MVMResult(value=value, reference=reference)
+
+    def apply(self, vector: np.ndarray, add_noise: bool = True) -> MVMResult:
+        """Run one photonic MVM: estimate ``W @ x`` through the analog path.
+
+        The input is normalised to the modulator full scale, pushed through
+        the (possibly imperfect) optical transfer matrix, detected, and
+        rescaled back to the digital domain.  Thin wrapper over
+        :meth:`apply_batch` with a batch of one.
+        """
+        vector = np.asarray(vector, dtype=complex).reshape(-1)
+        if vector.shape[0] != self.weight_matrix.shape[1]:
+            raise ValueError(f"input vector must have length {self.weight_matrix.shape[1]}")
+        batched = self.apply_batch(vector[:, None], add_noise=add_noise)
+        return MVMResult(value=batched.value[:, 0], reference=batched.reference[:, 0])
 
     def _coherent_noise_scale(self) -> float:
         """Equivalent field-noise std of the coherent receiver.
@@ -244,9 +300,10 @@ class PhotonicMVM:
         return relative / 2.0
 
     def apply_many(self, vectors: np.ndarray, add_noise: bool = True) -> np.ndarray:
-        """Apply the engine to the columns of ``vectors``; returns the result matrix."""
-        vectors = np.asarray(vectors, dtype=complex)
-        if vectors.ndim != 2 or vectors.shape[0] != self.weight_matrix.shape[1]:
-            raise ValueError("vectors must be a (n_in, batch) matrix")
-        outputs = [self.apply(vectors[:, i], add_noise=add_noise).value for i in range(vectors.shape[1])]
-        return np.stack(outputs, axis=1)
+        """Apply the engine to the columns of ``vectors``; returns the result matrix.
+
+        Batched: one optical propagation for the whole block.  Real weight
+        matrices applied to real inputs return a real array (including
+        all-zero columns), matching the single-vector :meth:`apply`.
+        """
+        return self.apply_batch(vectors, add_noise=add_noise, compute_reference=False).value

@@ -230,20 +230,22 @@ class PhotonicMLP:
         return list(self._engines)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Photonic forward pass for a single vector or a batch."""
+        """Photonic forward pass for a single vector or a batch.
+
+        The whole batch traverses each layer's engine in one batched MVM
+        (one matmul per layer), mirroring how a TDM schedule streams an
+        inference batch through the programmed mesh.
+        """
         x = np.asarray(x, dtype=float)
         single = x.ndim == 1
-        batch = x.reshape(1, -1) if single else x
-        outputs = []
-        for sample in batch:
-            value = sample
-            for layer, engine in zip(self.model.layers, self._engines):
-                product = engine.apply(value, add_noise=self.add_noise).value
-                pre = np.real(product) + layer.biases
-                value = ACTIVATIONS[layer.activation](pre)
-            outputs.append(value)
-        result = np.stack(outputs, axis=0)
-        return result[0] if single else result
+        value = x.reshape(1, -1) if single else x
+        for layer, engine in zip(self.model.layers, self._engines):
+            product = engine.apply_batch(
+                value.T, add_noise=self.add_noise, compute_reference=False
+            ).value
+            pre = np.real(product).T + layer.biases
+            value = ACTIVATIONS[layer.activation](pre)
+        return value[0] if single else value
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Class predictions of the photonic forward pass."""

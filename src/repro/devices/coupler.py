@@ -12,6 +12,30 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def coupler_blocks(ratios: np.ndarray, field_transmission: float = 1.0) -> np.ndarray:
+    """Batched directional-coupler matrices for an array of splitting ratios.
+
+    Uses the standard symmetric convention with a ``j`` on the cross terms
+    so that a lossless coupler is unitary:
+
+        [[ t,  j*k ],
+         [ j*k,  t ]]   with t = sqrt(1 - r), k = sqrt(r).
+
+    This is the single definition of the coupler model — the scalar
+    :attr:`DirectionalCoupler.transfer_matrix` and the batched mesh forward
+    model both evaluate it.
+    """
+    ratios = np.asarray(ratios, dtype=float)
+    cross = np.sqrt(ratios)
+    bar = np.sqrt(1.0 - ratios)
+    blocks = np.empty(ratios.shape + (2, 2), dtype=complex)
+    blocks[..., 0, 0] = bar
+    blocks[..., 0, 1] = 1j * cross
+    blocks[..., 1, 0] = 1j * cross
+    blocks[..., 1, 1] = bar
+    return field_transmission * blocks
+
+
 @dataclass(frozen=True)
 class DirectionalCoupler:
     """A lossy 2x2 directional coupler.
@@ -38,18 +62,10 @@ class DirectionalCoupler:
 
     @property
     def transfer_matrix(self) -> np.ndarray:
-        """Complex 2x2 transfer matrix of the coupler.
-
-        Uses the standard symmetric convention with a ``j`` on the cross
-        terms so that a lossless coupler is unitary:
-
-            [[ t,  j*k ],
-             [ j*k,  t ]]   with t = sqrt(1 - r), k = sqrt(r).
-        """
-        cross = np.sqrt(self.power_splitting_ratio)
-        bar = np.sqrt(1.0 - self.power_splitting_ratio)
-        matrix = np.array([[bar, 1j * cross], [1j * cross, bar]], dtype=complex)
-        return self.field_transmission * matrix
+        """Complex 2x2 transfer matrix of the coupler (see :func:`coupler_blocks`)."""
+        return coupler_blocks(
+            np.atleast_1d(self.power_splitting_ratio), self.field_transmission
+        )[0]
 
     def with_ratio_error(self, delta: float) -> "DirectionalCoupler":
         """Return a copy with the splitting ratio perturbed by ``delta``.

@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.devices.coupler import DirectionalCoupler
+from repro.devices.coupler import DirectionalCoupler, coupler_blocks
 from repro.devices.phase_shifter import PhaseShifter, ThermoOpticPhaseShifter
 
 
@@ -31,12 +31,72 @@ def ideal_mzi_matrix(theta: float, phi: float) -> np.ndarray:
     and Reck decompositions; the physical device realises it up to a global
     phase that is irrelevant for intensity detection.
     """
-    cos_t = np.cos(theta)
-    sin_t = np.sin(theta)
-    phase = np.exp(1j * phi)
-    return np.array(
-        [[phase * cos_t, -sin_t], [phase * sin_t, cos_t]], dtype=complex
-    )
+    return ideal_mzi_blocks(np.atleast_1d(float(theta)), np.atleast_1d(float(phi)))[0]
+
+
+def ideal_mzi_blocks(thetas: np.ndarray, phis: np.ndarray) -> np.ndarray:
+    """Batched ideal MZI matrices: a ``(K, 2, 2)`` stack of :func:`ideal_mzi_matrix`.
+
+    This is the vectorized form the mesh forward model consumes — all K
+    blocks of a mesh are built with a handful of array operations instead of
+    K Python-level constructor calls.
+    """
+    thetas = np.asarray(thetas, dtype=float)
+    phis = np.asarray(phis, dtype=float)
+    cos_t = np.cos(thetas)
+    sin_t = np.sin(thetas)
+    phase = np.exp(1j * phis)
+    blocks = np.empty(thetas.shape + (2, 2), dtype=complex)
+    blocks[..., 0, 0] = phase * cos_t
+    blocks[..., 0, 1] = -sin_t
+    blocks[..., 1, 0] = phase * sin_t
+    blocks[..., 1, 1] = cos_t
+    return blocks
+
+
+def physical_mzi_blocks(
+    thetas: np.ndarray,
+    phis: np.ndarray,
+    ratios_in: Optional[np.ndarray] = None,
+    ratios_out: Optional[np.ndarray] = None,
+    arm_loss_db: float = 0.0,
+    coupler_transmission_in: float = 1.0,
+    coupler_transmission_out: float = 1.0,
+) -> np.ndarray:
+    """Batched physical MZI matrices: a ``(K, 2, 2)`` stack of
+    :func:`physical_mzi_matrix`.
+
+    ``ratios_in``/``ratios_out`` are per-MZI coupler power splitting ratios
+    (default: perfect 50:50); the ``coupler_transmission_*`` factors carry
+    any coupler excess loss.  The same convention correction is applied as
+    in the scalar function, so with ideal parameters the blocks coincide
+    with :func:`ideal_mzi_blocks`.  This is the single implementation of
+    the physical MZI model — the scalar :func:`physical_mzi_matrix` wraps
+    it with a stack of one.
+    """
+    thetas = np.asarray(thetas, dtype=float)
+    phis = np.asarray(phis, dtype=float)
+    k = thetas.shape[0]
+    if ratios_in is None:
+        ratios_in = np.full(k, 0.5)
+    if ratios_out is None:
+        ratios_out = np.full(k, 0.5)
+    arm_amplitude = 10.0 ** (-arm_loss_db / 20.0)
+
+    c_in = coupler_blocks(ratios_in, coupler_transmission_in)
+    c_out = coupler_blocks(ratios_out, coupler_transmission_out)
+    internal = np.zeros((k, 2, 2), dtype=complex)
+    internal[:, 0, 0] = arm_amplitude * np.exp(2j * thetas)
+    internal[:, 1, 1] = arm_amplitude
+    external = np.zeros((k, 2, 2), dtype=complex)
+    external[:, 0, 0] = np.exp(1j * phis)
+    external[:, 1, 1] = 1.0
+
+    raw = c_out @ internal @ c_in @ external
+    correction = np.exp(-1j * (np.pi / 2.0 + thetas))
+    # swap @ raw exchanges the two rows of every block.
+    swapped = raw[:, ::-1, :]
+    return correction[:, None, None] * swapped
 
 
 def physical_mzi_matrix(
@@ -63,17 +123,15 @@ def physical_mzi_matrix(
     """
     coupler_in = coupler_in if coupler_in is not None else DirectionalCoupler()
     coupler_out = coupler_out if coupler_out is not None else DirectionalCoupler()
-    arm_amplitude = 10.0 ** (-arm_loss_db / 20.0)
-    internal = np.diag(
-        [arm_amplitude * np.exp(2j * theta), arm_amplitude]
-    ).astype(complex)
-    external = np.diag([np.exp(1j * phi), 1.0]).astype(complex)
-    raw = coupler_out.transfer_matrix @ internal @ coupler_in.transfer_matrix @ external
-    # Undo the nominal port swap and the theta-dependent reference phase of
-    # the ideal device so the result lives in the Clements convention.
-    swap = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
-    correction = np.exp(-1j * (np.pi / 2.0 + theta))
-    return correction * (swap @ raw)
+    return physical_mzi_blocks(
+        np.atleast_1d(float(theta)),
+        np.atleast_1d(float(phi)),
+        ratios_in=np.atleast_1d(coupler_in.power_splitting_ratio),
+        ratios_out=np.atleast_1d(coupler_out.power_splitting_ratio),
+        arm_loss_db=arm_loss_db,
+        coupler_transmission_in=coupler_in.field_transmission,
+        coupler_transmission_out=coupler_out.field_transmission,
+    )[0]
 
 
 @dataclass

@@ -16,6 +16,89 @@ import numpy as np
 from repro.materials.pcm import GSST, PCMMaterial
 
 
+def pcm_transmission(
+    material: PCMMaterial, fractions, confinement: float, patch_length: float
+):
+    """Optical power transmission of PCM patches (scalar or array of fractions).
+
+    This is the single fraction -> transmission kernel shared by the scalar
+    :class:`PCMSynapticCell` and the array-backed synapse state.
+    """
+    alpha = material.absorption_per_length(fractions, confinement)
+    return np.exp(-np.maximum(alpha, 0.0) * patch_length)
+
+
+def pcm_normalized_weight(
+    material: PCMMaterial,
+    fractions,
+    confinement: float,
+    patch_length: float,
+    t_min: float = None,
+    t_max: float = None,
+):
+    """Normalised synaptic weight in [0, 1] for PCM patches.
+
+    The transmission is normalised between the fully crystalline (weight 0)
+    and fully amorphous (weight 1) states; the bounds can be passed in when
+    the caller caches them.
+    """
+    if t_min is None:
+        t_min = float(pcm_transmission(material, 1.0, confinement, patch_length))
+    if t_max is None:
+        t_max = float(pcm_transmission(material, 0.0, confinement, patch_length))
+    transmission = pcm_transmission(material, fractions, confinement, patch_length)
+    if t_max == t_min:
+        return np.ones_like(np.asarray(fractions, dtype=float))
+    return (transmission - t_min) / (t_max - t_min)
+
+
+def pulse_granular_fraction_update(
+    fractions,
+    delta_weights,
+    weight_of,
+    crystallization_step: float,
+    amorphization_step: float,
+    current_weights=None,
+):
+    """Apply signed weight deltas through the PCM pulse mechanism (elementwise).
+
+    ``weight_of`` maps fractions to weights.  The per-pulse weight change is
+    probed around the current state, the pulse count is the delta divided by
+    it rounded to the nearest integer, and the fraction moves by that many
+    SET/RESET steps — so arbitrarily fine updates are impossible, exactly
+    the granularity limit of real PCM.  Works on scalars and arrays alike;
+    this is the single plasticity kernel behind both
+    :meth:`PCMSynapticCell.adjust_weight` and ``SynapseArray``.
+
+    ``current_weights`` lets a caller that already evaluated
+    ``weight_of(fractions)`` (e.g. the SNN event loop, which needs the
+    weights for the spike fan-out anyway) skip re-evaluating it here.
+    """
+    fractions = np.asarray(fractions, dtype=float)
+    delta_weights = np.asarray(delta_weights, dtype=float)
+    if current_weights is not None:
+        w_now = np.asarray(current_weights, dtype=float)
+    else:
+        w_now = weight_of(fractions)
+    probe_pot = np.clip(fractions - amorphization_step, 0.0, 1.0)
+    per_pot = np.abs(weight_of(probe_pot) - w_now)
+    probe_dep = np.clip(fractions + crystallization_step, 0.0, 1.0)
+    per_dep = np.abs(weight_of(probe_dep) - w_now)
+
+    safe_pot = np.where(per_pot > 0, per_pot, 1.0)
+    safe_dep = np.where(per_dep > 0, per_dep, 1.0)
+    n_pot = np.where(
+        (delta_weights > 0) & (per_pot > 0), np.round(delta_weights / safe_pot), 0.0
+    )
+    n_dep = np.where(
+        (delta_weights < 0) & (per_dep > 0), np.round(-delta_weights / safe_dep), 0.0
+    )
+    n_pot = np.maximum(n_pot, 0.0)
+    n_dep = np.maximum(n_dep, 0.0)
+    updated = fractions - n_pot * amorphization_step + n_dep * crystallization_step
+    return np.clip(updated, 0.0, 1.0)
+
+
 @dataclass
 class PCMSynapticCell:
     """A PCM cell used as a photonic synaptic weight.
@@ -55,10 +138,7 @@ class PCMSynapticCell:
     @property
     def transmission(self) -> float:
         """Optical power transmission of the cell in its current state."""
-        alpha = self.material.absorption_per_length(
-            self.crystalline_fraction, self.confinement
-        )
-        return float(np.exp(-max(alpha, 0.0) * self.patch_length))
+        return self._transmission_at(self.crystalline_fraction)
 
     @property
     def weight(self) -> float:
@@ -67,15 +147,16 @@ class PCMSynapticCell:
         Defined as the cell transmission normalised between the fully
         crystalline (weight 0) and fully amorphous (weight 1) states.
         """
-        t_min = self._transmission_at(1.0)
-        t_max = self._transmission_at(0.0)
-        if t_max == t_min:
-            return 1.0
-        return float((self.transmission - t_min) / (t_max - t_min))
+        return float(
+            pcm_normalized_weight(
+                self.material, self.crystalline_fraction, self.confinement, self.patch_length
+            )
+        )
 
     def _transmission_at(self, fraction: float) -> float:
-        alpha = self.material.absorption_per_length(fraction, self.confinement)
-        return float(np.exp(-max(alpha, 0.0) * self.patch_length))
+        return float(
+            pcm_transmission(self.material, fraction, self.confinement, self.patch_length)
+        )
 
     def apply_crystallization_pulses(self, n_pulses: int = 1) -> float:
         """Apply depressing pulses (partial crystallisation); returns new weight."""
@@ -107,33 +188,27 @@ class PCMSynapticCell:
         """Apply a signed weight update (used by the STDP rule).
 
         Positive deltas potentiate (amorphise), negative deltas depress
-        (crystallise).  The update is applied through the pulse mechanism:
-        the number of pulses is the delta divided by the per-pulse weight
-        change, rounded to the nearest integer, so arbitrarily fine updates
-        are *not* possible — exactly the granularity limit of real PCM.
+        (crystallise).  The update is applied through the shared
+        :func:`pulse_granular_fraction_update` kernel: the number of pulses
+        is the delta divided by the per-pulse weight change, rounded to the
+        nearest integer, so arbitrarily fine updates are *not* possible —
+        exactly the granularity limit of real PCM.
         """
-        if delta_weight == 0.0:
-            return self.weight
-        if delta_weight > 0:
-            per_pulse = self._weight_change_per_pulse(potentiate=True)
-            n_pulses = int(round(delta_weight / per_pulse)) if per_pulse > 0 else 0
-            return self.apply_amorphization_pulses(max(n_pulses, 0))
-        per_pulse = self._weight_change_per_pulse(potentiate=False)
-        n_pulses = int(round(-delta_weight / per_pulse)) if per_pulse > 0 else 0
-        return self.apply_crystallization_pulses(max(n_pulses, 0))
-
-    def _weight_change_per_pulse(self, potentiate: bool) -> float:
-        """Approximate |weight change| of one pulse around the current state."""
-        original = self.crystalline_fraction
-        step = (
-            -self.pulse_amorphization_step if potentiate else self.pulse_crystallization_step
+        self.crystalline_fraction = float(
+            pulse_granular_fraction_update(
+                self.crystalline_fraction,
+                delta_weight,
+                self._weights_of,
+                self.pulse_crystallization_step,
+                self.pulse_amorphization_step,
+            )
         )
-        probe = float(np.clip(original + step, 0.0, 1.0))
-        w_now = self.weight
-        self.crystalline_fraction = probe
-        w_probe = self.weight
-        self.crystalline_fraction = original
-        return abs(w_probe - w_now)
+        return self.weight
+
+    def _weights_of(self, fractions) -> np.ndarray:
+        return pcm_normalized_weight(
+            self.material, fractions, self.confinement, self.patch_length
+        )
 
     def apply_drift(self, duration: float) -> float:
         """Relax the crystalline fraction toward amorphous for ``duration`` [s]."""

@@ -90,6 +90,28 @@ class PCMMaterial:
             return float("inf")
         return abs(self.delta_n) / abs(self.delta_k)
 
+    def effective_index(self, crystalline_fractions) -> np.ndarray:
+        """Vectorised effective complex index for partially crystallised patches.
+
+        Accepts a scalar or an array of crystalline fractions and returns
+        the Lorentz-Lorenz effective-medium index elementwise; this is the
+        kernel the array-backed synapse state evaluates for whole weight
+        matrices at once.
+        """
+        fractions = np.asarray(crystalline_fractions, dtype=float)
+        if np.any(fractions < 0.0) or np.any(fractions > 1.0):
+            raise ValueError("crystalline_fraction must lie in [0, 1]")
+        eps_a = (self.n_amorphous + 1j * self.k_amorphous) ** 2
+        eps_c = (self.n_crystalline + 1j * self.k_crystalline) ** 2
+        # Lorentz-Lorenz mixing on (eps - 1)/(eps + 2).
+        mix = fractions * (eps_c - 1.0) / (eps_c + 2.0) + (1.0 - fractions) * (
+            eps_a - 1.0
+        ) / (eps_a + 2.0)
+        eps_eff = (1.0 + 2.0 * mix) / (1.0 - mix)
+        index = np.sqrt(eps_eff)
+        # The physical branch has non-negative absorption.
+        return np.where(index.imag < 0, -index, index)
+
     def refractive_index(self, crystalline_fraction: float) -> complex:
         """Effective complex index for a partially crystallised patch.
 
@@ -98,46 +120,36 @@ class PCMMaterial:
         crystallised PCM cells and reduces to the end-point values at
         fractions 0 and 1.
         """
-        if not 0.0 <= crystalline_fraction <= 1.0:
-            raise ValueError("crystalline_fraction must lie in [0, 1]")
-        eps_a = (self.n_amorphous + 1j * self.k_amorphous) ** 2
-        eps_c = (self.n_crystalline + 1j * self.k_crystalline) ** 2
-        # Lorentz-Lorenz mixing on (eps - 1)/(eps + 2).
-        mix = crystalline_fraction * (eps_c - 1.0) / (eps_c + 2.0) + (
-            1.0 - crystalline_fraction
-        ) * (eps_a - 1.0) / (eps_a + 2.0)
-        eps_eff = (1.0 + 2.0 * mix) / (1.0 - mix)
-        index = np.sqrt(eps_eff)
-        # The physical branch has non-negative absorption.
-        if index.imag < 0:
-            index = -index
-        return complex(index)
+        return complex(self.effective_index(crystalline_fraction))
 
-    def phase_shift_per_length(self, crystalline_fraction: float, confinement: float = 0.1) -> float:
+    def phase_shift_per_length(self, crystalline_fraction, confinement: float = 0.1):
         """Phase shift per unit length relative to the amorphous state [rad/m].
 
         ``confinement`` is the fraction of the optical mode overlapping the
         PCM patch (the patch sits on top of the waveguide, so only a small
-        part of the mode sees it).
+        part of the mode sees it).  Scalar in, float out; array in, array out.
         """
         if not 0.0 < confinement <= 1.0:
             raise ValueError("confinement must lie in (0, 1]")
-        index = self.refractive_index(crystalline_fraction)
-        index_a = self.refractive_index(0.0)
+        index = self.effective_index(crystalline_fraction)
+        index_a = self.effective_index(0.0)
         delta_n_eff = confinement * (index.real - index_a.real)
-        return 2.0 * np.pi * delta_n_eff / self.wavelength
+        shift = 2.0 * np.pi * delta_n_eff / self.wavelength
+        return float(shift) if np.ndim(crystalline_fraction) == 0 else shift
 
-    def absorption_per_length(self, crystalline_fraction: float, confinement: float = 0.1) -> float:
+    def absorption_per_length(self, crystalline_fraction, confinement: float = 0.1):
         """Excess power absorption coefficient relative to amorphous [1/m].
 
         Returned ``alpha`` attenuates power as ``exp(-alpha * L)``.
+        Scalar in, float out; array in, array out.
         """
         if not 0.0 < confinement <= 1.0:
             raise ValueError("confinement must lie in (0, 1]")
-        index = self.refractive_index(crystalline_fraction)
-        index_a = self.refractive_index(0.0)
+        index = self.effective_index(crystalline_fraction)
+        index_a = self.effective_index(0.0)
         delta_k_eff = confinement * (index.imag - index_a.imag)
-        return 4.0 * np.pi * delta_k_eff / self.wavelength
+        alpha = 4.0 * np.pi * delta_k_eff / self.wavelength
+        return float(alpha) if np.ndim(crystalline_fraction) == 0 else alpha
 
     def level_fractions(self, n_levels: int) -> np.ndarray:
         """Crystalline fractions of an ``n_levels``-state multilevel cell.

@@ -6,17 +6,23 @@ of single-mode output phase shifters.  Given programmed phases it realises
 an N x N matrix on the optical field amplitudes; given a target unitary a
 mesh architecture provides a programming routine (analytic decomposition or
 numerical optimisation) to find those phases.
+
+The forward model applies each 2x2 block to the two affected columns of the
+accumulating transfer matrix (O(K * N) work for K MZIs) rather than
+composing full N x N matmuls per MZI, so building an N-mode mesh matrix is
+O(N^3) overall.  Phases and layout live in flat NumPy arrays;
+``placements`` exposes them as :class:`MZIPlacement` objects for
+programming routines and introspection.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.devices.coupler import DirectionalCoupler
-from repro.devices.mzi import ideal_mzi_matrix, physical_mzi_matrix
+from repro.devices.mzi import ideal_mzi_blocks, physical_mzi_blocks
 from repro.utils.linalg import is_unitary
 
 
@@ -62,15 +68,22 @@ class MeshErrorModel:
     phase_quantization_levels: Optional[int] = None
     rng: object = None
 
-    def quantize_phase(self, phase: float) -> float:
-        """Quantise a phase onto the PCM level grid (no-op when disabled)."""
+    def quantize_phase(self, phase: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Quantise phases onto the PCM level grid (no-op when disabled).
+
+        Accepts a scalar or an array; a scalar in gives a float back, an
+        array is quantised elementwise in one shot.
+        """
         if self.phase_quantization_levels is None:
             return phase
         n_levels = int(self.phase_quantization_levels)
         if n_levels < 2:
             raise ValueError("phase_quantization_levels must be >= 2")
         step = 2.0 * np.pi / n_levels
-        return float(np.round(np.mod(phase, 2.0 * np.pi) / step) * step)
+        quantized = np.round(np.mod(phase, 2.0 * np.pi) / step) * step
+        if np.ndim(phase) == 0:
+            return float(quantized)
+        return quantized
 
 
 class MZIMesh:
@@ -78,8 +91,14 @@ class MZIMesh:
 
     Subclasses define the MZI layout (``_build_placements``) and a
     programming routine (``program``).  The base class provides the forward
-    model: composing the per-MZI 2x2 blocks (ideal or with an error model)
-    into the full N x N transfer matrix.
+    model: applying the per-MZI 2x2 blocks (ideal or with an error model)
+    to the accumulating N x N transfer matrix.
+
+    Internally the layout and phases are stored as flat arrays
+    (``_mzi_modes``, ``_mzi_thetas``, ``_mzi_phis``, ``_mzi_columns``); the
+    ``placements`` property materialises them as :class:`MZIPlacement`
+    snapshots and its setter ingests a placement list, so programming
+    routines keep their object-level interface.
     """
 
     #: human-readable architecture name, overridden by subclasses
@@ -90,7 +109,8 @@ class MZIMesh:
             raise ValueError("a mesh needs at least 2 modes")
         self.n_modes = int(n_modes)
         self.output_phases = np.zeros(self.n_modes)
-        self.placements: List[MZIPlacement] = self._build_placements()
+        self._ideal_cache = None
+        self.placements = self._build_placements()
 
     # ------------------------------------------------------------------ #
     # layout / bookkeeping
@@ -100,9 +120,34 @@ class MZIMesh:
         raise NotImplementedError
 
     @property
+    def placements(self) -> List[MZIPlacement]:
+        """The ordered MZI placements as a snapshot list.
+
+        Mutating the returned objects does not write back into the mesh;
+        assign a (possibly modified) list to ``placements`` to reprogram the
+        layout and phases.
+        """
+        return [
+            MZIPlacement(mode=int(m), theta=float(t), phi=float(p), column=int(c))
+            for m, t, p, c in zip(
+                self._mzi_modes, self._mzi_thetas, self._mzi_phis, self._mzi_columns
+            )
+        ]
+
+    @placements.setter
+    def placements(self, value: Sequence[MZIPlacement]) -> None:
+        value = list(value)
+        count = len(value)
+        self._mzi_modes = np.fromiter((p.mode for p in value), dtype=np.int64, count=count)
+        self._mzi_thetas = np.fromiter((p.theta for p in value), dtype=float, count=count)
+        self._mzi_phis = np.fromiter((p.phi for p in value), dtype=float, count=count)
+        self._mzi_columns = np.fromiter((p.column for p in value), dtype=np.int64, count=count)
+        self._ideal_cache = None
+
+    @property
     def n_mzis(self) -> int:
         """Number of MZIs in the mesh."""
-        return len(self.placements)
+        return len(self._mzi_modes)
 
     @property
     def n_phase_shifters(self) -> int:
@@ -112,36 +157,31 @@ class MZIMesh:
     @property
     def depth(self) -> int:
         """Circuit depth: number of physical MZI columns."""
-        if not self.placements:
+        if self.n_mzis == 0:
             return 0
-        return max(p.column for p in self.placements) + 1
+        return int(self._mzi_columns.max()) + 1
 
     def phase_vector(self) -> np.ndarray:
         """All programmable phases as a flat vector (thetas, phis, outputs)."""
-        thetas = np.array([p.theta for p in self.placements])
-        phis = np.array([p.phi for p in self.placements])
-        return np.concatenate([thetas, phis, self.output_phases])
+        return np.concatenate(
+            [self._mzi_thetas, self._mzi_phis, np.asarray(self.output_phases, dtype=float)]
+        )
 
     def set_phase_vector(self, phases: Sequence[float]) -> None:
         """Set all programmable phases from a flat vector (inverse of ``phase_vector``)."""
         phases = np.asarray(phases, dtype=float)
-        expected = 2 * self.n_mzis + self.n_modes
+        n_mzis = self.n_mzis
+        expected = 2 * n_mzis + self.n_modes
         if phases.shape != (expected,):
             raise ValueError(f"expected {expected} phases, got {phases.shape}")
-        for i, placement in enumerate(self.placements):
-            placement.theta = float(phases[i])
-            placement.phi = float(phases[self.n_mzis + i])
-        self.output_phases = phases[2 * self.n_mzis :].copy()
+        self._mzi_thetas = phases[:n_mzis].copy()
+        self._mzi_phis = phases[n_mzis : 2 * n_mzis].copy()
+        self.output_phases = phases[2 * n_mzis :].copy()
+        self._ideal_cache = None
 
     # ------------------------------------------------------------------ #
     # forward model
     # ------------------------------------------------------------------ #
-    def _embed(self, block: np.ndarray, mode: int) -> np.ndarray:
-        """Embed a 2x2 block acting on (mode, mode+1) into an N x N identity."""
-        matrix = np.eye(self.n_modes, dtype=complex)
-        matrix[mode : mode + 2, mode : mode + 2] = block
-        return matrix
-
     def matrix(self, error_model: Optional[MeshErrorModel] = None) -> np.ndarray:
         """Transfer matrix realised by the currently programmed phases.
 
@@ -154,60 +194,70 @@ class MZIMesh:
             return self._ideal_matrix()
         return self._physical_matrix(error_model)
 
+    def _compose(self, diagonal_phases: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+        """Compose ``diag(e^{i phases}) . T_1 . T_2 ...`` with 2-column updates.
+
+        Right-multiplying the accumulator by an embedded 2x2 block only
+        touches the two columns of the block's mode pair, so each factor is
+        an (N, 2) @ (2, 2) product instead of an N x N matmul.
+        """
+        result = np.diag(np.exp(1j * np.asarray(diagonal_phases, dtype=float))).astype(complex)
+        for mode, block in zip(self._mzi_modes, blocks):
+            cols = result[:, mode : mode + 2]
+            result[:, mode : mode + 2] = cols @ block
+        return result
+
     def _ideal_matrix(self) -> np.ndarray:
-        result = np.diag(np.exp(1j * self.output_phases)).astype(complex)
+        cache_key = self.phase_vector()
+        if self._ideal_cache is not None and np.array_equal(self._ideal_cache[0], cache_key):
+            return self._ideal_cache[1].copy()
         # placements[0] is the factor closest to the output-phase diagonal:
         # U = D * T(placements[0]) * T(placements[1]) * ...
-        for placement in self.placements:
-            block = ideal_mzi_matrix(placement.theta, placement.phi)
-            result = result @ self._embed(block, placement.mode)
+        blocks = ideal_mzi_blocks(self._mzi_thetas, self._mzi_phis)
+        result = self._compose(self.output_phases, blocks)
+        self._ideal_cache = (cache_key, result.copy())
         return result
 
     def _physical_matrix(self, error_model: MeshErrorModel) -> np.ndarray:
         from repro.utils.rng import ensure_rng
 
         generator = ensure_rng(error_model.rng)
-        result = np.diag(
-            np.exp(
-                1j
-                * np.array(
-                    [
-                        error_model.quantize_phase(
-                            p + generator.normal(0.0, error_model.phase_error_std)
-                            if error_model.phase_error_std > 0
-                            else p
-                        )
-                        for p in self.output_phases
-                    ]
-                )
-            )
-        ).astype(complex)
-        for placement in self.placements:
-            theta = placement.theta
-            phi = placement.phi
-            if error_model.phase_error_std > 0:
-                theta = theta + generator.normal(0.0, error_model.phase_error_std)
-                phi = phi + generator.normal(0.0, error_model.phase_error_std)
-            theta = error_model.quantize_phase(theta)
-            phi = error_model.quantize_phase(phi)
-            coupler_in = DirectionalCoupler()
-            coupler_out = DirectionalCoupler()
-            if error_model.coupler_ratio_error_std > 0:
-                coupler_in = coupler_in.with_ratio_error(
-                    generator.normal(0.0, error_model.coupler_ratio_error_std)
-                )
-                coupler_out = coupler_out.with_ratio_error(
-                    generator.normal(0.0, error_model.coupler_ratio_error_std)
-                )
-            block = physical_mzi_matrix(
-                theta,
-                phi,
-                coupler_in=coupler_in,
-                coupler_out=coupler_out,
-                arm_loss_db=error_model.mzi_insertion_loss_db,
-            )
-            result = result @ self._embed(block, placement.mode)
-        return result
+        n_mzis = self.n_mzis
+        phase_std = error_model.phase_error_std
+        coupler_std = error_model.coupler_ratio_error_std
+        output = np.asarray(self.output_phases, dtype=float).copy()
+        thetas = self._mzi_thetas.copy()
+        phis = self._mzi_phis.copy()
+
+        # All random errors are drawn in bulk, in the exact stream order of
+        # the historical per-element loop (output phases first, then
+        # theta/phi/coupler-in/coupler-out interleaved per MZI), so a given
+        # seed keeps describing the same fabricated chip.
+        if phase_std > 0:
+            output = output + phase_std * generator.standard_normal(output.shape)
+        ratios_in = ratios_out = None
+        n_per_mzi = (2 if phase_std > 0 else 0) + (2 if coupler_std > 0 else 0)
+        if n_per_mzi:
+            draws = generator.standard_normal((n_mzis, n_per_mzi))
+            column = 0
+            if phase_std > 0:
+                thetas = thetas + phase_std * draws[:, 0]
+                phis = phis + phase_std * draws[:, 1]
+                column = 2
+            if coupler_std > 0:
+                ratios_in = np.clip(0.5 + coupler_std * draws[:, column], 0.0, 1.0)
+                ratios_out = np.clip(0.5 + coupler_std * draws[:, column + 1], 0.0, 1.0)
+        output = error_model.quantize_phase(output)
+        thetas = error_model.quantize_phase(thetas)
+        phis = error_model.quantize_phase(phis)
+        blocks = physical_mzi_blocks(
+            thetas,
+            phis,
+            ratios_in=ratios_in,
+            ratios_out=ratios_out,
+            arm_loss_db=error_model.mzi_insertion_loss_db,
+        )
+        return self._compose(output, blocks)
 
     def transform(self, input_fields: np.ndarray, error_model: Optional[MeshErrorModel] = None) -> np.ndarray:
         """Propagate a vector of input field amplitudes through the mesh."""

@@ -140,8 +140,7 @@ class FldzhyanMesh:
                     phases = phases + generator.normal(
                         0.0, error_model.phase_error_std, size=phases.shape
                     )
-                phases = np.array([error_model.quantize_phase(p) for p in phases])
-            phase_layer = np.diag(np.exp(1j * phases))
+                phases = error_model.quantize_phase(phases)
             mixing = self._mixing_layers[layer]
             if (
                 error_model is not None
@@ -157,15 +156,16 @@ class FldzhyanMesh:
             loss_amplitude = 1.0
             if error_model is not None and error_model.mzi_insertion_loss_db > 0:
                 loss_amplitude = 10.0 ** (-error_model.mzi_insertion_loss_db / 40.0)
-            result = loss_amplitude * mixing @ phase_layer @ result
+            # diag(e^{i phases}) @ result is a per-row rescaling.
+            result = loss_amplitude * mixing @ (np.exp(1j * phases)[:, None] * result)
         output = self.output_phases.copy()
         if error_model is not None:
             if error_model.phase_error_std > 0:
                 output = output + generator.normal(
                     0.0, error_model.phase_error_std, size=output.shape
                 )
-            output = np.array([error_model.quantize_phase(p) for p in output])
-        return np.diag(np.exp(1j * output)) @ result
+            output = error_model.quantize_phase(output)
+        return np.exp(1j * output)[:, None] * result
 
     def transform(self, input_fields, error_model: Optional[MeshErrorModel] = None):
         """Propagate a vector of input field amplitudes through the mesh."""

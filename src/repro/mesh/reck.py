@@ -72,10 +72,11 @@ class ReckMesh(MZIMesh):
         """Program the mesh with the analytic triangular decomposition."""
         target = self._check_target(target_unitary)
         factors, output_phases = reck_decomposition(target)
-        self.placements = [
+        placements = [
             MZIPlacement(mode=mode, theta=theta, phi=phi)
             for mode, theta, phi in factors
         ]
-        assign_columns(self.placements)
+        assign_columns(placements)
+        self.placements = placements
         self.output_phases = np.asarray(output_phases, dtype=float)
         return self

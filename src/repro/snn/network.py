@@ -1,10 +1,17 @@
 """Event-driven photonic spiking neural network simulator.
 
-Wires :class:`PhotonicLIFNeuron` neurons with :class:`PhotonicSynapse` PCM
-synapses into a feed-forward network, simulates it event by event (spike by
-spike), and optionally applies the STDP rule online.  This is the substrate
-for experiment E7: unsupervised learning of input patterns through STDP on
-PCM synaptic weights.
+Wires :class:`PhotonicLIFNeuron` neurons and an array-backed crossbar of
+PCM synapses (:class:`repro.snn.synapse.SynapseArray`) into a feed-forward
+network, simulates it event by event (spike by spike), and optionally
+applies the STDP rule online.  This is the substrate for experiment E7:
+unsupervised learning of input patterns through STDP on PCM synaptic
+weights.
+
+The event loop stays event-driven (spikes are processed in time order),
+but all per-event synapse work is vectorised: a presynaptic spike fans out
+through one weight-matrix row, and an output spike applies the STDP update
+to one weight-matrix column, instead of touching ``n`` Python synapse
+objects one by one.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from repro.devices.pcm_cell import PCMSynapticCell
 from repro.snn.encoding import SpikeTrain, merge_spike_trains
 from repro.snn.neuron import PhotonicLIFNeuron
 from repro.snn.stdp import STDPRule
-from repro.snn.synapse import PhotonicSynapse
+from repro.snn.synapse import PhotonicSynapse, SynapseArray
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -58,7 +65,8 @@ class PhotonicSNN:
     Attributes:
         n_inputs / n_outputs: layer dimensions.
         neurons: the output LIF neurons.
-        synapses: dict keyed by (pre, post) with the PCM synapses.
+        synapse_array: array-backed PCM synapse state (weight and
+            crystalline-fraction matrices).
         stdp: the plasticity rule applied online (None disables learning).
         inhibition: membrane decrement applied to all other output neurons
             when one fires (lateral inhibition strength).
@@ -84,24 +92,57 @@ class PhotonicSNN:
         self.neurons = [
             PhotonicLIFNeuron(threshold=neuron_threshold) for _ in range(self.n_outputs)
         ]
-        self.synapses: Dict[Tuple[int, int], PhotonicSynapse] = {}
-        for pre in range(self.n_inputs):
-            for post in range(self.n_outputs):
-                fraction = float(
-                    np.clip(0.5 + generator.uniform(-initial_weight_spread, initial_weight_spread), 0.0, 1.0)
-                )
-                cell = PCMSynapticCell(crystalline_fraction=fraction)
-                self.synapses[(pre, post)] = PhotonicSynapse(pre=pre, post=post, cell=cell)
+        fractions = np.clip(
+            0.5
+            + generator.uniform(
+                -initial_weight_spread,
+                initial_weight_spread,
+                size=(self.n_inputs, self.n_outputs),
+            ),
+            0.0,
+            1.0,
+        )
+        self.synapse_array = SynapseArray(fractions)
+        # Most recent pre/post spike times (NaN = none yet); like the cell
+        # state these persist across run() calls.
+        self._last_pre = np.full(self.n_inputs, np.nan)
+        self._last_post = np.full(self.n_outputs, np.nan)
 
     # ------------------------------------------------------------------ #
     # weights
     # ------------------------------------------------------------------ #
     def weight_matrix(self) -> np.ndarray:
         """Current synaptic weights as an (n_inputs, n_outputs) matrix."""
-        weights = np.zeros((self.n_inputs, self.n_outputs))
-        for (pre, post), synapse in self.synapses.items():
-            weights[pre, post] = synapse.weight
-        return weights
+        return self.synapse_array.weights()
+
+    @property
+    def synapses(self) -> Dict[Tuple[int, int], PhotonicSynapse]:
+        """Object view of the crossbar, keyed by ``(pre, post)``.
+
+        Built on demand from the array state for inspection and
+        compatibility; mutating the returned objects does not write back —
+        plasticity acts on :attr:`synapse_array`.
+        """
+        view: Dict[Tuple[int, int], PhotonicSynapse] = {}
+        for pre in range(self.n_inputs):
+            for post in range(self.n_outputs):
+                cell = PCMSynapticCell(
+                    material=self.synapse_array.material,
+                    patch_length=self.synapse_array.patch_length,
+                    confinement=self.synapse_array.confinement,
+                    pulse_crystallization_step=self.synapse_array.pulse_crystallization_step,
+                    pulse_amorphization_step=self.synapse_array.pulse_amorphization_step,
+                    crystalline_fraction=float(self.synapse_array.fractions[pre, post]),
+                )
+                synapse = PhotonicSynapse(
+                    pre=pre, post=post, cell=cell, delay=self.synapse_array.delay
+                )
+                if np.isfinite(self._last_pre[pre]):
+                    synapse.last_pre_spike = float(self._last_pre[pre])
+                if np.isfinite(self._last_post[post]):
+                    synapse.last_post_spike = float(self._last_post[post])
+                view[(pre, post)] = synapse
+        return view
 
     # ------------------------------------------------------------------ #
     # simulation
@@ -115,10 +156,10 @@ class PhotonicSNN:
         """Simulate the network response to a set of input spike trains.
 
         Events are processed in time order.  Each input spike is fanned out
-        through its synapses; when an output neuron fires, lateral
+        through its synapse row; when an output neuron fires, lateral
         inhibition is applied and (if learning) STDP potentiates the
         synapses whose presynaptic spikes preceded the output spike and
-        depresses later ones.
+        depresses later ones — one column update per output spike.
         """
         if len(input_trains) > self.n_inputs:
             raise ValueError("more input trains than input channels")
@@ -134,16 +175,27 @@ class PhotonicSNN:
         plasticity_events = 0
         energy = 0.0
         spike_energy = self.neurons[0].spike_energy if self.neurons else 0.0
+        pulse_energy = self.synapse_array.programming_energy_per_pulse()
+        delay = self.synapse_array.delay
+        plastic = learning and self.stdp is not None
         sequence = len(events)
 
         while queue:
             time, _, pre = heapq.heappop(queue)
+            arrival = time + delay
+            row_weights = self.synapse_array.row_weights(pre)
+            amplitudes = input_amplitude * row_weights
+            self._last_pre[pre] = time
+            if plastic:
+                # Depress (or potentiate, for acausal orderings) the whole
+                # fan-out row against the recorded postsynaptic spike times.
+                recorded = np.isfinite(self._last_post)
+                if np.any(recorded):
+                    delta_t = np.where(recorded, self._last_post - time, 0.0)
+                    deltas = self.stdp.bounded_deltas(row_weights, delta_t, valid=recorded)
+                    self.synapse_array.adjust_row(pre, deltas, current_weights=row_weights)
             for post in range(self.n_outputs):
-                synapse = self.synapses[(pre, post)]
-                arrival, amplitude = synapse.transmit(time, input_amplitude)
-                if learning and self.stdp is not None:
-                    self.stdp.apply_on_pre_spike(synapse, time)
-                fired = self.neurons[post].receive(amplitude, arrival)
+                fired = self.neurons[post].receive(amplitudes[post], arrival)
                 if fired:
                     output_spikes[post].append(arrival)
                     energy += spike_energy
@@ -151,12 +203,15 @@ class PhotonicSNN:
                         for other in range(self.n_outputs):
                             if other != post:
                                 self.neurons[other].membrane -= self.inhibition
-                    if learning and self.stdp is not None:
-                        for input_index in range(self.n_inputs):
-                            updated = self.synapses[(input_index, post)]
-                            self.stdp.apply_on_post_spike(updated, arrival)
-                            plasticity_events += 1
-                            energy += updated.programming_energy()
+                    if plastic:
+                        self._last_post[post] = arrival
+                        seen = np.isfinite(self._last_pre)
+                        delta_t = np.where(seen, arrival - self._last_pre, 0.0)
+                        column = self.synapse_array.column_weights(post)
+                        deltas = self.stdp.bounded_deltas(column, delta_t, valid=seen)
+                        self.synapse_array.adjust_column(post, deltas, current_weights=column)
+                        plasticity_events += self.n_inputs
+                        energy += self.n_inputs * pulse_energy
 
         return SNNResult(
             output_spikes=[np.asarray(times) for times in output_spikes],

@@ -58,10 +58,44 @@ class STDPRule:
 
     def window(self, delta_times: np.ndarray) -> np.ndarray:
         """Vectorised STDP window (for plotting / characterisation)."""
+        return self.weight_changes(delta_times)
+
+    def weight_changes(self, delta_times: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`weight_change` for an array of time differences.
+
+        The decaying exponent is evaluated on ``-|dt|`` for both branches
+        (``np.where`` computes both), so large time differences never
+        overflow.  This is the single vectorised STDP curve, used by the
+        array-backed network simulator on whole synapse rows/columns.
+        """
         delta_times = np.asarray(delta_times, dtype=float)
-        potentiation = self.a_plus * np.exp(-delta_times / self.tau_plus)
-        depression = -self.a_minus * np.exp(delta_times / self.tau_minus)
-        return np.where(delta_times >= 0, potentiation, depression)
+        magnitude = np.abs(delta_times)
+        return np.where(
+            delta_times >= 0,
+            self.a_plus * np.exp(-magnitude / self.tau_plus),
+            -self.a_minus * np.exp(-magnitude / self.tau_minus),
+        )
+
+    def bounded_deltas(
+        self,
+        weights: np.ndarray,
+        delta_times: np.ndarray,
+        valid: np.ndarray = None,
+    ) -> np.ndarray:
+        """Clipped weight deltas for an array of synapses.
+
+        The realised change moves each weight toward
+        ``clip(w + weight_change(dt), w_min, w_max)`` — the vector analogue
+        of :meth:`_bounded_update`.  Entries where ``valid`` is False (no
+        paired spike recorded yet) get a zero delta.
+        """
+        weights = np.asarray(weights, dtype=float)
+        changes = self.weight_changes(delta_times)
+        targets = np.clip(weights + changes, self.w_min, self.w_max)
+        deltas = targets - weights
+        if valid is not None:
+            deltas = np.where(valid, deltas, 0.0)
+        return deltas
 
     def apply_on_post_spike(self, synapse: PhotonicSynapse, post_time: float) -> float:
         """Potentiate a synapse when its postsynaptic neuron fires.

@@ -12,7 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.devices.pcm_cell import PCMSynapticCell
+import numpy as np
+
+from repro.devices.pcm_cell import (
+    PCMSynapticCell,
+    pcm_normalized_weight,
+    pcm_transmission,
+    pulse_granular_fraction_update,
+)
+from repro.materials.pcm import GSST, PCMMaterial
 
 
 @dataclass
@@ -60,3 +68,122 @@ class PhotonicSynapse:
     def programming_energy(self) -> float:
         """Energy of one plasticity programming pulse [J]."""
         return self.cell.programming_energy(1)
+
+
+class SynapseArray:
+    """Array-backed PCM synapse state for an (n_pre, n_post) crossbar.
+
+    Stores the crystalline fraction of every synapse's PCM cell in one
+    matrix and evaluates weights and pulse-granular plasticity updates as
+    vector operations over whole rows (one presynaptic fan-out) or columns
+    (one postsynaptic STDP update).  The per-element physics is the *same
+    code* as :class:`PCMSynapticCell` — both delegate to the shared
+    ``pcm_transmission`` / ``pcm_normalized_weight`` /
+    ``pulse_granular_fraction_update`` kernels — so a crossbar of scalar
+    cells and a ``SynapseArray`` evolve identically.
+
+    Attributes:
+        fractions: (n_pre, n_post) crystalline fractions in [0, 1].
+        material / patch_length / confinement: PCM cell optical model.
+        pulse_crystallization_step / pulse_amorphization_step: fraction
+            change per depressing / potentiating pulse.
+        delay: propagation delay of the connecting waveguides [s] (shared).
+    """
+
+    def __init__(
+        self,
+        crystalline_fractions: np.ndarray,
+        material: PCMMaterial = GSST,
+        patch_length: float = 5e-6,
+        confinement: float = 0.1,
+        pulse_crystallization_step: float = 0.05,
+        pulse_amorphization_step: float = 0.05,
+        delay: float = 10e-12,
+    ):
+        fractions = np.asarray(crystalline_fractions, dtype=float)
+        if fractions.ndim != 2:
+            raise ValueError("crystalline_fractions must be an (n_pre, n_post) matrix")
+        if np.any(fractions < 0.0) or np.any(fractions > 1.0):
+            raise ValueError("crystalline fractions must lie in [0, 1]")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.fractions = fractions.copy()
+        self.material = material
+        self.patch_length = float(patch_length)
+        self.confinement = float(confinement)
+        self.pulse_crystallization_step = float(pulse_crystallization_step)
+        self.pulse_amorphization_step = float(pulse_amorphization_step)
+        self.delay = float(delay)
+        self._t_min = self._transmission_of(np.array(1.0))
+        self._t_max = self._transmission_of(np.array(0.0))
+
+    @property
+    def shape(self) -> tuple:
+        return self.fractions.shape
+
+    def _transmission_of(self, fractions: np.ndarray) -> np.ndarray:
+        return pcm_transmission(self.material, fractions, self.confinement, self.patch_length)
+
+    def weights_of(self, fractions: np.ndarray) -> np.ndarray:
+        """Normalised weights in [0, 1] for an array of fractions."""
+        return pcm_normalized_weight(
+            self.material,
+            fractions,
+            self.confinement,
+            self.patch_length,
+            t_min=self._t_min,
+            t_max=self._t_max,
+        )
+
+    def weights(self) -> np.ndarray:
+        """The full (n_pre, n_post) synaptic weight matrix."""
+        return self.weights_of(self.fractions)
+
+    def row_weights(self, pre: int) -> np.ndarray:
+        """Weights of one presynaptic fan-out (row ``pre``)."""
+        return self.weights_of(self.fractions[pre, :])
+
+    def column_weights(self, post: int) -> np.ndarray:
+        """Weights of one postsynaptic fan-in (column ``post``)."""
+        return self.weights_of(self.fractions[:, post])
+
+    def _adjusted_fractions(
+        self,
+        fractions: np.ndarray,
+        delta_weights: np.ndarray,
+        current_weights: np.ndarray = None,
+    ) -> np.ndarray:
+        """Pulse-granular fraction update for elementwise weight deltas."""
+        return pulse_granular_fraction_update(
+            fractions,
+            delta_weights,
+            self.weights_of,
+            self.pulse_crystallization_step,
+            self.pulse_amorphization_step,
+            current_weights=current_weights,
+        )
+
+    def adjust_row(
+        self, pre: int, delta_weights: np.ndarray, current_weights: np.ndarray = None
+    ) -> None:
+        """Apply weight deltas to all synapses of presynaptic channel ``pre``.
+
+        ``current_weights`` optionally passes in the already-evaluated
+        weights of the row to avoid recomputing them.
+        """
+        self.fractions[pre, :] = self._adjusted_fractions(
+            self.fractions[pre, :], delta_weights, current_weights
+        )
+
+    def adjust_column(
+        self, post: int, delta_weights: np.ndarray, current_weights: np.ndarray = None
+    ) -> None:
+        """Apply weight deltas to all synapses of postsynaptic neuron ``post``."""
+        self.fractions[:, post] = self._adjusted_fractions(
+            self.fractions[:, post], delta_weights, current_weights
+        )
+
+    def programming_energy_per_pulse(self) -> float:
+        """Energy of one plasticity programming pulse [J] (state-independent)."""
+        volume_um3 = 0.05 * self.patch_length * 1e6
+        return self.material.switching_energy(volume_um3)
