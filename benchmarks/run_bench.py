@@ -3,14 +3,17 @@
 
 Executes ``benchmarks/test_bench_throughput.py`` under pytest-benchmark
 with ``--benchmark-json``, condenses the raw report into one record per
-benchmark (mean/min seconds and ops/s) and writes/extends
-``BENCH_throughput.json`` at the repository root:
+benchmark (mean/min seconds and ops/s), measures the ``soc_offload``
+section (1/2/4-PE pipelined tiled-GeMM cycles and wall-time through the
+full-system simulator) and writes/extends ``BENCH_throughput.json`` at the
+repository root:
 
 .. code-block:: json
 
     {
       "latest": {"<bench name>": {"mean_s": ..., "min_s": ..., "ops_per_s": ...}},
-      "history": [{"machine": ..., "results": {...}}, ...]
+      "soc_offload": {"1pe": {"cycles": ..., "serial_cycles": ..., "wall_s": ...}},
+      "history": [{"machine": ..., "results": {...}, "soc_offload": {...}}, ...]
     }
 
 Future performance PRs compare their run against ``latest`` (and the
@@ -71,14 +74,56 @@ def condense(raw_json: Path) -> dict:
     return results
 
 
-def update_trajectory(output: Path, results: dict) -> dict:
+def collect_soc_offload(pe_counts=(1, 2, 4), shape=(32, 16, 16)) -> dict:
+    """Measure the pipelined multi-PE tiled GeMM on the full-system model.
+
+    For each PE count the whole offload (host MMR configuration, sharded
+    tile streams, double-buffered DMA/compute pipeline) runs once; the
+    record keeps the simulated end-to-end cycles, the serial DMA + compute
+    phase sum, the measured overlap and the simulator wall-time.
+    """
+    import time
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy as np
+
+    from repro.eval import make_gemm_workload
+    from repro.system import PhotonicSoC
+
+    n_rows, n_inner, n_cols = shape
+    weights, inputs = make_gemm_workload(n_rows, n_inner, n_cols, rng=0)
+    golden = weights @ inputs
+    section = {}
+    for n_pes in pe_counts:
+        soc = PhotonicSoC()
+        for _ in range(n_pes):
+            soc.add_photonic_accelerator()
+        started = time.perf_counter()
+        report = soc.run_tiled_gemm(weights, inputs)
+        wall_s = time.perf_counter() - started
+        assert np.array_equal(report.result, golden), f"{n_pes}-PE result mismatch"
+        section[f"{n_pes}pe"] = {
+            "shape": list(shape),
+            "cycles": report.cycles,
+            "serial_cycles": report.pipeline["serial_cycles"],
+            "critical_path_serial_cycles": report.pipeline["critical_path_serial_cycles"],
+            "overlap_cycles": report.pipeline["overlap_cycles"],
+            "intra_pe_overlap_cycles": report.pipeline["intra_pe_overlap_cycles"],
+            "n_tiles": report.pipeline["n_tiles"],
+            "wall_s": wall_s,
+        }
+    return section
+
+
+def update_trajectory(output: Path, results: dict, soc_offload: dict) -> dict:
     """Write the condensed results, appending to any existing history."""
     record = {
         "machine": platform.node() or "unknown",
         "python": platform.python_version(),
         "results": results,
+        "soc_offload": soc_offload,
     }
-    payload = {"latest": results, "history": []}
+    payload = {"latest": results, "soc_offload": soc_offload, "history": []}
     if output.exists():
         try:
             previous = json.loads(output.read_text())
@@ -109,11 +154,17 @@ def main() -> int:
             return exit_code or 1
         results = condense(raw_json)
 
-    update_trajectory(args.output, results)
+    soc_offload = collect_soc_offload()
+    update_trajectory(args.output, results, soc_offload)
     print(f"wrote {args.output} ({len(results)} benchmarks)")
     for name, stats in sorted(results.items()):
         mean = stats["mean_s"]
         print(f"  {name}: {mean * 1e3:.2f} ms/round" if mean else f"  {name}: n/a")
+    for name, stats in sorted(soc_offload.items()):
+        print(
+            f"  soc_offload/{name}: {stats['cycles']} cycles "
+            f"(serial {stats['serial_cycles']}, {stats['wall_s'] * 1e3:.2f} ms wall)"
+        )
     return exit_code
 
 

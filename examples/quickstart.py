@@ -14,7 +14,14 @@ Run with:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import PhotonicMVM, PhotonicCoreEnergyModel, QuantizationSpec, combined_component_count
+from repro.core import (
+    PhotonicMVM,
+    PhotonicCoreEnergyModel,
+    QuantizationSpec,
+    available_backends,
+    backend_gemm,
+    combined_component_count,
+)
 from repro.eval import format_dict
 from repro.mesh import ClementsMesh, MeshErrorModel
 from repro.utils import matrix_fidelity, random_unitary
@@ -56,6 +63,26 @@ def photonic_mvm_demo() -> None:
     print()
 
 
+def backend_registry_demo() -> None:
+    """Run the same GeMM through every registered execution backend.
+
+    The registry (``repro.core.backends``) is how every layer of the stack
+    — the GeMM schedulers, the SoC accelerators and the eval sweeps —
+    obtains its matmul implementation; user backends registered with
+    ``register_backend`` show up here automatically.
+    """
+    rng = np.random.default_rng(4)
+    weights = rng.normal(size=(8, 8))
+    inputs = rng.normal(size=(8, 4))
+
+    errors = {}
+    for name in available_backends():
+        result = backend_gemm(weights, inputs, backend=name)
+        errors[f"{name}_relative_error"] = result.relative_error
+    print(format_dict("one GeMM, every registered backend", errors))
+    print()
+
+
 def energy_demo() -> None:
     """Compare thermo-optic vs PCM weight storage for a 10k-inference workload."""
     rng = np.random.default_rng(3)
@@ -78,4 +105,5 @@ def energy_demo() -> None:
 if __name__ == "__main__":
     programmed_mesh_demo()
     photonic_mvm_demo()
+    backend_registry_demo()
     energy_demo()

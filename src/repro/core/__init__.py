@@ -6,7 +6,20 @@ inference, DWDM parallelism, and speed/energy/footprint models.
 """
 
 from repro.core.mvm import PhotonicMVM, MVMResult
-from repro.core.gemm import TDMGeMM, WDMGeMM, GeMMResult
+from repro.core.gemm import TDMGeMM, WDMGeMM, GeMMResult, backend_gemm
+from repro.core.backends import (
+    ExecutionBackend,
+    IdealDigitalBackend,
+    QuantizedDigitalBackend,
+    AnalogPhotonicBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    matmul,
+    resolve_backend,
+    unregister_backend,
+    DEFAULT_BACKEND,
+)
 from repro.core.quantization import (
     QuantizationSpec,
     quantize_uniform,
@@ -41,6 +54,18 @@ __all__ = [
     "TDMGeMM",
     "WDMGeMM",
     "GeMMResult",
+    "backend_gemm",
+    "ExecutionBackend",
+    "IdealDigitalBackend",
+    "QuantizedDigitalBackend",
+    "AnalogPhotonicBackend",
+    "available_backends",
+    "create_backend",
+    "matmul",
+    "register_backend",
+    "resolve_backend",
+    "unregister_backend",
+    "DEFAULT_BACKEND",
     "QuantizationSpec",
     "quantize_uniform",
     "quantize_nonnegative",

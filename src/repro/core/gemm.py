@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.backends import BackendSpec, resolve_backend
 from repro.core.mvm import PhotonicMVM
 from repro.core.wdm import WDMChannelPlan
 from repro.utils.rng import RngLike, ensure_rng
@@ -67,6 +68,43 @@ class GeMMResult:
         if self.latency_s == 0:
             return float("inf")
         return self.total_macs / self.latency_s
+
+
+def backend_gemm(
+    weights: np.ndarray,
+    input_matrix: np.ndarray,
+    backend: BackendSpec = None,
+    **backend_kwargs,
+) -> GeMMResult:
+    """Compute ``W @ X`` on a registered execution backend.
+
+    The registry (``repro.core.backends``) supplies the matmul
+    implementation — ``ideal-digital`` (default), ``quantized-digital``,
+    ``analog-photonic`` or any user-registered backend — while the exact
+    digital product is always kept as the reference, so backend accuracy
+    can be compared through the usual :class:`GeMMResult` metrics.  Analog
+    backends report their modulator-limited schedule latency; digital
+    backends are instantaneous at this layer.
+    """
+    weights = np.asarray(weights)
+    input_matrix = np.asarray(input_matrix)
+    if input_matrix.ndim != 2 or weights.ndim != 2:
+        raise ValueError("weights and input matrix must be two-dimensional")
+    if weights.shape[1] != input_matrix.shape[0]:
+        raise ValueError(
+            f"inner dimensions disagree: {weights.shape} @ {input_matrix.shape}"
+        )
+    impl = resolve_backend(backend, **backend_kwargs)
+    n_in, n_columns = input_matrix.shape
+    reference = weights @ input_matrix
+    value = impl.matmul(weights, input_matrix)
+    return GeMMResult(
+        value=np.asarray(value),
+        reference=reference,
+        latency_s=impl.schedule_latency_s(n_columns),
+        n_symbols=n_columns * n_in,
+        n_passes=n_columns,
+    )
 
 
 class TDMGeMM:

@@ -307,3 +307,15 @@ class PhotonicMVM:
         all-zero columns), matching the single-vector :meth:`apply`.
         """
         return self.apply_batch(vectors, add_noise=add_noise, compute_reference=False).value
+
+    def matmul(self, inputs: np.ndarray, add_noise: bool = True) -> np.ndarray:
+        """Execution-backend hook: analog ``W @ X`` through :meth:`apply_batch`.
+
+        Real-valued problems come back as real arrays so the result can be
+        compared (or rounded) against the digital reference directly.
+        """
+        inputs = np.asarray(inputs, dtype=complex)
+        value = self.apply_batch(inputs, add_noise=add_noise, compute_reference=False).value
+        if self._real_weights and np.allclose(inputs.imag, 0.0):
+            return np.real(value)
+        return value

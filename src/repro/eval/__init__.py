@@ -5,6 +5,7 @@ from repro.eval.workloads import (
     make_digit_dataset,
     make_gemm_workload,
     make_spike_patterns,
+    run_backend_gemm_experiment,
 )
 from repro.eval.metrics import (
     classification_accuracy,
@@ -22,6 +23,7 @@ __all__ = [
     "make_digit_dataset",
     "make_gemm_workload",
     "make_spike_patterns",
+    "run_backend_gemm_experiment",
     "classification_accuracy",
     "signal_to_noise_db",
     "speedup",

@@ -5,14 +5,25 @@ collects per-point metric dictionaries and renders them as the table or
 series the corresponding paper figure would show.  Keeping the harness
 generic means every benchmark is a thin declaration of workload +
 parameter grid.
+
+Sweeps are backend- and executor-aware: ``backend=`` forwards a named
+execution backend (``repro.core.backends``) to every experiment call, and
+``executor=`` evaluates the grid points concurrently — pass an existing
+``concurrent.futures`` executor or an integer worker count (which spins up
+a process pool), so backend x mesh-size scenario grids run in parallel.
+Experiments dispatched to a process pool must be module-level callables
+with picklable kwargs (backend *names*, not instances).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.eval.reporting import format_table
+
+ExecutorSpec = Union[None, int, Executor]
 
 
 @dataclass
@@ -41,22 +52,64 @@ class SweepResult:
         return format_table(keys, rows)
 
 
+def _call_experiment(payload: Tuple[Callable[..., Dict], Dict]) -> Dict:
+    """Top-level trampoline so grid points survive process-pool pickling."""
+    experiment, kwargs = payload
+    return dict(experiment(**kwargs))
+
+
+def _resolve_executor(executor: ExecutorSpec) -> Tuple[Optional[Executor], bool]:
+    """Normalise an executor spec; returns (executor, owned-by-this-call)."""
+    if executor is None:
+        return None, False
+    if isinstance(executor, int):
+        if executor < 1:
+            raise ValueError("worker count must be >= 1")
+        return ProcessPoolExecutor(max_workers=executor), True
+    if isinstance(executor, Executor):
+        return executor, False
+    raise TypeError(
+        f"executor must be None, a worker count or a concurrent.futures "
+        f"Executor, got {type(executor).__name__}"
+    )
+
+
 def run_sweep(
     parameter_name: str,
     values: Sequence,
     experiment: Callable[..., Dict],
+    backend: Optional[str] = None,
+    executor: ExecutorSpec = None,
     **fixed_kwargs,
 ) -> SweepResult:
     """Run ``experiment(parameter_name=value, **fixed_kwargs)`` over a grid.
 
     The experiment callable must return a metrics dictionary; the swept
-    value is added to each point under ``parameter_name``.
+    value is added to each point under ``parameter_name``.  ``backend``
+    (a registry name) is forwarded as the experiment's ``backend`` kwarg,
+    and ``executor`` evaluates the grid concurrently while preserving the
+    grid order of the results.
     """
-    result = SweepResult(parameter_name=parameter_name)
+    payloads = []
     for value in values:
         kwargs = dict(fixed_kwargs)
         kwargs[parameter_name] = value
-        metrics = dict(experiment(**kwargs))
+        if backend is not None:
+            kwargs.setdefault("backend", backend)
+        payloads.append((experiment, kwargs))
+
+    pool, owned = _resolve_executor(executor)
+    try:
+        if pool is None:
+            metrics_list = [_call_experiment(payload) for payload in payloads]
+        else:
+            metrics_list = list(pool.map(_call_experiment, payloads))
+    finally:
+        if owned:
+            pool.shutdown()
+
+    result = SweepResult(parameter_name=parameter_name)
+    for value, metrics in zip(values, metrics_list):
         metrics.setdefault(parameter_name, value)
         result.points.append(metrics)
     return result
@@ -68,15 +121,35 @@ def cross_sweep(
     inner_name: str,
     inner_values: Sequence,
     experiment: Callable[..., Dict],
+    backend: Optional[str] = None,
+    executor: ExecutorSpec = None,
     **fixed_kwargs,
 ) -> List[SweepResult]:
-    """Nested sweep: one :class:`SweepResult` per outer value."""
-    results = []
-    for outer_value in outer_values:
-        kwargs = dict(fixed_kwargs)
-        kwargs[outer_name] = outer_value
-        sweep = run_sweep(inner_name, inner_values, experiment, **kwargs)
-        for point in sweep.points:
-            point.setdefault(outer_name, outer_value)
-        results.append(sweep)
-    return results
+    """Nested sweep: one :class:`SweepResult` per outer value.
+
+    A shared executor is resolved once so the whole outer x inner scenario
+    grid draws from the same worker pool.
+    """
+    pool, owned = _resolve_executor(executor)
+    try:
+        results = []
+        for outer_value in outer_values:
+            kwargs = dict(fixed_kwargs)
+            kwargs[outer_name] = outer_value
+            # sweeping "backend" itself routes through the dedicated kwarg
+            point_backend = kwargs.pop("backend", backend)
+            sweep = run_sweep(
+                inner_name,
+                inner_values,
+                experiment,
+                backend=point_backend,
+                executor=pool,
+                **kwargs,
+            )
+            for point in sweep.points:
+                point.setdefault(outer_name, outer_value)
+            results.append(sweep)
+        return results
+    finally:
+        if owned:
+            pool.shutdown()

@@ -95,6 +95,36 @@ def make_gemm_workload(
     return weights, inputs
 
 
+def run_backend_gemm_experiment(
+    n_modes: int = 8,
+    n_cols: int = 8,
+    backend: str = "ideal-digital",
+    value_range: int = 8,
+    rng: RngLike = 0,
+) -> dict:
+    """One scenario point: an ``n_modes`` GeMM on a named execution backend.
+
+    The matmul implementation comes from the backend registry
+    (``repro.core.backends``), so the same experiment covers the digital
+    reference, the fixed-point datapath, the analog photonic chain and any
+    user-registered backend.  Returns a plain metrics dict (module-level
+    and picklable on purpose: this is the unit of work the process-parallel
+    sweep executor ships to workers).
+    """
+    from repro.core.gemm import backend_gemm
+
+    weights, inputs = make_gemm_workload(n_modes, n_modes, n_cols, value_range, rng=rng)
+    result = backend_gemm(weights.astype(float), inputs.astype(float), backend=backend)
+    return {
+        "backend": backend,
+        "n_modes": n_modes,
+        "n_cols": n_cols,
+        "relative_error": result.relative_error,
+        "latency_s": result.latency_s,
+        "throughput_macs_per_s": result.throughput_macs_per_s,
+    }
+
+
 def make_spike_patterns(
     n_inputs: int = 8,
     n_patterns: int = 2,

@@ -14,12 +14,16 @@ from repro.system.memory import (
     MemoryAccessError,
     to_signed,
     to_unsigned,
+    words_to_signed,
+    signed_to_words,
 )
 from repro.system.mmr import (
     MemoryMappedRegisters,
     CTRL_START,
     CTRL_RESET,
     CTRL_IRQ_ENABLE,
+    CTRL_ENQUEUE,
+    CTRL_IRQ_PER_TILE,
     STATUS_IDLE,
     STATUS_BUSY,
     STATUS_DONE,
@@ -37,6 +41,7 @@ from repro.system.accelerator import (
     MACArrayAccelerator,
     PhotonicMVMAccelerator,
     AcceleratorStats,
+    TileDescriptor,
 )
 from repro.system.programs import (
     vector_add_program,
@@ -44,7 +49,7 @@ from repro.system.programs import (
     dot_product_program,
     accelerator_offload_program,
 )
-from repro.system.soc import PhotonicSoC, WorkloadReport
+from repro.system.soc import PhotonicSoC, WorkloadReport, plan_shards
 from repro.system.faults import (
     FaultSpec,
     FaultInjector,
@@ -64,10 +69,14 @@ __all__ = [
     "MemoryAccessError",
     "to_signed",
     "to_unsigned",
+    "words_to_signed",
+    "signed_to_words",
     "MemoryMappedRegisters",
     "CTRL_START",
     "CTRL_RESET",
     "CTRL_IRQ_ENABLE",
+    "CTRL_ENQUEUE",
+    "CTRL_IRQ_PER_TILE",
     "STATUS_IDLE",
     "STATUS_BUSY",
     "STATUS_DONE",
@@ -96,12 +105,14 @@ __all__ = [
     "MACArrayAccelerator",
     "PhotonicMVMAccelerator",
     "AcceleratorStats",
+    "TileDescriptor",
     "vector_add_program",
     "gemm_program",
     "dot_product_program",
     "accelerator_offload_program",
     "PhotonicSoC",
     "WorkloadReport",
+    "plan_shards",
     "FaultSpec",
     "FaultInjector",
     "CampaignResult",

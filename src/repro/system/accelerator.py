@@ -2,38 +2,60 @@
 
 Each accelerator follows the gem5-MARVEL structure: a Compute Unit (the
 datapath model) plus a Communications Interface (MMRs, scratchpad
-memories, a DMA engine and an interrupt line).  The host sees only the MMR
+memories, DMA engines and an interrupt line).  The host sees only the MMR
 block; it configures buffer addresses and matrix dimensions, sets the START
 bit, and waits for DONE (polling or interrupt).
 
-Two compute units are provided:
+The Communications Interface is a pipelined, double-buffered offload
+engine.  Work arrives as :class:`TileDescriptor` streams — either a single
+descriptor latched from the MMR data registers on START (the classic
+protocol), or many descriptors pushed with the ENQUEUE control bit and
+launched together.  Three stages run concurrently on the shared event
+scheduler:
 
-* :class:`MACArrayAccelerator` — a digital MAC-array GeMM engine whose
-  timing comes from scheduling the corresponding dataflow graph
-  (``repro.system.dfg``).  This is the electronic DSA baseline.
-* :class:`PhotonicMVMAccelerator` — the photonic GeMM core: timing and
-  energy come from :class:`repro.core.energy.PhotonicCoreEnergyModel`, and
-  the functional result can optionally be produced by the full analog
-  model (:class:`repro.core.mvm.PhotonicMVM`) so analog error propagates
-  into the application.
+``DMA-in  ──►  compute  ──►  DMA-out``
+
+with ping-pong weight/output scratchpad buffers, so the DMA-in of tile
+``t+1`` overlaps the compute/write-back of tile ``t``.  The input matrix is
+input-stationary: it is loaded once per stream (descriptors with
+``load_input=False`` reuse the resident operand), which is what makes the
+sharded multi-tile GeMM of :meth:`repro.system.soc.PhotonicSoC.run_tiled_gemm`
+cheaper than replaying the single-shot protocol per tile.
+
+The functional datapath is a pluggable execution backend
+(``repro.core.backends``): ``ideal-digital`` reproduces the exact integer
+product, ``quantized-digital`` models a saturating fixed-point datapath and
+``analog-photonic`` routes through :meth:`repro.core.mvm.PhotonicMVM.apply_batch`
+so analog error propagates into the application.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Deque, Optional
 
 import numpy as np
 
+from repro.core.backends import (
+    AnalogPhotonicBackend,
+    BackendSpec,
+    ExecutionBackend,
+    resolve_backend,
+)
 from repro.core.energy import PhotonicCoreEnergyModel
 from repro.core.mvm import PhotonicMVM
-from repro.core.quantization import QuantizationSpec
 from repro.system.bus import SystemBus
 from repro.system.dfg import build_gemm_dfg
 from repro.system.dma import DMAEngine
 from repro.system.event import EventScheduler
 from repro.system.interrupt import InterruptController
-from repro.system.memory import Scratchpad, WORD_BYTES, to_signed, to_unsigned
+from repro.system.memory import (
+    Scratchpad,
+    WORD_BYTES,
+    signed_to_words,
+    words_to_signed,
+)
 from repro.system.mmr import MemoryMappedRegisters
 
 #: MMR data-register assignments shared by both accelerator types.
@@ -44,6 +66,68 @@ REG_ROWS = 3        # M: output rows
 REG_INNER = 4       # K: inner (shared) dimension
 REG_COLS = 5        # N: input-matrix columns
 REG_SCALE_SHIFT = 6  # fixed-point scaling shift applied to results
+REG_FLAGS = 7       # per-tile flags (see FLAG_*)
+REG_TILES_DONE = 8  # device-written: completed-tile count of the stream
+
+#: REG_FLAGS bits.  The default (0) loads the input operand, which keeps
+#: the classic single-shot START protocol unchanged.
+FLAG_SKIP_INPUT_LOAD = 0x1
+
+
+@dataclass(frozen=True)
+class TileDescriptor:
+    """One ``(rows x inner) @ (inner x cols)`` sub-problem routed to a PE.
+
+    Attributes:
+        weights_addr / input_addr / output_addr: main-memory buffers.
+        rows / inner / cols: tile dimensions (M, K, N).
+        scale_shift: fixed-point right-shift applied to the results.
+        load_input: DMA the input operand in; ``False`` reuses the operand
+            already resident in the input scratchpad (input-stationary
+            streams where only the weight tile changes).
+    """
+
+    weights_addr: int
+    input_addr: int
+    output_addr: int
+    rows: int
+    inner: int
+    cols: int
+    scale_shift: int = 0
+    load_input: bool = True
+
+    @property
+    def weight_words(self) -> int:
+        return self.rows * self.inner
+
+    @property
+    def input_words(self) -> int:
+        return self.inner * self.cols
+
+    @property
+    def output_words(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def macs(self) -> int:
+        return self.rows * self.inner * self.cols
+
+    @property
+    def valid(self) -> bool:
+        return min(self.rows, self.inner, self.cols) >= 1
+
+
+@dataclass
+class _TileJob:
+    """In-flight pipeline state of one tile."""
+
+    descriptor: TileDescriptor
+    buffer: int
+    exclusive: bool = False
+    outputs: Optional[np.ndarray] = None
+    dma_in_cycles: int = 0
+    compute_cycles: int = 0
+    dma_out_cycles: int = 0
 
 
 @dataclass
@@ -51,6 +135,7 @@ class AcceleratorStats:
     """Execution statistics of one accelerator device."""
 
     invocations: int = 0
+    tiles_completed: int = 0
     compute_cycles: int = 0
     dma_cycles: int = 0
     macs: int = 0
@@ -62,10 +147,19 @@ class AcceleratorStats:
 
 
 class BaseMatrixAccelerator:
-    """Shared Communications Interface logic of the matrix accelerators."""
+    """Shared Communications Interface logic of the matrix accelerators.
+
+    Attributes:
+        backend: the :class:`~repro.core.backends.ExecutionBackend`
+            producing the functional result of every tile.
+        n_buffers: scratchpad buffers per operand (2 = double buffering;
+            1 degenerates to the old serial DMA/compute/DMA schedule).
+    """
 
     #: human-readable device type, overridden by subclasses
     device_type = "base"
+    #: registry name of the backend used when none is given
+    default_backend = "ideal-digital"
 
     def __init__(
         self,
@@ -75,103 +169,337 @@ class BaseMatrixAccelerator:
         scratchpad_bytes: int = 64 * 1024,
         clock_hz: float = 1e9,
         name: str = "dsa0",
+        backend: BackendSpec = None,
+        n_buffers: int = 2,
     ):
+        if n_buffers < 1:
+            raise ValueError("n_buffers must be >= 1")
         self.scheduler = scheduler
         self.bus = bus
         self.clock_hz = float(clock_hz)
         self.name = name
-        self.mmr = MemoryMappedRegisters(n_data_registers=16, on_start=self._on_start)
+        self.backend: ExecutionBackend = resolve_backend(
+            backend if backend is not None else self.default_backend
+        )
+        self.n_buffers = int(n_buffers)
+        self.mmr = MemoryMappedRegisters(
+            n_data_registers=16,
+            on_start=self._on_start,
+            on_enqueue=self._on_enqueue,
+            on_reset=self._on_reset,
+        )
         self.input_spm = Scratchpad(scratchpad_bytes)
         self.weight_spm = Scratchpad(scratchpad_bytes)
         self.output_spm = Scratchpad(scratchpad_bytes)
         self.dma = DMAEngine(scheduler, bus, name=f"{name}-dma")
+        self.dma_wb = DMAEngine(scheduler, bus, name=f"{name}-dma-wb")
         self.stats = AcceleratorStats()
         self.interrupt_controller = interrupt_controller
         self.irq_line = None
         if interrupt_controller is not None:
             self.irq_line = interrupt_controller.allocate_line(name)
         self.busy = False
-        self._weights = None
-        self._inputs = None
+        # pipeline state
+        self._pending: Deque[TileDescriptor] = deque()
+        self._ready: Deque[_TileJob] = deque()
+        self._writeback: Deque[_TileJob] = deque()
+        self._dma_in_job: Optional[_TileJob] = None
+        self._compute_job: Optional[_TileJob] = None
+        self._dma_out_job: Optional[_TileJob] = None
+        self._next_buffer = 0
+        self._accounted_device_energy = 0.0
+        self._tiles_done_this_stream = 0
+        self._stream_error = False
+        self._exclusive_active = False
 
     # ------------------------------------------------------------------ #
     # host protocol
     # ------------------------------------------------------------------ #
-    def _read_config(self) -> dict:
-        return {
-            "weights_addr": self.mmr.data_register(REG_WEIGHTS_ADDR),
-            "input_addr": self.mmr.data_register(REG_INPUT_ADDR),
-            "output_addr": self.mmr.data_register(REG_OUTPUT_ADDR),
-            "rows": self.mmr.data_register(REG_ROWS),
-            "inner": self.mmr.data_register(REG_INNER),
-            "cols": self.mmr.data_register(REG_COLS),
-            "scale_shift": self.mmr.data_register(REG_SCALE_SHIFT),
-        }
+    def _descriptor_from_registers(self) -> TileDescriptor:
+        flags = self.mmr.data_register(REG_FLAGS)
+        return TileDescriptor(
+            weights_addr=self.mmr.data_register(REG_WEIGHTS_ADDR),
+            input_addr=self.mmr.data_register(REG_INPUT_ADDR),
+            output_addr=self.mmr.data_register(REG_OUTPUT_ADDR),
+            rows=self.mmr.data_register(REG_ROWS),
+            inner=self.mmr.data_register(REG_INNER),
+            cols=self.mmr.data_register(REG_COLS),
+            scale_shift=self.mmr.data_register(REG_SCALE_SHIFT),
+            load_input=not flags & FLAG_SKIP_INPUT_LOAD,
+        )
+
+    def _tile_fit(self, descriptor: TileDescriptor) -> Optional[str]:
+        """How a tile fits the scratchpads.
+
+        ``"pipelined"`` — fits one ping-pong buffer region and can be
+        double-buffered; ``"exclusive"`` — too large for a region but fits
+        the whole scratchpad, so it runs with the pipeline flushed (the old
+        serial engine's capacity is preserved); ``None`` — does not fit.
+        """
+        weight_region = (self.weight_spm.size_bytes // self.n_buffers) // WORD_BYTES
+        output_region = (self.output_spm.size_bytes // self.n_buffers) // WORD_BYTES
+        input_words = self.input_spm.size_bytes // WORD_BYTES
+        if descriptor.input_words > input_words:
+            return None
+        if descriptor.weight_words <= weight_region and descriptor.output_words <= output_region:
+            return "pipelined"
+        if (
+            descriptor.weight_words <= self.weight_spm.size_bytes // WORD_BYTES
+            and descriptor.output_words <= self.output_spm.size_bytes // WORD_BYTES
+        ):
+            return "exclusive"
+        return None
+
+    def enqueue_tile(self, descriptor: TileDescriptor) -> None:
+        """Device-side enqueue (the MMR ENQUEUE bit routes here).
+
+        Invalid or scratchpad-oversized descriptors latch a stream error:
+        the stream refuses to start (or completes with STATUS_ERROR) rather
+        than silently producing a partial result.
+        """
+        if not descriptor.valid or self._tile_fit(descriptor) is None:
+            self._stream_error = True
+            if not self.busy:
+                self.mmr.mark_done(error=True)
+            return
+        self._pending.append(descriptor)
+
+    def _on_enqueue(self) -> None:
+        """Host set the ENQUEUE bit: queue the latched descriptor."""
+        self.enqueue_tile(self._descriptor_from_registers())
+
+    def _on_reset(self) -> None:
+        """Host set the RESET bit: abort queued work and clear error state.
+
+        Tiles already in flight drain normally (their completion events are
+        committed); everything still waiting is dropped.
+        """
+        self._pending.clear()
+        self._stream_error = False
+        if not self.busy:
+            self._next_buffer = 0
 
     def _on_start(self) -> None:
-        """Host set the START bit: run DMA-in, compute, DMA-out, signal DONE."""
+        """Host set the START bit: launch the pipeline over the tile queue.
+
+        With an empty queue this latches the single descriptor currently
+        held in the data registers — the classic one-shot offload protocol.
+        """
         if self.busy:
             return
-        self.busy = True
-        config = self._read_config()
-        rows, inner, cols = config["rows"], config["inner"], config["cols"]
-        if min(rows, inner, cols) < 1:
+        if self._stream_error:
+            self._pending.clear()
+            self._stream_error = False
             self.mmr.mark_done(error=True)
-            self.busy = False
             return
-
-        # --- DMA weights and inputs into the scratchpads (functional now) ----
-        dma_in = self.dma.copy_to_scratchpad(
-            config["weights_addr"], self.weight_spm, 0, rows * inner
-        )
-        dma_in += self.dma.copy_to_scratchpad(
-            config["input_addr"], self.input_spm, 0, inner * cols
-        )
-
-        weights = self._read_matrix(self.weight_spm, rows, inner)
-        inputs = self._read_matrix(self.input_spm, inner, cols)
-
-        compute_cycles, energy, outputs = self._compute(weights, inputs, config)
-
-        scaled = np.asarray(np.round(outputs), dtype=np.int64)
-        self._write_matrix(self.output_spm, scaled)
-        dma_out = self.dma.copy_from_scratchpad(
-            self.output_spm, 0, config["output_addr"], rows * cols
-        )
-
-        spm_energy = (
-            self.input_spm.energy_j() + self.weight_spm.energy_j() + self.output_spm.energy_j()
-        )
+        if not self._pending:
+            descriptor = self._descriptor_from_registers()
+            if not descriptor.valid or self._tile_fit(descriptor) is None:
+                self.mmr.mark_done(error=True)
+                return
+            self._pending.append(descriptor)
+        self.busy = True
         self.stats.invocations += 1
-        self.stats.compute_cycles += compute_cycles
-        self.stats.dma_cycles += dma_in + dma_out
-        self.stats.macs += rows * inner * cols
-        self.stats.energy_j += energy + self.dma.energy_j() + spm_energy
+        self.mmr.mark_busy()
+        self.mmr.set_data_register(REG_TILES_DONE, 0)
+        self._tiles_done_this_stream = 0
+        self._advance()
 
-        total_latency = dma_in + compute_cycles + dma_out
-        self.scheduler.schedule(total_latency, self._complete, label=f"{self.name}-done")
+    # ------------------------------------------------------------------ #
+    # pipeline stages
+    # ------------------------------------------------------------------ #
+    def _advance(self) -> None:
+        self._try_start_dma_in()
+        self._try_start_compute()
+        self._try_start_dma_out()
+
+    def _input_buffers_in_flight(self) -> int:
+        return (
+            (1 if self._dma_in_job is not None else 0)
+            + len(self._ready)
+            + (1 if self._compute_job is not None else 0)
+        )
+
+    def _buffer_offset(self, spm: Scratchpad, buffer: int) -> int:
+        region = (spm.size_bytes // self.n_buffers) // WORD_BYTES * WORD_BYTES
+        return buffer * region
+
+    def _pipeline_idle(self) -> bool:
+        """No job in flight anywhere past the pending queue."""
+        return not (
+            self._ready
+            or self._writeback
+            or self._compute_job is not None
+            or self._dma_out_job is not None
+        )
+
+    def _try_start_dma_in(self) -> None:
+        if self._dma_in_job is not None or not self._pending:
+            return
+        if self._exclusive_active:
+            # an oversized tile owns the whole scratchpad until it drains
+            return
+        descriptor = self._pending[0]
+        exclusive = self._tile_fit(descriptor) == "exclusive"
+        if exclusive:
+            # too large for a ping-pong region: run it unpipelined with
+            # exclusive use of the full scratchpads (old serial capacity)
+            if not self._pipeline_idle():
+                return
+        elif self._input_buffers_in_flight() >= self.n_buffers:
+            return
+        if descriptor.load_input and (self._ready or self._compute_job is not None):
+            # Reloading the shared input operand would corrupt tiles that
+            # have been fetched but not yet computed: flush first.
+            return
+        self._pending.popleft()
+        job = _TileJob(descriptor, buffer=0 if exclusive else self._next_buffer,
+                       exclusive=exclusive)
+        if exclusive:
+            self._exclusive_active = True
+        else:
+            self._next_buffer = (self._next_buffer + 1) % self.n_buffers
+        latency = self.dma.copy_to_scratchpad(
+            descriptor.weights_addr,
+            self.weight_spm,
+            self._buffer_offset(self.weight_spm, job.buffer),
+            descriptor.weight_words,
+        )
+        if descriptor.load_input:
+            latency += self.dma.copy_to_scratchpad(
+                descriptor.input_addr, self.input_spm, 0, descriptor.input_words
+            )
+        job.dma_in_cycles = latency
+        self.stats.dma_cycles += latency
+        self._dma_in_job = job
+        self.scheduler.schedule(
+            latency, lambda: self._finish_dma_in(job), label=f"{self.name}-dma-in"
+        )
+
+    def _finish_dma_in(self, job: _TileJob) -> None:
+        self._dma_in_job = None
+        self._ready.append(job)
+        self._advance()
+
+    def _try_start_compute(self) -> None:
+        if self._compute_job is not None or not self._ready:
+            return
+        output_backlog = len(self._writeback) + (1 if self._dma_out_job is not None else 0)
+        if output_backlog >= self.n_buffers:
+            return
+        job = self._ready.popleft()
+        self._compute_job = job
+        descriptor = job.descriptor
+        weights = self._read_matrix(
+            self.weight_spm,
+            self._buffer_offset(self.weight_spm, job.buffer),
+            descriptor.rows,
+            descriptor.inner,
+        )
+        inputs = self._read_matrix(self.input_spm, 0, descriptor.inner, descriptor.cols)
+        config = {
+            "rows": descriptor.rows,
+            "inner": descriptor.inner,
+            "cols": descriptor.cols,
+            "scale_shift": descriptor.scale_shift,
+        }
+        cycles, energy, outputs = self._compute(weights, inputs, config)
+        job.compute_cycles = cycles
+        job.outputs = outputs
+        self.stats.compute_cycles += cycles
+        self.stats.macs += descriptor.macs
+        self.stats.energy_j += energy
+        self.scheduler.schedule(
+            cycles, lambda: self._finish_compute(job), label=f"{self.name}-compute"
+        )
+
+    def _finish_compute(self, job: _TileJob) -> None:
+        self._compute_job = None
+        scaled = np.asarray(np.round(job.outputs), dtype=np.int64)
+        self._write_matrix(
+            self.output_spm, self._buffer_offset(self.output_spm, job.buffer), scaled
+        )
+        self._writeback.append(job)
+        self._advance()
+
+    def _try_start_dma_out(self) -> None:
+        if self._dma_out_job is not None or not self._writeback:
+            return
+        job = self._writeback.popleft()
+        self._dma_out_job = job
+        descriptor = job.descriptor
+        latency = self.dma_wb.copy_from_scratchpad(
+            self.output_spm,
+            self._buffer_offset(self.output_spm, job.buffer),
+            descriptor.output_addr,
+            descriptor.output_words,
+        )
+        job.dma_out_cycles = latency
+        self.stats.dma_cycles += latency
+        self.scheduler.schedule(
+            latency, lambda: self._finish_dma_out(job), label=f"{self.name}-dma-out"
+        )
+
+    def _finish_dma_out(self, job: _TileJob) -> None:
+        self._dma_out_job = None
+        if job.exclusive:
+            self._exclusive_active = False
+        self.stats.tiles_completed += 1
+        self._tiles_done_this_stream += 1
+        self.mmr.set_data_register(REG_TILES_DONE, self._tiles_done_this_stream)
+        if (
+            self.irq_line is not None
+            and self.mmr.irq_enabled
+            and self.mmr.irq_per_tile
+        ):
+            self.interrupt_controller.raise_interrupt(self.irq_line.index)
+        if self._drained():
+            self._complete()
+        else:
+            self._advance()
+
+    def _drained(self) -> bool:
+        return not (
+            self._pending
+            or self._ready
+            or self._writeback
+            or self._dma_in_job is not None
+            or self._compute_job is not None
+            or self._dma_out_job is not None
+        )
 
     def _complete(self) -> None:
+        device_energy = (
+            self.dma.energy_j()
+            + self.dma_wb.energy_j()
+            + self.input_spm.energy_j()
+            + self.weight_spm.energy_j()
+            + self.output_spm.energy_j()
+        )
+        self.stats.energy_j += device_energy - self._accounted_device_energy
+        self._accounted_device_energy = device_energy
         self.busy = False
-        self.mmr.mark_done()
-        if self.irq_line is not None and self.mmr.irq_enabled:
+        # A bad descriptor enqueued mid-stream must surface as an error even
+        # though the remaining tiles drained normally.
+        self.mmr.mark_done(error=self._stream_error)
+        self._stream_error = False
+        if self.irq_line is not None and self.mmr.irq_enabled and not self.mmr.irq_per_tile:
             self.interrupt_controller.raise_interrupt(self.irq_line.index)
 
     # ------------------------------------------------------------------ #
     # scratchpad (de)serialisation: row-major signed 32-bit words
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _read_matrix(spm: Scratchpad, n_rows: int, n_cols: int) -> np.ndarray:
-        values = [
-            to_signed(spm.read_word(index * WORD_BYTES)) for index in range(n_rows * n_cols)
-        ]
-        return np.asarray(values, dtype=np.int64).reshape(n_rows, n_cols)
+    def _read_matrix(
+        spm: Scratchpad, offset_bytes: int, n_rows: int, n_cols: int
+    ) -> np.ndarray:
+        words = spm.read_block(offset_bytes, n_rows * n_cols)
+        return words_to_signed(words).reshape(n_rows, n_cols)
 
     @staticmethod
-    def _write_matrix(spm: Scratchpad, matrix: np.ndarray) -> None:
+    def _write_matrix(spm: Scratchpad, offset_bytes: int, matrix: np.ndarray) -> None:
         flat = np.asarray(matrix, dtype=np.int64).reshape(-1)
-        for index, value in enumerate(flat):
-            spm.write_word(index * WORD_BYTES, to_unsigned(int(value)))
+        spm.write_block(offset_bytes, signed_to_words(flat))
 
     # ------------------------------------------------------------------ #
     # compute unit (subclass responsibility)
@@ -183,6 +511,14 @@ class BaseMatrixAccelerator:
     def area_mm2(self) -> float:
         """Die area of the accelerator [mm^2]."""
         raise NotImplementedError
+
+    def _functional_product(self, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Backend product reduced to the integer output domain."""
+        raw = self.backend.matmul(weights, inputs)
+        raw = np.asarray(raw)
+        if np.iscomplexobj(raw):
+            raw = np.real(raw)
+        return np.asarray(raw, dtype=np.int64)
 
 
 class MACArrayAccelerator(BaseMatrixAccelerator):
@@ -205,7 +541,9 @@ class MACArrayAccelerator(BaseMatrixAccelerator):
     def _compute(self, weights: np.ndarray, inputs: np.ndarray, config: dict):
         rows, inner = weights.shape
         cols = inputs.shape[1]
-        outputs = (weights @ inputs) >> config["scale_shift"] if config["scale_shift"] else weights @ inputs
+        outputs = self._functional_product(weights, inputs)
+        if config["scale_shift"]:
+            outputs = outputs >> config["scale_shift"]
         # Timing: schedule the GeMM dataflow graph on the MAC array.  For
         # large products the graph is sampled (one representative output
         # block) and scaled, to keep simulation cost bounded.
@@ -231,9 +569,11 @@ class PhotonicMVMAccelerator(BaseMatrixAccelerator):
     Attributes:
         energy_model: photonic core speed/energy/footprint model (its MVM
             dimensions must cover the offloaded tiles).
-        analog_model: optional :class:`PhotonicMVM` used for the functional
-            result so analog noise reaches the application; when ``None``
-            the result is exact and only timing/energy are photonic.
+        backend: execution backend producing the functional result; pass
+            ``backend="analog-photonic"`` (or an
+            :class:`~repro.core.backends.AnalogPhotonicBackend`) so analog
+            noise reaches the application, or keep the default
+            ``ideal-digital`` for exact results with photonic timing/energy.
         reprogram_every_call: if True the weight-programming energy is paid
             on every offload (weights change per call); if False weights
             are considered resident (in-memory computing) after the first
@@ -250,11 +590,21 @@ class PhotonicMVMAccelerator(BaseMatrixAccelerator):
         reprogram_every_call: bool = False,
         **kwargs,
     ):
+        if analog_model is not None:
+            if kwargs.get("backend") is not None:
+                raise ValueError("pass either analog_model or backend, not both")
+            kwargs["backend"] = AnalogPhotonicBackend(engine=analog_model)
         super().__init__(*args, **kwargs)
         self.energy_model = energy_model
-        self.analog_model = analog_model
         self.reprogram_every_call = reprogram_every_call
         self._programmed = False
+
+    @property
+    def analog_model(self) -> Optional[PhotonicMVM]:
+        """The analog engine when the backend is photonic (else ``None``)."""
+        if isinstance(self.backend, AnalogPhotonicBackend):
+            return self.backend.engine
+        return None
 
     def _default_energy_model(self, rows: int, inner: int) -> PhotonicCoreEnergyModel:
         component_count = {
@@ -273,11 +623,7 @@ class PhotonicMVMAccelerator(BaseMatrixAccelerator):
         cols = inputs.shape[1]
         model = self.energy_model or self._default_energy_model(rows, inner)
 
-        if self.analog_model is not None:
-            analog = self.analog_model.apply_many(inputs.astype(float))
-            outputs = np.asarray(np.real(analog), dtype=np.int64)
-        else:
-            outputs = weights @ inputs
+        outputs = self._functional_product(weights, inputs)
         if config["scale_shift"]:
             outputs = outputs >> config["scale_shift"]
 

@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.system.memory import MainMemory, MemoryAccessError
+import numpy as np
+
+from repro.system.memory import MainMemory, MemoryAccessError, WORD_BYTES
 from repro.system.mmr import MemoryMappedRegisters
 
 
@@ -104,6 +106,50 @@ class SystemBus:
             target.write_word(offset, value)
             return self.traversal_latency + target.write_latency
         raise MemoryAccessError(f"target {mapping.name!r} is not writable")
+
+    # ------------------------------------------------------------------ #
+    # bulk routing (DMA fast path)
+    # ------------------------------------------------------------------ #
+    def read_block(self, address: int, n_words: int):
+        """Bulk read of ``n_words`` words; returns ``(values, per_word_latency)``.
+
+        The accounting equivalent of ``n_words`` :meth:`read_word` calls
+        (same transfer count, same per-word latency) resolved through a
+        single address decode, so DMA streams avoid the per-word Python
+        loop.  Blocks that leave the mapping or target register blocks fall
+        back to the word-by-word path.
+        """
+        if n_words == 0:
+            return np.zeros(0, dtype=np.uint32), 0
+        mapping = self.find(address)
+        target = mapping.target
+        if isinstance(target, MainMemory) and address + n_words * WORD_BYTES <= mapping.end:
+            self.transfers += n_words
+            values = target.read_block(address - mapping.base, n_words)
+            return values, self.traversal_latency + target.read_latency
+        values = np.zeros(n_words, dtype=np.uint32)
+        latency = 0
+        for index in range(n_words):
+            values[index], word_latency = self.read_word(address + index * WORD_BYTES)
+            latency = max(latency, word_latency)
+        return values, latency
+
+    def write_block(self, address: int, values) -> int:
+        """Bulk write of consecutive words; returns the per-word latency."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return 0
+        mapping = self.find(address)
+        target = mapping.target
+        if isinstance(target, MainMemory) and address + values.size * WORD_BYTES <= mapping.end:
+            self.transfers += values.size
+            target.write_block(address - mapping.base, values)
+            return self.traversal_latency + target.write_latency
+        latency = 0
+        for index, value in enumerate(values):
+            word_latency = self.write_word(address + index * WORD_BYTES, int(value))
+            latency = max(latency, word_latency)
+        return latency
 
     def energy_j(self) -> float:
         """Interconnect energy consumed so far."""

@@ -36,6 +36,17 @@ class EventScheduler:
         self._sequence = 0
         self.current_cycle = 0
         self.events_processed = 0
+        #: optional (cycle, label) dispatch log, enabled by :meth:`enable_trace`
+        self.trace: Optional[List[Tuple[int, str]]] = None
+
+    def enable_trace(self) -> List[Tuple[int, str]]:
+        """Record every dispatched event as ``(cycle, label)``.
+
+        Used by the pipeline tests and benchmarks to prove DMA/compute
+        overlap from the actual event stream instead of aggregate counters.
+        """
+        self.trace = []
+        return self.trace
 
     def schedule(self, delay: int, callback: Callable[[], None], label: str = "") -> _ScheduledEvent:
         """Schedule ``callback`` to run ``delay`` cycles from now.
@@ -76,6 +87,8 @@ class EventScheduler:
             if event.cancelled:
                 continue
             self.current_cycle = event.cycle
+            if self.trace is not None:
+                self.trace.append((event.cycle, event.label))
             event.callback()
             self.events_processed += 1
             return True

@@ -30,6 +30,17 @@ def to_signed(value: int) -> int:
     return value - (1 << 32) if value & 0x80000000 else value
 
 
+def words_to_signed(words) -> np.ndarray:
+    """Vectorised :func:`to_signed`: uint32 word array -> int64 values."""
+    words = np.asarray(words, dtype=np.uint32)
+    return words.view(np.int32).astype(np.int64)
+
+
+def signed_to_words(values) -> np.ndarray:
+    """Vectorised :func:`to_unsigned`: integer array -> uint32 word array."""
+    return (np.asarray(values, dtype=np.int64) & WORD_MASK).astype(np.uint32)
+
+
 class MemoryAccessError(Exception):
     """Raised on out-of-range or misaligned memory accesses."""
 
@@ -90,18 +101,46 @@ class MainMemory:
         self.stats.writes += 1
         self._words[index] = to_unsigned(int(value))
 
+    def _block_index(self, address: int, n_words: int) -> int:
+        """Validate a contiguous word range; returns its start index."""
+        if n_words < 0:
+            raise MemoryAccessError("negative block length")
+        if address % WORD_BYTES != 0:
+            raise MemoryAccessError(f"misaligned word access at {address:#x}")
+        if address < 0 or address + n_words * WORD_BYTES > self.size_bytes:
+            raise MemoryAccessError(
+                f"block [{address:#x}, +{n_words} words] out of range"
+            )
+        return address // WORD_BYTES
+
+    def read_block(self, address: int, n_words: int) -> np.ndarray:
+        """Bulk read of ``n_words`` consecutive words (counted as reads).
+
+        One call is the accounting equivalent of ``n_words`` calls to
+        :meth:`read_word`; the DMA engines use it to stream whole tiles
+        without a per-word Python loop.
+        """
+        index = self._block_index(address, n_words)
+        self.stats.reads += n_words
+        return self._words[index : index + n_words].copy()
+
+    def write_block(self, address: int, values) -> None:
+        """Bulk write of consecutive words (counted as writes)."""
+        words = signed_to_words(values)
+        index = self._block_index(address, words.size)
+        self.stats.writes += words.size
+        self._words[index : index + words.size] = words
+
     def load_words(self, address: int, values) -> None:
         """Bulk-initialise memory starting at ``address`` (no stats impact)."""
-        for offset, value in enumerate(values):
-            index = self._index(address + offset * WORD_BYTES)
-            self._words[index] = to_unsigned(int(value))
+        words = signed_to_words(list(values))
+        index = self._block_index(address, words.size)
+        self._words[index : index + words.size] = words
 
     def dump_words(self, address: int, count: int) -> list:
         """Bulk-read ``count`` words starting at ``address`` (no stats impact)."""
-        return [
-            int(self._words[self._index(address + offset * WORD_BYTES)])
-            for offset in range(count)
-        ]
+        index = self._block_index(address, count)
+        return [int(word) for word in self._words[index : index + count]]
 
     def energy_j(self) -> float:
         """Total access energy consumed so far."""

@@ -25,6 +25,12 @@ DATA_OFFSET = 0x08
 CTRL_START = 0x1
 CTRL_RESET = 0x2
 CTRL_IRQ_ENABLE = 0x4
+#: Push the descriptor currently held in the data registers onto the
+#: device's tile queue without starting it (multi-tile offload streams).
+CTRL_ENQUEUE = 0x8
+#: Raise the IRQ line on every per-tile write-back completion instead of
+#: only when the whole tile stream drains.
+CTRL_IRQ_PER_TILE = 0x10
 
 #: STATUS register bits.
 STATUS_IDLE = 0x0
@@ -46,6 +52,7 @@ class MemoryMappedRegisters:
     n_data_registers: int = 16
     on_start: Optional[Callable[[], None]] = None
     on_reset: Optional[Callable[[], None]] = None
+    on_enqueue: Optional[Callable[[], None]] = None
 
     def __post_init__(self):
         if self.n_data_registers < 1:
@@ -65,6 +72,11 @@ class MemoryMappedRegisters:
     def irq_enabled(self) -> bool:
         """Whether the host asked for a completion interrupt."""
         return bool(self.control & CTRL_IRQ_ENABLE)
+
+    @property
+    def irq_per_tile(self) -> bool:
+        """Whether the host asked for one interrupt per completed tile."""
+        return bool(self.control & CTRL_IRQ_PER_TILE)
 
     # ------------------------------------------------------------------ #
     # bus-facing interface
@@ -89,6 +101,8 @@ class MemoryMappedRegisters:
                 self.status = STATUS_IDLE
                 if self.on_reset is not None:
                     self.on_reset()
+            if value & CTRL_ENQUEUE and self.on_enqueue is not None:
+                self.on_enqueue()
             if value & CTRL_START:
                 self.status = STATUS_BUSY
                 if self.on_start is not None:

@@ -18,23 +18,33 @@ import numpy as np
 
 from repro.system.accelerator import (
     BaseMatrixAccelerator,
+    FLAG_SKIP_INPUT_LOAD,
     MACArrayAccelerator,
     PhotonicMVMAccelerator,
     REG_COLS,
+    REG_FLAGS,
     REG_INNER,
     REG_INPUT_ADDR,
     REG_OUTPUT_ADDR,
     REG_ROWS,
     REG_SCALE_SHIFT,
     REG_WEIGHTS_ADDR,
+    TileDescriptor,
 )
 from repro.system.assembler import assemble
 from repro.system.bus import SystemBus
 from repro.system.cpu import RiscvCPU
 from repro.system.event import EventScheduler
 from repro.system.interrupt import InterruptController
-from repro.system.memory import MainMemory, WORD_BYTES, to_signed, to_unsigned
-from repro.system.mmr import CTRL_IRQ_ENABLE, CTRL_START, STATUS_DONE
+from repro.system.memory import MainMemory, WORD_BYTES, signed_to_words, words_to_signed
+from repro.system.mmr import (
+    CTRL_ENQUEUE,
+    CTRL_IRQ_ENABLE,
+    CTRL_IRQ_PER_TILE,
+    CTRL_START,
+    STATUS_DONE,
+    STATUS_ERROR,
+)
 from repro.system.programs import accelerator_offload_program, gemm_program
 
 #: Default address map.
@@ -42,6 +52,50 @@ MAIN_MEMORY_BASE = 0x0000_0000
 MAIN_MEMORY_SIZE = 1 << 20          # 1 MiB
 MMR_REGION_BASE = 0x4000_0000
 MMR_REGION_STRIDE = 0x0000_1000     # one 4 KiB page per accelerator
+
+
+def plan_shards(
+    n_rows: int,
+    n_inner: int,
+    n_cols: int,
+    n_pes: int,
+    a_addr: int,
+    b_addr: int,
+    c_addr: int,
+    tile_rows: Optional[int] = None,
+) -> List[List[TileDescriptor]]:
+    """Shard an (M, K, N) GeMM into per-PE tile streams.
+
+    Output rows are partitioned contiguously across the PEs; each PE's
+    shard is further split into ``tile_rows``-row tiles (default: half the
+    shard, so the double-buffered pipeline always has a second tile to
+    prefetch).  The ``(K, N)`` input operand is shared: only the first tile
+    of each stream carries ``load_input`` and later tiles reuse the
+    resident scratchpad copy (input-stationary dataflow).
+    """
+    if tile_rows is not None and tile_rows < 1:
+        raise ValueError("tile_rows must be >= 1")
+    plans: List[List[TileDescriptor]] = []
+    for rows in np.array_split(np.arange(n_rows), n_pes):
+        descriptors: List[TileDescriptor] = []
+        if rows.size:
+            chunk_rows = tile_rows if tile_rows is not None else max(1, -(-rows.size // 2))
+            for start in range(0, rows.size, chunk_rows):
+                chunk = rows[start : start + chunk_rows]
+                first_row = int(chunk[0])
+                descriptors.append(
+                    TileDescriptor(
+                        weights_addr=a_addr + first_row * n_inner * WORD_BYTES,
+                        input_addr=b_addr,
+                        output_addr=c_addr + first_row * n_cols * WORD_BYTES,
+                        rows=int(chunk.size),
+                        inner=n_inner,
+                        cols=n_cols,
+                        load_input=start == 0,
+                    )
+                )
+        plans.append(descriptors)
+    return plans
 
 
 @dataclass
@@ -67,6 +121,12 @@ class WorkloadReport:
     area_mm2: float
     energy_breakdown: Dict[str, float] = field(default_factory=dict)
     result: Optional[np.ndarray] = None
+    #: pipeline accounting of tiled offloads (empty for other workloads):
+    #: n_tiles, dma_cycles, compute_cycles, serial_cycles (all phases of
+    #: all PEs run back-to-back), critical_path_serial_cycles (slowest PE
+    #: with no intra-PE overlap), pipelined_cycles, overlap_cycles and
+    #: intra_pe_overlap_cycles (what double buffering alone saved).
+    pipeline: Dict[str, int] = field(default_factory=dict)
 
     @property
     def energy_per_cycle(self) -> float:
@@ -147,13 +207,12 @@ class PhotonicSoC:
     def write_matrix(self, address: int, matrix: np.ndarray) -> None:
         """Store an integer matrix row-major into main memory."""
         flat = np.asarray(matrix, dtype=np.int64).reshape(-1)
-        self.main_memory.load_words(address, [to_unsigned(int(v)) for v in flat])
+        self.main_memory.load_words(address, signed_to_words(flat))
 
     def read_matrix(self, address: int, n_rows: int, n_cols: int) -> np.ndarray:
         """Read a row-major signed integer matrix from main memory."""
         words = self.main_memory.dump_words(address, n_rows * n_cols)
-        values = [to_signed(word) for word in words]
-        return np.asarray(values, dtype=np.int64).reshape(n_rows, n_cols)
+        return words_to_signed(words).reshape(n_rows, n_cols)
 
     # ------------------------------------------------------------------ #
     # simulation driver
@@ -263,14 +322,25 @@ class PhotonicSoC:
         a_addr: int = 0x1000,
         b_addr: int = 0x4000,
         c_addr: int = 0x8000,
+        tile_rows: Optional[int] = None,
+        irq_per_tile: bool = False,
     ) -> WorkloadReport:
-        """Tile the GeMM across every attached accelerator (PE cluster).
+        """Shard the GeMM across every attached accelerator (PE cluster).
 
-        Output rows are partitioned across the PEs.  The host-side driver
-        is modelled directly (MMR writes through the bus) rather than as an
-        assembled program, so arbitrarily many PEs can be coordinated; the
-        reported cycles are the scheduler time at which the last PE
-        finished plus the host configuration accesses.
+        :func:`plan_shards` partitions the output rows across the PEs and
+        splits each shard into multiple tiles; the host-side driver
+        (modelled directly as MMR writes through the bus, so arbitrarily
+        many PEs can be coordinated) enqueues each PE's tile stream with
+        the ENQUEUE control bit and launches them together.  Inside every
+        PE the double-buffered pipeline overlaps the DMA-in of tile ``t+1``
+        with the compute/write-back of tile ``t``; the report's
+        ``pipeline`` dict records the measured overlap against the serial
+        DMA + compute phase sum.
+
+        Args:
+            tile_rows: rows per tile (default: half of each PE's shard).
+            irq_per_tile: raise the completion interrupt per tile write-back
+                instead of once per drained stream.
         """
         if not self.accelerators:
             raise RuntimeError("no accelerator attached")
@@ -279,39 +349,88 @@ class PhotonicSoC:
         n_rows, n_inner = weights.shape
         n_cols = inputs.shape[1]
         n_pes = len(self.accelerators)
-        row_chunks = np.array_split(np.arange(n_rows), n_pes)
+        plans = plan_shards(
+            n_rows, n_inner, n_cols, n_pes, a_addr, b_addr, c_addr, tile_rows=tile_rows
+        )
 
+        self.write_matrix(a_addr, weights)
         self.write_matrix(b_addr, inputs)
+        phase_snapshot = [
+            (pe.stats.dma_cycles, pe.stats.compute_cycles) for pe in self.accelerators
+        ]
+        start_bits = CTRL_START | CTRL_IRQ_ENABLE | (
+            CTRL_IRQ_PER_TILE if irq_per_tile else 0
+        )
         host_cycles = 0
-        row_offset_addresses = []
-        for pe_index, (accelerator, rows) in enumerate(zip(self.accelerators, row_chunks)):
-            if rows.size == 0:
-                row_offset_addresses.append(None)
-                continue
-            tile_a_addr = a_addr + int(rows[0]) * n_inner * WORD_BYTES
-            tile_c_addr = c_addr + int(rows[0]) * n_cols * WORD_BYTES
-            self.write_matrix(tile_a_addr, weights[rows])
-            registers = {
-                REG_WEIGHTS_ADDR: tile_a_addr,
-                REG_INPUT_ADDR: b_addr,
-                REG_OUTPUT_ADDR: tile_c_addr,
-                REG_ROWS: int(rows.size),
-                REG_INNER: n_inner,
-                REG_COLS: n_cols,
-                REG_SCALE_SHIFT: 0,
-            }
-            for index, value in registers.items():
+        n_tiles = 0
+        for accelerator, descriptors in zip(self.accelerators, plans):
+            for descriptor in descriptors:
+                registers = {
+                    REG_WEIGHTS_ADDR: descriptor.weights_addr,
+                    REG_INPUT_ADDR: descriptor.input_addr,
+                    REG_OUTPUT_ADDR: descriptor.output_addr,
+                    REG_ROWS: descriptor.rows,
+                    REG_INNER: descriptor.inner,
+                    REG_COLS: descriptor.cols,
+                    REG_SCALE_SHIFT: descriptor.scale_shift,
+                    REG_FLAGS: 0 if descriptor.load_input else FLAG_SKIP_INPUT_LOAD,
+                }
+                for index, value in registers.items():
+                    host_cycles += self.bus.write_word(
+                        accelerator.mmr_base + 0x08 + index * WORD_BYTES, value
+                    )
+                host_cycles += self.bus.write_word(accelerator.mmr_base, CTRL_ENQUEUE)
+                n_tiles += 1
+            if descriptors:
+                # restore the protocol default (load-input) so a later
+                # single-shot offload does not latch a stale skip flag
                 host_cycles += self.bus.write_word(
-                    accelerator.mmr_base + 0x08 + index * WORD_BYTES, value
+                    accelerator.mmr_base + 0x08 + REG_FLAGS * WORD_BYTES, 0
                 )
-            host_cycles += self.bus.write_word(
-                accelerator.mmr_base, CTRL_START | CTRL_IRQ_ENABLE
-            )
-            row_offset_addresses.append(tile_c_addr)
+                host_cycles += self.bus.write_word(accelerator.mmr_base, start_bits)
 
         final_cycle = self.scheduler.run(max_cycles=self.max_cycles)
+        failed = [
+            accelerator.name
+            for accelerator, descriptors in zip(self.accelerators, plans)
+            if descriptors and accelerator.mmr.status == STATUS_ERROR
+        ]
+        if failed:
+            raise RuntimeError(
+                f"tiled GeMM stream rejected by {', '.join(failed)} "
+                f"(STATUS_ERROR: tile invalid or larger than the scratchpad)"
+            )
         result = self.read_matrix(c_addr, n_rows, n_cols)
-        return self._report(f"tiled-gemm-{n_pes}pe", final_cycle + host_cycles, result)
+        report = self._report(f"tiled-gemm-{n_pes}pe", final_cycle + host_cycles, result)
+        per_pe_phases = [
+            (pe.stats.dma_cycles - before[0]) + (pe.stats.compute_cycles - before[1])
+            for pe, before in zip(self.accelerators, phase_snapshot)
+        ]
+        dma_cycles = sum(
+            pe.stats.dma_cycles - before[0]
+            for pe, before in zip(self.accelerators, phase_snapshot)
+        )
+        compute_cycles = sum(
+            pe.stats.compute_cycles - before[1]
+            for pe, before in zip(self.accelerators, phase_snapshot)
+        )
+        # serial_cycles sums every phase of every PE (one-PE-at-a-time
+        # execution); critical_path_serial_cycles is the slowest PE run
+        # serially with no intra-PE overlap, so intra_pe_overlap_cycles
+        # isolates what double buffering (not PE parallelism) saved.
+        serial_cycles = dma_cycles + compute_cycles + host_cycles
+        critical_path = max(per_pe_phases, default=0) + host_cycles
+        report.pipeline = {
+            "n_tiles": n_tiles,
+            "dma_cycles": dma_cycles,
+            "compute_cycles": compute_cycles,
+            "serial_cycles": serial_cycles,
+            "critical_path_serial_cycles": critical_path,
+            "pipelined_cycles": report.cycles,
+            "overlap_cycles": serial_cycles - report.cycles,
+            "intra_pe_overlap_cycles": critical_path - report.cycles,
+        }
+        return report
 
     def accelerator_status(self, accelerator_index: int = 0) -> int:
         """Read an accelerator's STATUS register (host-side view)."""

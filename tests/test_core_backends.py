@@ -1,0 +1,143 @@
+"""Tests for the execution-backend registry (repro.core.backends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    AnalogPhotonicBackend,
+    ExecutionBackend,
+    IdealDigitalBackend,
+    QuantizedDigitalBackend,
+    available_backends,
+    create_backend,
+    matmul,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.core.gemm import backend_gemm
+from repro.core.mvm import PhotonicMVM
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert {"ideal-digital", "quantized-digital", "analog-photonic"} <= set(names)
+
+    def test_create_by_name(self):
+        assert isinstance(create_backend("ideal-digital"), IdealDigitalBackend)
+        assert isinstance(create_backend("quantized-digital"), QuantizedDigitalBackend)
+        assert isinstance(create_backend("analog-photonic"), AnalogPhotonicBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            create_backend("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("ideal-digital", IdealDigitalBackend)
+
+    def test_user_registered_backend_roundtrip(self):
+        class NegatingBackend(ExecutionBackend):
+            name = "negating"
+
+            def matmul(self, weights, inputs):
+                return -(np.asarray(weights) @ np.asarray(inputs))
+
+        register_backend("negating", NegatingBackend)
+        try:
+            w = np.eye(2, dtype=np.int64)
+            x = np.arange(4, dtype=np.int64).reshape(2, 2)
+            assert np.array_equal(matmul(w, x, backend="negating"), -x)
+        finally:
+            unregister_backend("negating")
+        assert "negating" not in available_backends()
+
+    def test_resolve_passthrough_and_default(self):
+        backend = QuantizedDigitalBackend()
+        assert resolve_backend(backend) is backend
+        assert resolve_backend(None).name == "ideal-digital"
+        with pytest.raises(TypeError):
+            resolve_backend(3.14)
+
+
+class TestBuiltinBackends:
+    def test_ideal_digital_is_exact(self, rng):
+        w = rng.integers(-9, 10, size=(5, 4))
+        x = rng.integers(-9, 10, size=(4, 6))
+        assert np.array_equal(matmul(w, x), w @ x)
+
+    def test_quantized_digital_exact_for_in_range_integers(self, rng):
+        w = rng.integers(-100, 101, size=(4, 4))
+        x = rng.integers(-100, 101, size=(4, 4))
+        backend = QuantizedDigitalBackend(weight_bits=8, input_bits=8)
+        assert np.array_equal(backend.matmul(w, x), w @ x)
+
+    def test_quantized_digital_saturates_out_of_range(self):
+        backend = QuantizedDigitalBackend(weight_bits=4, input_bits=4)
+        # 4-bit signed range is [-8, 7]
+        assert backend.matmul(np.array([[100]]), np.array([[1]]))[0, 0] == 7
+
+    def test_quantized_digital_quantizes_floats(self):
+        backend = QuantizedDigitalBackend(weight_bits=3, input_bits=3)
+        w = np.array([[0.3, -0.7]])
+        x = np.array([[1.0], [1.0]])
+        assert backend.matmul(w, x) != pytest.approx(w @ x)
+
+    def test_analog_routes_through_apply_batch(self, monkeypatch):
+        engine = PhotonicMVM(np.eye(3), rng=0)
+        calls = []
+        original = PhotonicMVM.apply_batch
+
+        def spy(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(PhotonicMVM, "apply_batch", spy)
+        backend = AnalogPhotonicBackend(engine=engine)
+        backend.matmul(np.eye(3), np.eye(3))
+        assert calls, "analog backend must route through PhotonicMVM.apply_batch"
+
+    def test_analog_backend_close_to_reference(self, rng):
+        w = rng.normal(size=(6, 6))
+        x = rng.normal(size=(6, 4))
+        backend = AnalogPhotonicBackend(rng=0)
+        value = backend.matmul(w, x)
+        reference = w @ x
+        error = np.linalg.norm(value - reference) / np.linalg.norm(reference)
+        assert error < 0.1
+
+    def test_analog_engine_cache_reused(self, rng):
+        backend = AnalogPhotonicBackend(rng=0)
+        w = rng.normal(size=(4, 4))
+        first = backend.engine_for(w)
+        second = backend.engine_for(w.copy())
+        assert first is second
+
+    def test_analog_schedule_latency_scales_with_columns(self):
+        engine = PhotonicMVM(np.eye(2), rng=0)
+        backend = AnalogPhotonicBackend(engine=engine)
+        assert backend.schedule_latency_s(10) == pytest.approx(
+            2 * backend.schedule_latency_s(5)
+        )
+
+
+class TestBackendGemm:
+    def test_reference_always_exact(self, rng):
+        w = rng.integers(-5, 6, size=(4, 3)).astype(float)
+        x = rng.integers(-5, 6, size=(3, 5)).astype(float)
+        for name in available_backends():
+            result = backend_gemm(w, x, backend=name)
+            assert np.array_equal(result.reference, w @ x), name
+
+    def test_backend_accuracy_ordering(self, rng):
+        w = rng.normal(size=(6, 6))
+        x = rng.normal(size=(6, 6))
+        ideal = backend_gemm(w, x, backend="ideal-digital").relative_error
+        analog = backend_gemm(w, x, backend="analog-photonic", rng=0).relative_error
+        assert ideal == 0.0
+        assert analog > 0.0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            backend_gemm(np.eye(3), np.eye(4))

@@ -13,7 +13,12 @@ from repro.eval.metrics import (
 )
 from repro.eval.reporting import format_dict, format_series, format_table
 from repro.eval.sweeps import cross_sweep, run_sweep
-from repro.eval.workloads import make_digit_dataset, make_gemm_workload, make_spike_patterns
+from repro.eval.workloads import (
+    make_digit_dataset,
+    make_gemm_workload,
+    make_spike_patterns,
+    run_backend_gemm_experiment,
+)
 from repro.utils.linalg import random_unitary
 
 
@@ -147,3 +152,47 @@ class TestSweeps:
     def test_empty_sweep_table(self):
         result = run_sweep("x", [], lambda x: {"y": x})
         assert result.as_table() == "(empty sweep)"
+
+    def test_backend_forwarded_to_experiment(self):
+        result = run_sweep(
+            "n_modes", [4, 6], run_backend_gemm_experiment, backend="quantized-digital"
+        )
+        assert result.column("backend") == ["quantized-digital"] * 2
+        assert result.column("relative_error") == [0.0, 0.0]
+
+    def test_process_executor_matches_serial_results(self):
+        serial = run_sweep("n_modes", [4, 6], run_backend_gemm_experiment)
+        parallel = run_sweep("n_modes", [4, 6], run_backend_gemm_experiment, executor=2)
+        assert serial.points == parallel.points
+
+    def test_shared_executor_instance_not_shut_down(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first = run_sweep("x", [1, 2], _square_experiment, executor=pool)
+            second = run_sweep("x", [3], _square_experiment, executor=pool)
+        assert first.column("y") == [1, 4]
+        assert second.column("y") == [9]
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(TypeError):
+            run_sweep("x", [1], _square_experiment, executor="threads")
+        with pytest.raises(ValueError):
+            run_sweep("x", [1], _square_experiment, executor=0)
+
+    def test_cross_sweep_over_backends(self):
+        grids = cross_sweep(
+            "backend",
+            ["ideal-digital", "quantized-digital"],
+            "n_modes",
+            [4],
+            run_backend_gemm_experiment,
+        )
+        assert [grid.points[0]["backend"] for grid in grids] == [
+            "ideal-digital",
+            "quantized-digital",
+        ]
+
+
+def _square_experiment(x):
+    return {"y": x * x}

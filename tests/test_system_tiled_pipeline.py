@@ -1,0 +1,361 @@
+"""Tests for the pipelined multi-tile offload engine.
+
+Covers the sharded SoC GeMM scheduler (``plan_shards`` +
+``PhotonicSoC.run_tiled_gemm``), DMA/compute overlap through the
+double-buffered accelerator pipeline, backend equivalence against the
+digital reference, interrupt routing under concurrent per-tile DMA
+completions, and the bulk-DMA bitwise/cycle equivalence guarantees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backends import available_backends
+from repro.eval.workloads import make_gemm_workload
+from repro.system.accelerator import TileDescriptor
+from repro.system.bus import SystemBus
+from repro.system.dma import DMAEngine
+from repro.system.event import EventScheduler
+from repro.system.memory import MainMemory, Scratchpad, WORD_BYTES, to_unsigned
+from repro.system.soc import PhotonicSoC, plan_shards
+
+
+def _cluster(n_pes, **accelerator_kwargs):
+    soc = PhotonicSoC()
+    for _ in range(n_pes):
+        soc.add_photonic_accelerator(**accelerator_kwargs)
+    return soc
+
+
+class TestShardPlanner:
+    def test_rows_partitioned_exactly_once(self):
+        plans = plan_shards(13, 6, 5, 4, 0x1000, 0x4000, 0x8000)
+        covered = []
+        for descriptors in plans:
+            for descriptor in descriptors:
+                first_row = (descriptor.weights_addr - 0x1000) // (6 * WORD_BYTES)
+                covered.extend(range(first_row, first_row + descriptor.rows))
+        assert sorted(covered) == list(range(13))
+
+    def test_each_pe_gets_multiple_tiles_by_default(self):
+        plans = plan_shards(16, 4, 4, 2, 0, 0x4000, 0x8000)
+        assert all(len(descriptors) == 2 for descriptors in plans)
+
+    def test_input_loaded_once_per_stream(self):
+        plans = plan_shards(16, 4, 4, 2, 0, 0x4000, 0x8000, tile_rows=2)
+        for descriptors in plans:
+            flags = [descriptor.load_input for descriptor in descriptors]
+            assert flags[0] is True
+            assert not any(flags[1:])
+
+    def test_more_pes_than_rows(self):
+        plans = plan_shards(2, 3, 3, 4, 0, 0x4000, 0x8000)
+        assert sum(len(descriptors) for descriptors in plans) == 2
+        assert sum(1 for descriptors in plans if not descriptors) == 2
+
+    def test_explicit_tile_rows(self):
+        plans = plan_shards(12, 4, 4, 1, 0, 0x4000, 0x8000, tile_rows=3)
+        assert [d.rows for d in plans[0]] == [3, 3, 3, 3]
+
+
+class TestTiledGemmEquivalence:
+    @pytest.mark.parametrize("n_pes", [1, 2, 4])
+    def test_matches_reference_on_ideal_digital(self, n_pes):
+        weights, inputs = make_gemm_workload(12, 8, 6, rng=0)
+        soc = _cluster(n_pes, backend="ideal-digital")
+        report = soc.run_tiled_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+        assert report.pipeline["n_tiles"] >= n_pes
+
+    def test_equivalence_across_all_registered_backends(self):
+        """Every registered backend agrees with the digital reference.
+
+        Digital backends must be exact for in-range integer operands; the
+        analog backend must stay within the noise tolerance of the
+        photonic datapath.
+        """
+        weights, inputs = make_gemm_workload(8, 6, 5, value_range=4, rng=3)
+        golden = weights @ inputs
+        for name in available_backends():
+            soc = _cluster(2, backend=name)
+            report = soc.run_tiled_gemm(weights, inputs)
+            if name == "analog-photonic":
+                error = np.linalg.norm(report.result - golden) / np.linalg.norm(golden)
+                assert error < 0.25, name
+            else:
+                assert np.array_equal(report.result, golden), name
+
+    def test_single_shot_offload_accepts_backend(self):
+        weights, inputs = make_gemm_workload(5, 5, 4, rng=1)
+        soc = _cluster(1, backend="quantized-digital")
+        report = soc.run_offloaded_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+
+    def test_mac_array_cluster(self):
+        weights, inputs = make_gemm_workload(10, 6, 4, rng=2)
+        soc = PhotonicSoC()
+        for _ in range(2):
+            soc.add_mac_array_accelerator()
+        report = soc.run_tiled_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+
+
+class TestPipelineOverlap:
+    def test_four_pe_overlap_beats_serial_phases(self):
+        """Acceptance: 4-PE pipelined cycles < serial DMA + compute sum."""
+        weights, inputs = make_gemm_workload(32, 16, 16, rng=0)
+        soc = _cluster(4)
+        report = soc.run_tiled_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+        assert report.cycles < report.pipeline["serial_cycles"]
+        assert report.pipeline["overlap_cycles"] > 0
+
+    def test_four_pe_overlap_beats_per_pe_critical_path(self):
+        """Double buffering wins even against the slowest PE run serially.
+
+        This isolates intra-PE DMA/compute overlap from the trivial gain
+        of running PEs in parallel.
+        """
+        weights, inputs = make_gemm_workload(32, 16, 16, rng=0)
+        soc = _cluster(4)
+        report = soc.run_tiled_gemm(weights, inputs)
+        assert report.cycles < report.pipeline["critical_path_serial_cycles"]
+        assert report.pipeline["intra_pe_overlap_cycles"] > 0
+
+    def test_single_pe_still_overlaps_across_tiles(self):
+        """Double buffering overlaps DMA-in of tile t+1 with tile t."""
+        weights, inputs = make_gemm_workload(24, 12, 8, rng=1)
+        soc = _cluster(1)
+        report = soc.run_tiled_gemm(weights, inputs, tile_rows=6)
+        assert np.array_equal(report.result, weights @ inputs)
+        assert report.pipeline["n_tiles"] == 4
+        assert report.cycles < report.pipeline["serial_cycles"]
+
+    def test_event_trace_shows_interleaved_stages(self):
+        soc = _cluster(1)
+        trace = soc.scheduler.enable_trace()
+        weights, inputs = make_gemm_workload(16, 8, 8, rng=2)
+        soc.run_tiled_gemm(weights, inputs, tile_rows=4)
+        labels = [label for _, label in trace]
+        first_out = labels.index("photonic0-dma-out")
+        later_dma_in = [
+            index for index, label in enumerate(labels)
+            if label == "photonic0-dma-in" and index > 0
+        ]
+        # a later tile's DMA-in completes before an earlier tile drained
+        assert later_dma_in and later_dma_in[0] < first_out
+
+    def test_more_pes_reduce_cycles(self):
+        weights, inputs = make_gemm_workload(32, 12, 8, rng=3)
+        cycles = {}
+        for n_pes in (1, 4):
+            soc = _cluster(n_pes)
+            cycles[n_pes] = soc.run_tiled_gemm(weights, inputs).cycles
+        assert cycles[4] < cycles[1]
+
+
+class TestInterruptRouting:
+    def test_per_tile_interrupts_under_concurrent_completions(self):
+        """4 PEs completing tiles concurrently: each line fires per tile."""
+        weights, inputs = make_gemm_workload(16, 8, 4, rng=4)
+        soc = _cluster(4)
+        fired = []
+        for accelerator in soc.accelerators:
+            soc.interrupts.subscribe(
+                accelerator.irq_line.index,
+                lambda line, _pe=accelerator.name: fired.append((_pe, line)),
+            )
+        report = soc.run_tiled_gemm(weights, inputs, tile_rows=2, irq_per_tile=True)
+        assert np.array_equal(report.result, weights @ inputs)
+        per_pe_tiles = {
+            accelerator.name: accelerator.stats.tiles_completed
+            for accelerator in soc.accelerators
+        }
+        assert sum(per_pe_tiles.values()) == report.pipeline["n_tiles"]
+        for accelerator in soc.accelerators:
+            line = accelerator.irq_line
+            observed = sum(1 for name, _ in fired if name == accelerator.name)
+            assert observed == per_pe_tiles[accelerator.name]
+            assert line.fire_count == per_pe_tiles[accelerator.name]
+            assert line.pending  # host has not acknowledged yet
+
+    def test_stream_mode_raises_one_interrupt_per_pe(self):
+        weights, inputs = make_gemm_workload(12, 6, 4, rng=5)
+        soc = _cluster(2)
+        soc.run_tiled_gemm(weights, inputs)
+        for accelerator in soc.accelerators:
+            assert accelerator.irq_line.fire_count == 1
+
+    def test_tiles_done_register_tracks_stream(self):
+        weights, inputs = make_gemm_workload(8, 4, 4, rng=6)
+        soc = _cluster(1)
+        report = soc.run_tiled_gemm(weights, inputs, tile_rows=2)
+        from repro.system.accelerator import REG_TILES_DONE
+
+        accelerator = soc.accelerators[0]
+        assert accelerator.mmr.data_register(REG_TILES_DONE) == report.pipeline["n_tiles"]
+
+
+class TestPipelineStateHygiene:
+    """Regression tests: persistent device state must not leak across runs."""
+
+    def test_single_shot_offload_after_tiled_run(self):
+        """A tiled stream must not leave a stale skip-input flag behind."""
+        weights, inputs = make_gemm_workload(8, 4, 4, rng=7)
+        soc = _cluster(1)
+        soc.run_tiled_gemm(weights, inputs, tile_rows=2)
+        new_weights = np.ones((4, 4), dtype=np.int64)
+        new_inputs = np.full((4, 4), 2, dtype=np.int64)
+        report = soc.run_offloaded_gemm(new_weights, new_inputs)
+        assert np.array_equal(report.result, new_weights @ new_inputs)
+
+    def test_oversized_tile_falls_back_to_exclusive_mode(self):
+        """Tiles too big for a ping-pong region keep the old serial capacity."""
+        # 1 KiB scratchpads: 256 words total, 128 words per double buffer
+        soc = _cluster(1, scratchpad_bytes=1024)
+        weights, inputs = make_gemm_workload(10, 20, 2, rng=8)
+        assert 128 < 10 * 20 <= 256  # weight tile only fits the whole SPM
+        report = soc.run_tiled_gemm(weights, inputs, tile_rows=10)
+        assert np.array_equal(report.result, weights @ inputs)
+
+    def test_mixed_pipelined_and_exclusive_tiles(self):
+        soc = _cluster(1, scratchpad_bytes=1024)
+        weights, inputs = make_gemm_workload(12, 20, 2, rng=9)
+        # tile_rows=8 -> first tile 8x20=160 words (exclusive), second 4x20
+        report = soc.run_tiled_gemm(weights, inputs, tile_rows=8)
+        assert np.array_equal(report.result, weights @ inputs)
+
+    def test_tile_too_large_for_scratchpad_raises(self):
+        from repro.system.mmr import STATUS_ERROR
+
+        soc = _cluster(1, scratchpad_bytes=1024)
+        weights, inputs = make_gemm_workload(20, 20, 2, rng=10)  # 400 words > 256
+        with pytest.raises(RuntimeError, match="STATUS_ERROR"):
+            soc.run_tiled_gemm(weights, inputs, tile_rows=20)
+        assert soc.accelerators[0].mmr.status == STATUS_ERROR
+
+    def test_fixed_engine_analog_backend_rejects_mismatched_tiles(self):
+        """A resident analog engine must not silently compute wrong tiles.
+
+        Default sharding splits an 8-row GeMM into 4-row tiles; a fixed
+        8x8 engine cannot serve them and must refuse loudly.
+        """
+        from repro.core.mvm import PhotonicMVM
+
+        weights, inputs = make_gemm_workload(8, 8, 4, value_range=4, rng=12)
+        engine = PhotonicMVM(weights.astype(float), rng=0)
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator(analog_model=engine)
+        with pytest.raises(ValueError, match="do not match the programmed engine"):
+            soc.run_tiled_gemm(weights, inputs)
+
+    def test_fixed_engine_analog_backend_works_with_matching_tile(self):
+        from repro.core.mvm import PhotonicMVM
+
+        weights, inputs = make_gemm_workload(8, 8, 4, value_range=4, rng=12)
+        engine = PhotonicMVM(weights.astype(float), rng=0)
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator(analog_model=engine)
+        report = soc.run_tiled_gemm(weights, inputs, tile_rows=8)
+        golden = weights @ inputs
+        error = np.linalg.norm(report.result - golden) / np.linalg.norm(golden)
+        assert error < 0.25
+
+    def test_reset_clears_queued_tiles(self):
+        from repro.system.accelerator import (
+            REG_COLS, REG_INNER, REG_OUTPUT_ADDR, REG_ROWS, REG_WEIGHTS_ADDR,
+        )
+        from repro.system.mmr import CTRL_ENQUEUE, CTRL_RESET
+
+        weights, inputs = make_gemm_workload(4, 4, 4, rng=11)
+        soc = _cluster(1)
+        accelerator = soc.accelerators[0]
+        # host queues a tile aimed at a scratch output region, then aborts
+        for index, value in [
+            (REG_WEIGHTS_ADDR, 0x1000), (REG_OUTPUT_ADDR, 0xC000),
+            (REG_ROWS, 4), (REG_INNER, 4), (REG_COLS, 4),
+        ]:
+            accelerator.mmr.set_data_register(index, value)
+        accelerator.mmr.write_word(0x00, CTRL_ENQUEUE)
+        accelerator.mmr.write_word(0x00, CTRL_RESET)
+        report = soc.run_offloaded_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+        # the aborted tile never executed
+        assert soc.read_matrix(0xC000, 4, 4).any() == False  # noqa: E712
+
+    def test_invalid_enqueued_descriptor_refuses_to_start(self):
+        from repro.system.accelerator import TileDescriptor
+        from repro.system.mmr import CTRL_START, STATUS_ERROR
+
+        soc = _cluster(1)
+        accelerator = soc.accelerators[0]
+        accelerator.enqueue_tile(TileDescriptor(0x1000, 0x4000, 0x8000, 4, 4, 4))
+        accelerator.enqueue_tile(TileDescriptor(0x1000, 0x4000, 0x8000, 0, 4, 4))
+        accelerator.mmr.write_word(0x00, CTRL_START)
+        soc.scheduler.run()
+        assert accelerator.mmr.status == STATUS_ERROR
+        assert not accelerator.busy
+        # the poisoned stream was dropped entirely, nothing was written
+        assert not soc.read_matrix(0x8000, 4, 4).any()
+
+
+class TestBulkDMAEquivalence:
+    def _system(self):
+        scheduler = EventScheduler()
+        bus = SystemBus()
+        memory = MainMemory(1 << 16)
+        bus.attach(0, 1 << 16, memory, "mem")
+        return scheduler, bus, memory
+
+    def test_bulk_copy_bitwise_equal_to_word_loop(self, rng):
+        scheduler, bus, memory = self._system()
+        words = [to_unsigned(int(v)) for v in rng.integers(-(2**31), 2**31, size=37)]
+        memory.load_words(0x100, words)
+        scratchpad = Scratchpad(1 << 12)
+        dma = DMAEngine(scheduler, bus)
+        dma.copy_to_scratchpad(0x100, scratchpad, 0, 37)
+        observed = [scratchpad.read_word(i * WORD_BYTES) for i in range(37)]
+        assert observed == words
+
+    def test_bulk_copy_cycle_accounting_matches_word_model(self):
+        """Latency must equal the historical per-word burst formula."""
+        scheduler, bus, memory = self._system()
+        scratchpad = Scratchpad(1 << 12)
+        dma = DMAEngine(scheduler, bus, words_per_burst=8)
+        n_words = 37
+        latency = dma.copy_to_scratchpad(0, scratchpad, 0, n_words)
+        per_word = bus.traversal_latency + memory.read_latency
+        n_bursts = (n_words + 7) // 8
+        assert latency == n_bursts * per_word + (n_words - n_bursts)
+        assert dma.stats.words_moved == n_words
+        assert memory.stats.reads == n_words
+
+    def test_bulk_writeback_counts_bus_transfers_per_word(self):
+        scheduler, bus, memory = self._system()
+        scratchpad = Scratchpad(1 << 12)
+        scratchpad.load_words(0, list(range(16)))
+        dma = DMAEngine(scheduler, bus)
+        before = bus.transfers
+        dma.copy_from_scratchpad(scratchpad, 0, 0x200, 16)
+        assert bus.transfers - before == 16
+        assert memory.dump_words(0x200, 16) == list(range(16))
+
+    def test_unmapped_block_rejected(self):
+        scheduler, bus, memory = self._system()
+        scratchpad = Scratchpad(1 << 12)
+        dma = DMAEngine(scheduler, bus)
+        with pytest.raises(Exception):
+            dma.copy_to_scratchpad((1 << 16) - 8, scratchpad, 0, 16)
+
+
+class TestTileDescriptor:
+    def test_word_counts(self):
+        descriptor = TileDescriptor(0, 0, 0, rows=3, inner=4, cols=5)
+        assert descriptor.weight_words == 12
+        assert descriptor.input_words == 20
+        assert descriptor.output_words == 15
+        assert descriptor.macs == 60
+        assert descriptor.valid
+
+    def test_invalid_dimensions_flagged(self):
+        assert not TileDescriptor(0, 0, 0, rows=0, inner=4, cols=5).valid
