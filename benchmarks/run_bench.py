@@ -13,15 +13,24 @@ repository root:
     {
       "latest": {"<bench name>": {"mean_s": ..., "min_s": ..., "ops_per_s": ...}},
       "soc_offload": {"1pe": {"cycles": ..., "serial_cycles": ..., "wall_s": ...}},
+      "serving": {"analog-photonic": {"modes": {"batch1": ..., "dynamic": ...}}},
       "history": [{"machine": ..., "results": {...}, "soc_offload": {...}}, ...]
     }
+
+The ``serving`` section holds the traffic benchmark: offered load vs.
+achieved throughput with p50/p99 latency and queue-depth stats for
+batch-size-1 serial serving and dynamic micro-batching on each replica
+backend, plus the measured speedup at saturating offered load.
 
 Future performance PRs compare their run against ``latest`` (and the
 trajectory in ``history``) to prove a speedup or catch a regression.
 
 Usage::
 
-    python benchmarks/run_bench.py [--output BENCH_throughput.json]
+    python benchmarks/run_bench.py [--output BENCH_throughput.json] [--quick]
+
+``--quick`` runs a CI-smoke variant: small sizes, no pytest-benchmark
+suite, and nothing written to the trajectory file.
 """
 
 from __future__ import annotations
@@ -35,7 +44,10 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = Path(__file__).resolve().parent / "test_bench_throughput.py"
+BENCH_FILES = [
+    Path(__file__).resolve().parent / "test_bench_throughput.py",
+    Path(__file__).resolve().parent / "test_bench_serving.py",
+]
 MAX_HISTORY = 50
 
 
@@ -52,7 +64,7 @@ def run_benchmarks(raw_json: Path) -> int:
         sys.executable,
         "-m",
         "pytest",
-        str(BENCH_FILE),
+        *(str(path) for path in BENCH_FILES),
         "-q",
         f"--benchmark-json={raw_json}",
     ]
@@ -115,15 +127,140 @@ def collect_soc_offload(pe_counts=(1, 2, 4), shape=(32, 16, 16)) -> dict:
     return section
 
 
-def update_trajectory(output: Path, results: dict, soc_offload: dict) -> dict:
+def collect_serving(quick: bool = False) -> dict:
+    """Traffic benchmark: offered load vs. achieved throughput and latency.
+
+    For each replica backend (``ideal-digital`` and ``analog-photonic``)
+    and each serving mode (``batch1`` = serial batch-size-1 baseline,
+    ``dynamic`` = micro-batching up to 32), a seeded Poisson arrival trace
+    is replayed open-loop at offered rates of 0.5x, 2x and 8x the
+    backend's measured single-request capacity.  The 8x point saturates
+    the replica: achieved throughput there is the serving capacity, and
+    ``saturated_speedup_dynamic_vs_batch1`` is the dynamic-batching win.
+    """
+    import asyncio
+
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy as np
+
+    from repro.serving import (
+        GemmEngine,
+        InferenceServer,
+        Replica,
+        make_column_workload,
+        poisson_arrival_times,
+        run_open_loop,
+    )
+    from repro.utils.rng import ensure_rng
+
+    shape = (16, 16)
+    n_requests = 60 if quick else 240
+    max_batch = 64
+    rate_multipliers = (0.5, 2.0, 8.0)
+    weights = ensure_rng(0).normal(size=shape)
+
+    def make_engine(backend_name):
+        kwargs = {"rng": 0} if backend_name == "analog-photonic" else {}
+        return GemmEngine(backend=backend_name, weights=weights, **kwargs)
+
+    async def measure(backend_name, mode, offered_hz):
+        engine = make_engine(backend_name)
+        engine.compile(None)  # program the mesh outside the timed window
+        # greedy coalescing (max_wait_s=0): a batch is whatever has queued
+        # behind the in-flight one, so light load stays at serial latency
+        # while saturation serves in full fused batches
+        replica = Replica(
+            "r0",
+            engine,
+            max_batch=1 if mode == "batch1" else max_batch,
+            max_wait_s=0.0,
+            max_queue_depth=4 * max_batch,
+        )
+        async with InferenceServer([replica]) as server:
+            trace = poisson_arrival_times(offered_hz, n_requests, rng=1)
+            workload = make_column_workload(shape[1], n_requests, rng=2)
+            report = await run_open_loop(
+                server, trace, workload, offered_rate_hz=offered_hz
+            )
+        telemetry = report.telemetry
+        return {
+            "offered_hz": offered_hz,
+            "achieved_hz": report.achieved_hz,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "p50_ms": telemetry["latency"]["p50_ms"],
+            "p99_ms": telemetry["latency"]["p99_ms"],
+            "max_queue_depth": telemetry["queue_depth"]["max"],
+            "mean_queue_depth": telemetry["queue_depth"]["mean"],
+            "mean_batch": telemetry["replicas"]["r0"]["mean_batch"],
+        }
+
+    def serial_capacity_hz(backend_name):
+        import time
+
+        engine = make_engine(backend_name)
+        column = np.zeros((shape[1], 1))
+        engine.run_batch(None, column)  # compile outside the timed window
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            for _ in range(10):
+                engine.run_batch(None, column)
+            best = min(best, (time.perf_counter() - started) / 10)
+        return 1.0 / best
+
+    section = {}
+    for backend_name in ("ideal-digital", "analog-photonic"):
+        capacity = serial_capacity_hz(backend_name)
+        modes = {}
+        for mode in ("batch1", "dynamic"):
+            points = []
+            for multiplier in rate_multipliers:
+                offered = multiplier * capacity
+                points.append(asyncio.run(measure(backend_name, mode, offered)))
+            modes[mode] = {
+                "offered_hz": [point["offered_hz"] for point in points],
+                "achieved_hz": [point["achieved_hz"] for point in points],
+                "p50_ms": [point["p50_ms"] for point in points],
+                "p99_ms": [point["p99_ms"] for point in points],
+                "rejected": [point["rejected"] for point in points],
+                "max_queue_depth": [point["max_queue_depth"] for point in points],
+                "mean_queue_depth": [point["mean_queue_depth"] for point in points],
+                "mean_batch": [point["mean_batch"] for point in points],
+            }
+        saturated = {
+            mode: modes[mode]["achieved_hz"][-1] for mode in ("batch1", "dynamic")
+        }
+        section[backend_name] = {
+            "shape": list(shape),
+            "n_requests": n_requests,
+            "serial_capacity_hz": capacity,
+            "modes": modes,
+            "saturated_speedup_dynamic_vs_batch1": (
+                saturated["dynamic"] / saturated["batch1"]
+                if saturated["batch1"] > 0
+                else None
+            ),
+        }
+    return section
+
+
+def update_trajectory(output: Path, results: dict, soc_offload: dict, serving: dict) -> dict:
     """Write the condensed results, appending to any existing history."""
     record = {
         "machine": platform.node() or "unknown",
         "python": platform.python_version(),
         "results": results,
         "soc_offload": soc_offload,
+        "serving": serving,
     }
-    payload = {"latest": results, "soc_offload": soc_offload, "history": []}
+    payload = {
+        "latest": results,
+        "soc_offload": soc_offload,
+        "serving": serving,
+        "history": [],
+    }
     if output.exists():
         try:
             previous = json.loads(output.read_text())
@@ -144,19 +281,36 @@ def main() -> int:
         default=REPO_ROOT / "BENCH_throughput.json",
         help="trajectory file to write (default: BENCH_throughput.json)",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small sizes, skip the pytest-benchmark suite, "
+        "and do not write or append to the trajectory file",
+    )
     args = parser.parse_args()
 
-    with tempfile.TemporaryDirectory() as tmp:
-        raw_json = Path(tmp) / "benchmark_raw.json"
-        exit_code = run_benchmarks(raw_json)
-        if not raw_json.exists():
-            print("benchmark run produced no JSON report", file=sys.stderr)
-            return exit_code or 1
-        results = condense(raw_json)
+    exit_code = 0
+    results = {}
+    if not args.quick:
+        with tempfile.TemporaryDirectory() as tmp:
+            raw_json = Path(tmp) / "benchmark_raw.json"
+            exit_code = run_benchmarks(raw_json)
+            if not raw_json.exists():
+                print("benchmark run produced no JSON report", file=sys.stderr)
+                return exit_code or 1
+            results = condense(raw_json)
 
-    soc_offload = collect_soc_offload()
-    update_trajectory(args.output, results, soc_offload)
-    print(f"wrote {args.output} ({len(results)} benchmarks)")
+    if args.quick:
+        soc_offload = collect_soc_offload(pe_counts=(1, 2), shape=(16, 8, 8))
+    else:
+        soc_offload = collect_soc_offload()
+    serving = collect_serving(quick=args.quick)
+
+    if args.quick:
+        print("quick mode: trajectory file not updated")
+    else:
+        update_trajectory(args.output, results, soc_offload, serving)
+        print(f"wrote {args.output} ({len(results)} benchmarks)")
     for name, stats in sorted(results.items()):
         mean = stats["mean_s"]
         print(f"  {name}: {mean * 1e3:.2f} ms/round" if mean else f"  {name}: n/a")
@@ -164,6 +318,15 @@ def main() -> int:
         print(
             f"  soc_offload/{name}: {stats['cycles']} cycles "
             f"(serial {stats['serial_cycles']}, {stats['wall_s'] * 1e3:.2f} ms wall)"
+        )
+    for backend_name, stats in sorted(serving.items()):
+        speedup = stats["saturated_speedup_dynamic_vs_batch1"]
+        batch1 = stats["modes"]["batch1"]["achieved_hz"][-1]
+        dynamic = stats["modes"]["dynamic"]["achieved_hz"][-1]
+        print(
+            f"  serving/{backend_name}: saturated {batch1:.0f} req/s serial -> "
+            f"{dynamic:.0f} req/s dynamic "
+            f"({speedup:.1f}x)" if speedup else f"  serving/{backend_name}: n/a"
         )
     return exit_code
 

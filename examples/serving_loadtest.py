@@ -1,0 +1,102 @@
+"""Serving the photonic accelerator under traffic (the north-star workload).
+
+Builds a two-replica inference service — a fast ideal-digital replica next
+to the full analog-photonic datapath — and replays seeded Poisson and
+bursty arrival traces against it open-loop.  The printed tables are the
+operator's view of the runtime: offered vs. achieved throughput, latency
+percentiles, queue depth, per-replica utilization, and what dynamic
+micro-batching buys over batch-size-1 serial serving on the analog replica.
+
+Run with:  python examples/serving_loadtest.py
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.eval import format_table
+from repro.serving import (
+    GemmEngine,
+    InferenceServer,
+    Replica,
+    bursty_arrival_times,
+    make_column_workload,
+    poisson_arrival_times,
+    run_open_loop,
+)
+
+SHAPE = (16, 16)
+N_REQUESTS = 150
+
+
+async def serve_trace(replicas, trace, policy="least-loaded"):
+    """Replay one arrival trace; returns (LoadReport, server stats)."""
+    async with InferenceServer(replicas, policy=policy) as server:
+        workload = make_column_workload(SHAPE[1], N_REQUESTS, rng=2)
+        report = await run_open_loop(server, trace, workload)
+    return report, server.stats()
+
+
+def make_replicas(analog_max_batch=32):
+    weights = np.random.default_rng(0).normal(size=SHAPE)
+    digital = GemmEngine(backend="ideal-digital", weights=weights, name="digital")
+    analog = GemmEngine(backend="analog-photonic", weights=weights, rng=0, name="analog")
+    analog.compile(None)  # program the mesh before traffic arrives
+    return [
+        Replica("digital", digital, max_batch=32, max_queue_depth=128),
+        Replica("analog", analog, max_batch=analog_max_batch, max_queue_depth=128),
+    ]
+
+
+def main() -> None:
+    # --- mixed pool under Poisson and bursty traffic ---------------------
+    rows = []
+    for label, trace in (
+        ("poisson 4k req/s", poisson_arrival_times(4000.0, N_REQUESTS, rng=1)),
+        ("bursty 4k req/s", bursty_arrival_times(4000.0, N_REQUESTS, rng=1)),
+    ):
+        report, stats = asyncio.run(serve_trace(make_replicas(), trace))
+        rows.append(
+            [
+                label,
+                report.completed,
+                report.rejected,
+                round(report.achieved_hz, 0),
+                round(stats["latency"]["p50_ms"], 2),
+                round(stats["latency"]["p99_ms"], 2),
+                stats["queue_depth"]["max"],
+            ]
+        )
+    print(format_table(
+        ["trace", "done", "rejected", "achieved/s", "p50 ms", "p99 ms", "max queue"],
+        rows,
+    ))
+
+    # --- dynamic micro-batching vs serial on the analog replica ----------
+    weights = np.random.default_rng(0).normal(size=SHAPE)
+    rows = []
+    for label, max_batch in (("batch-size-1 serial", 1), ("dynamic micro-batching", 64)):
+        engine = GemmEngine(backend="analog-photonic", weights=weights, rng=0)
+        engine.compile(None)
+        replica = Replica("analog", engine, max_batch=max_batch, max_queue_depth=256)
+        trace = poisson_arrival_times(30_000.0, N_REQUESTS, rng=1)  # saturating
+        report, stats = asyncio.run(serve_trace([replica], trace))
+        rows.append(
+            [
+                label,
+                round(report.achieved_hz, 0),
+                round(stats["latency"]["p50_ms"], 2),
+                round(stats["latency"]["p99_ms"], 2),
+                round(engine.stats.mean_batch, 1),
+                round(stats["replicas"]["analog"]["utilization"], 2),
+            ]
+        )
+    print()
+    print(format_table(
+        ["analog serving mode", "achieved/s", "p50 ms", "p99 ms", "mean batch", "util"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

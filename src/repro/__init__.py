@@ -16,11 +16,14 @@ The package is organised bottom-up, mirroring the paper:
   MMRs, DMA, interrupts, DSAs, fault injection).
 * ``repro.eval`` — workloads, metrics, sweeps and report formatting for
   the paper's experiments.
+* ``repro.serving`` — the asyncio inference serving runtime (request
+  queues, dynamic micro-batching, multi-replica scheduling, telemetry and
+  traffic generation) layered on the execution backends and the SoC.
 """
 
 __version__ = "0.1.0"
 
-from repro import materials, devices, mesh, core, snn, system, utils  # noqa: F401
+from repro import materials, devices, mesh, core, snn, system, utils, serving  # noqa: F401
 from repro import eval as evaluation  # noqa: F401  ("eval" shadows the builtin, alias it)
 
 __all__ = [
@@ -32,5 +35,6 @@ __all__ = [
     "system",
     "utils",
     "evaluation",
+    "serving",
     "__version__",
 ]

@@ -1,0 +1,65 @@
+"""Inference serving runtime: queues, micro-batching, replicas, traffic.
+
+The serving layer turns the reproduction's simulation stack into a runnable
+service model: an asyncio front-end admits requests into bounded queues, a
+dynamic micro-batcher fuses them into single ``apply_batch`` /
+``backend.matmul`` calls (the vectorized hot paths), and a multi-replica
+scheduler spreads traffic across engines — pure-backend GeMM, photonic MLP
+forward passes, or full cycle-accurate SoC offloads.  Telemetry reports the
+SLO metrics (p50/p95/p99 latency, throughput, queue depth, utilization) and
+the load generators replay seeded Poisson or bursty arrival traces.
+"""
+
+from repro.serving.batching import InferenceRequest, MicroBatcher
+from repro.serving.engine import (
+    CompiledModel,
+    GemmEngine,
+    InferenceEngine,
+    MLPEngine,
+    SoCGemmEngine,
+    weight_hash,
+)
+from repro.serving.errors import (
+    BackpressureError,
+    DeadlineExceededError,
+    ServerClosedError,
+    ServingError,
+)
+from repro.serving.loadgen import (
+    LoadReport,
+    bursty_arrival_times,
+    make_column_workload,
+    poisson_arrival_times,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serving.scheduler import POLICIES, Replica, ReplicaScheduler
+from repro.serving.server import InferenceServer
+from repro.serving.telemetry import LatencySeries, ServingTelemetry
+
+__all__ = [
+    "BackpressureError",
+    "CompiledModel",
+    "DeadlineExceededError",
+    "GemmEngine",
+    "InferenceEngine",
+    "InferenceRequest",
+    "InferenceServer",
+    "LatencySeries",
+    "LoadReport",
+    "MLPEngine",
+    "MicroBatcher",
+    "POLICIES",
+    "Replica",
+    "ReplicaScheduler",
+    "ServerClosedError",
+    "ServingError",
+    "ServingTelemetry",
+    "SoCGemmEngine",
+    "bursty_arrival_times",
+    "make_column_workload",
+    "poisson_arrival_times",
+    "run_closed_loop",
+    "run_open_loop",
+    "weight_hash",
+]

@@ -1,0 +1,204 @@
+"""Asyncio inference front-end: submit -> awaitable future, drain, shutdown.
+
+:class:`InferenceServer` is the client-facing surface of the serving
+runtime.  ``submit()`` admits one request (one input column against an
+optional explicit model), routes it through the
+:class:`~repro.serving.scheduler.ReplicaScheduler`, and returns when the
+fused micro-batch containing it has executed.  Per-request deadlines are
+enforced at dispatch time; callers may also cancel the returned future and
+the batcher will skip the request.  ``shutdown(drain=True)`` stops
+admission, serves everything already queued, then stops the batcher tasks.
+
+The server is single-event-loop by design: engines are synchronous NumPy
+code that executes inline in the batcher task, which keeps results
+deterministic for seeded workloads and matches how the underlying hot paths
+were benchmarked.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.batching import InferenceRequest
+from repro.serving.engine import DEFAULT_MODEL_KEY, weight_hash
+from repro.serving.errors import BackpressureError, ServerClosedError
+from repro.serving.scheduler import Replica, ReplicaScheduler
+from repro.serving.telemetry import ServingTelemetry
+
+
+class InferenceServer:
+    """Front-end over a pool of serving replicas.
+
+    Attributes:
+        scheduler: the routing/admission layer.
+        telemetry: the server-lifetime metrics sink.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        policy: str = "least-loaded",
+        telemetry: Optional[ServingTelemetry] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.clock = clock
+        self.scheduler = ReplicaScheduler(replicas, policy=policy)
+        self.telemetry = telemetry if telemetry is not None else ServingTelemetry(clock=clock)
+        self._started = False
+        self._closed = False
+        self._next_request_id = 0
+        for replica in self.scheduler.replicas:
+            # one clock for the whole server: request timestamps/deadlines
+            # are stamped here and compared in the batchers.  Replicas still
+            # on the default clock adopt the server's; an explicitly
+            # injected replica clock is left alone.
+            if replica.clock is time.perf_counter:
+                replica.clock = clock
+            if replica.batcher.clock is time.perf_counter:
+                replica.batcher.clock = clock
+            replica.add_observer(self._observe_result)
+            replica.add_batch_observer(self.telemetry.on_batch)
+
+    def _observe_result(
+        self,
+        replica_name: str,
+        request: InferenceRequest,
+        latency_s: float,
+        batch_size: int,
+        outcome: str,
+    ) -> None:
+        self.telemetry.on_result(replica_name, latency_s, batch_size, outcome)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "InferenceServer":
+        """Start every replica's batcher task; idempotent."""
+        for replica in self.scheduler.replicas:
+            replica.start()
+        if not self._started:
+            self.telemetry.start()
+        self._started = True
+        self._closed = False
+        return self
+
+    async def drain(self, poll_s: float = 0.0005) -> None:
+        """Wait until every admitted request has completed.
+
+        Covers queued requests, open batching windows and dispatched
+        batches (in-flight load counts requests from the moment they are
+        pulled off the queue).
+        """
+        while self.scheduler.total_load() > 0:
+            await asyncio.sleep(poll_s)
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop admission, then stop the batcher tasks.
+
+        ``drain=True`` serves everything already admitted (the shutdown
+        sentinel trails the backlog and cuts straggler windows short);
+        ``drain=False`` aborts immediately, failing still-queued requests
+        with :class:`~repro.serving.errors.ServerClosedError`.
+        """
+        self._closed = True
+        for replica in self.scheduler.replicas:
+            if drain:
+                await replica.stop()
+            else:
+                await replica.abort()
+        self._started = False
+        self.telemetry.stop()
+
+    async def __aenter__(self) -> "InferenceServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.shutdown(drain=exc_type is None)
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._closed
+
+    # ------------------------------------------------------------------ #
+    # request admission
+    # ------------------------------------------------------------------ #
+    def submit_nowait(
+        self,
+        inputs: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        deadline_s: Optional[float] = None,
+    ) -> asyncio.Future:
+        """Admit one request; returns the future resolving to the output column.
+
+        Raises :class:`~repro.serving.errors.ServerClosedError` when the
+        server is not accepting requests and
+        :class:`~repro.serving.errors.BackpressureError` when every replica
+        queue is full (the rejection is also counted in telemetry).
+        """
+        if not self.running:
+            raise ServerClosedError(
+                "server is not accepting requests (call start(), and submit "
+                "before shutdown())"
+            )
+        inputs = np.asarray(inputs)
+        if inputs.ndim != 1:
+            raise ValueError(
+                f"a request carries one (n_in,) input column, got shape {inputs.shape}"
+            )
+        now = self.clock()
+        # the key only needs to group identical weights within a batcher;
+        # every engine resolves the default key against its bound model
+        model_key = DEFAULT_MODEL_KEY if weights is None else weight_hash(weights)
+        request = InferenceRequest(
+            inputs=inputs,
+            weights=weights,
+            model_key=model_key,
+            future=asyncio.get_running_loop().create_future(),
+            submitted_at=now,
+            deadline_at=now + deadline_s if deadline_s is not None else None,
+            request_id=self._next_request_id,
+        )
+        self._next_request_id += 1
+        try:
+            replica = self.scheduler.submit(request)
+        except BackpressureError:
+            self.telemetry.on_reject()
+            raise
+        self.telemetry.on_admit(replica.name, self.scheduler.total_load())
+        return request.future
+
+    async def submit(
+        self,
+        inputs: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        deadline_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Admit one request and await its output column."""
+        return await self.submit_nowait(inputs, weights=weights, deadline_s=deadline_s)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def replica_busy_s(self) -> Dict[str, float]:
+        """Engine-busy seconds per replica (utilization numerator)."""
+        return {
+            replica.name: replica.engine.stats.busy_s
+            for replica in self.scheduler.replicas
+        }
+
+    def stats(self) -> Dict:
+        """Telemetry summary extended with per-replica utilization."""
+        summary = self.telemetry.summary()
+        utilization = self.telemetry.utilization(self.replica_busy_s())
+        for name, value in utilization.items():
+            if name in summary["replicas"]:
+                summary["replicas"][name]["utilization"] = value
+        return summary
+
+    def report(self) -> str:
+        """Human-readable telemetry report (shared eval formatting)."""
+        return self.telemetry.report(title=f"serving ({self.scheduler.policy})")

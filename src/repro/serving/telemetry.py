@@ -1,0 +1,305 @@
+"""Serving telemetry: latency percentiles, throughput, queue depth, utilization.
+
+One :class:`ServingTelemetry` instance observes a whole server: every
+admission samples queue depth, every completion records end-to-end latency
+(queue wait + batching wait + engine service), and rejections/expiries are
+counted by outcome.  ``summary()`` returns the SLO dictionary the traffic
+benchmarks persist; ``report()`` renders it through
+:mod:`repro.eval.reporting` so serving numbers print in the same style as
+the paper-experiment tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.eval.reporting import format_dict, format_table
+
+
+class BoundedSeries:
+    """A numeric series retaining only the most recent ``max_samples``.
+
+    Long-lived servers record one value per request; a ring buffer keeps
+    memory O(1) in traffic while percentiles/means stay exact over the
+    retained window.  ``total`` counts every value ever recorded.
+    """
+
+    def __init__(self, max_samples: int = 100_000):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.max_samples = int(max_samples)
+        self.total = 0
+        self._values: List[float] = []
+        self._cursor = 0
+
+    def add(self, value: float) -> None:
+        self.total += 1
+        if len(self._values) < self.max_samples:
+            self._values.append(float(value))
+        else:
+            self._values[self._cursor] = float(value)
+            self._cursor = (self._cursor + 1) % self.max_samples
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if self._values else 0.0
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self._values else 0.0
+
+
+class LatencySeries(BoundedSeries):
+    """Latency samples with percentile accessors (over the retained window)."""
+
+    def percentile_s(self, percentile: float) -> float:
+        """Latency at ``percentile`` (0-100); 0.0 when empty."""
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self.values, percentile))
+
+    @property
+    def mean_s(self) -> float:
+        return float(np.mean(self.values)) if self._values else 0.0
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile_s(50)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile_s(95)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile_s(99)
+
+    def percentiles_s(self, percentiles) -> List[float]:
+        """Several percentiles from one materialized sample array."""
+        values = self.values
+        if values.size == 0:
+            return [0.0 for _ in percentiles]
+        return [float(p) for p in np.percentile(values, list(percentiles))]
+
+    def summary(self) -> Dict[str, float]:
+        """Count/mean/p50/p95/p99 in milliseconds (SLO form).
+
+        ``count`` is the all-time total; the statistics cover the retained
+        ring window, computed from a single pass over the samples.
+        """
+        values = self.values
+        if values.size:
+            mean = float(np.mean(values))
+            p50, p95, p99 = (float(p) for p in np.percentile(values, [50, 95, 99]))
+        else:
+            mean = p50 = p95 = p99 = 0.0
+        return {
+            "count": self.total,
+            "mean_ms": mean * 1e3,
+            "p50_ms": p50 * 1e3,
+            "p95_ms": p95 * 1e3,
+            "p99_ms": p99 * 1e3,
+        }
+
+
+@dataclass
+class ReplicaTelemetry:
+    """Per-replica slice of the server telemetry."""
+
+    completed: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    failed: int = 0
+    batches: int = 0
+    fused_requests: int = 0
+    latencies: LatencySeries = field(default_factory=LatencySeries)
+
+    @property
+    def mean_batch(self) -> float:
+        return self.fused_requests / self.batches if self.batches else 0.0
+
+
+class ServingTelemetry:
+    """Aggregated serving metrics for one server lifetime.
+
+    All per-request series are bounded rings (:class:`BoundedSeries`), so a
+    long-lived server's telemetry memory stays O(1) in traffic; counters
+    (``submitted``, ``completed``, ``rejected``...) remain exact totals.
+
+    Attributes:
+        latencies: end-to-end request latencies (admission to completion).
+        rejected: requests refused by admission control (backpressure).
+        queue_depth_samples: pool depth sampled at every admission.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        self.latencies = LatencySeries()
+        self.rejected = 0
+        self.submitted = 0
+        self.queue_depth_samples = BoundedSeries()
+        self._max_queue_depth = 0
+        self.replicas: Dict[str, ReplicaTelemetry] = {}
+        #: recent fused batch sizes (for debugging/diagnostics)
+        self.batch_sizes = BoundedSeries()
+
+    # ------------------------------------------------------------------ #
+    # event hooks (wired by the server)
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self.started_at is None:
+            self.started_at = self.clock()
+        # a restart after shutdown resumes the lifetime window; a frozen
+        # stopped_at would silently corrupt throughput/utilization rates
+        self.stopped_at = None
+
+    def stop(self) -> None:
+        self.stopped_at = self.clock()
+
+    def on_admit(self, replica_name: str, pool_depth: int) -> None:
+        self.submitted += 1
+        self.queue_depth_samples.add(int(pool_depth))
+        if pool_depth > self._max_queue_depth:
+            self._max_queue_depth = int(pool_depth)
+        self.replicas.setdefault(replica_name, ReplicaTelemetry())
+
+    def on_reject(self) -> None:
+        self.rejected += 1
+
+    def on_result(
+        self, replica_name: str, latency_s: float, batch_size: int, outcome: str
+    ) -> None:
+        """Per-request outcome hook (matches the replica observer signature)."""
+        slice_ = self.replicas.setdefault(replica_name, ReplicaTelemetry())
+        if outcome == "ok":
+            slice_.completed += 1
+            slice_.latencies.add(latency_s)
+            self.latencies.add(latency_s)
+        elif outcome == "expired":
+            slice_.expired += 1
+        elif outcome == "cancelled":
+            slice_.cancelled += 1
+        else:
+            slice_.failed += 1
+
+    def on_batch(self, replica_name: str, batch_size: int) -> None:
+        slice_ = self.replicas.setdefault(replica_name, ReplicaTelemetry())
+        slice_.batches += 1
+        slice_.fused_requests += int(batch_size)
+        self.batch_sizes.add(int(batch_size))
+
+    # ------------------------------------------------------------------ #
+    # derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> int:
+        return sum(slice_.completed for slice_ in self.replicas.values())
+
+    @property
+    def expired(self) -> int:
+        return sum(slice_.expired for slice_ in self.replicas.values())
+
+    def elapsed_s(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else self.clock()
+        return max(end - self.started_at, 0.0)
+
+    def throughput_hz(self) -> float:
+        """Completed requests per second of server lifetime."""
+        elapsed = self.elapsed_s()
+        return self.completed / elapsed if elapsed > 0 else 0.0
+
+    def max_queue_depth(self) -> int:
+        """All-time maximum admitted pool depth (survives ring eviction)."""
+        return self._max_queue_depth
+
+    def mean_queue_depth(self) -> float:
+        """Mean pool depth over the retained sample window."""
+        return self.queue_depth_samples.mean()
+
+    def utilization(self, replica_busy_s: Dict[str, float]) -> Dict[str, float]:
+        """Per-replica engine-busy fraction of the server lifetime."""
+        elapsed = self.elapsed_s()
+        if elapsed <= 0:
+            return {name: 0.0 for name in replica_busy_s}
+        return {
+            name: min(busy / elapsed, 1.0) for name, busy in replica_busy_s.items()
+        }
+
+    def summary(self) -> Dict:
+        """The SLO dictionary persisted by the traffic benchmarks."""
+        return {
+            "elapsed_s": self.elapsed_s(),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "throughput_hz": self.throughput_hz(),
+            "latency": self.latencies.summary(),
+            "queue_depth": {
+                "max": self.max_queue_depth(),
+                "mean": self.mean_queue_depth(),
+            },
+            "replicas": {
+                name: self._replica_summary(slice_)
+                for name, slice_ in sorted(self.replicas.items())
+            },
+        }
+
+    @staticmethod
+    def _replica_summary(slice_: ReplicaTelemetry) -> Dict:
+        p50_s, p99_s = slice_.latencies.percentiles_s([50, 99])
+        return {
+            "completed": slice_.completed,
+            "expired": slice_.expired,
+            "cancelled": slice_.cancelled,
+            "failed": slice_.failed,
+            "batches": slice_.batches,
+            "mean_batch": slice_.mean_batch,
+            "p50_ms": p50_s * 1e3,
+            "p99_ms": p99_s * 1e3,
+        }
+
+    def report(self, title: str = "serving telemetry") -> str:
+        """Render the summary through the shared eval reporting helpers."""
+        summary = self.summary()
+        headline = {
+            key: value
+            for key, value in summary.items()
+            if key not in ("latency", "queue_depth", "replicas")
+        }
+        headline.update({f"latency_{k}": v for k, v in summary["latency"].items()})
+        headline.update({f"queue_{k}": v for k, v in summary["queue_depth"].items()})
+        blocks = [format_dict(title, headline)]
+        replicas = summary["replicas"]
+        if replicas:
+            headers = [
+                "replica", "completed", "expired", "batches", "mean_batch",
+                "p50_ms", "p99_ms",
+            ]
+            rows = [
+                [
+                    name,
+                    stats["completed"],
+                    stats["expired"],
+                    stats["batches"],
+                    stats["mean_batch"],
+                    stats["p50_ms"],
+                    stats["p99_ms"],
+                ]
+                for name, stats in replicas.items()
+            ]
+            blocks.append(format_table(headers, rows))
+        return "\n\n".join(blocks)

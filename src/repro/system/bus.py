@@ -4,13 +4,16 @@ A single shared bus routes word accesses from initiators (CPU, DMA) to
 targets (main memory, scratchpads, MMR blocks) based on an address map.
 Each target reports its own access latency; the bus adds a fixed traversal
 latency, which is how the data-movement cost the paper worries about shows
-up in end-to-end cycle counts.
+up in end-to-end cycle counts.  An opt-in round-robin arbitration model
+(``arbitration_penalty``) additionally charges every access for concurrent
+DMA streams holding the bus; it defaults to off, keeping the historical
+contention-free accounting bitwise identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,13 +44,35 @@ class SystemBus:
     Attributes:
         traversal_latency: cycles added to every access crossing the bus.
         energy_per_transfer: interconnect energy per word moved [J].
+        arbitration_penalty: opt-in round-robin arbitration cost — extra
+            cycles charged per access for every *other* DMA stream holding
+            the bus at the same simulated time (0 = historical contention-
+            free accounting, bitwise identical to the pre-arbitration model).
+        contention_cycles: arbitration cycles accumulated per *bus access*
+            (a bulk block transfer on the fast path is one access; the
+            word-loop fallback is one access per word).  This is a
+            contention indicator, not the end-to-end charged cost: DMA
+            burst pipelining multiplies the per-word latency — and its
+            arbitration component — by the burst count downstream.
+        contention_events: number of accesses that paid an arbitration delay.
     """
 
-    def __init__(self, traversal_latency: int = 2, energy_per_transfer: float = 1e-12):
+    def __init__(
+        self,
+        traversal_latency: int = 2,
+        energy_per_transfer: float = 1e-12,
+        arbitration_penalty: int = 0,
+    ):
+        if arbitration_penalty < 0:
+            raise ValueError("arbitration_penalty must be >= 0")
         self.traversal_latency = int(traversal_latency)
         self.energy_per_transfer = float(energy_per_transfer)
+        self.arbitration_penalty = int(arbitration_penalty)
         self._map: List[BusMapping] = []
         self.transfers = 0
+        self._active_streams: Dict[str, int] = {}
+        self.contention_cycles = 0
+        self.contention_events = 0
 
     def attach(self, base: int, size: int, target: object, name: str) -> BusMapping:
         """Attach a target device at ``[base, base + size)``.
@@ -79,45 +104,98 @@ class SystemBus:
         return list(self._map)
 
     # ------------------------------------------------------------------ #
+    # arbitration (opt-in)
+    # ------------------------------------------------------------------ #
+    def begin_stream(self, initiator: str) -> None:
+        """Mark a DMA stream as holding the bus (until :meth:`end_stream`).
+
+        Streams are only tracked when arbitration is enabled, so the default
+        configuration stays free of bookkeeping side effects.  Windows are
+        counted per initiator, so back-to-back transfers of one engine whose
+        windows overlap still release correctly.
+        """
+        if self.arbitration_penalty > 0:
+            self._active_streams[initiator] = self._active_streams.get(initiator, 0) + 1
+
+    def end_stream(self, initiator: str) -> None:
+        """Release a DMA stream's claim on the bus."""
+        count = self._active_streams.get(initiator, 0)
+        if count <= 1:
+            self._active_streams.pop(initiator, None)
+        else:
+            self._active_streams[initiator] = count - 1
+
+    @property
+    def active_streams(self) -> int:
+        """Number of distinct DMA initiators currently holding the bus."""
+        return len(self._active_streams)
+
+    def _arbitration_delay(self, initiator: Optional[str] = None) -> int:
+        """Round-robin arbitration cost of one access for ``initiator``.
+
+        Each concurrent *other* stream costs ``arbitration_penalty`` cycles:
+        a fair round-robin arbiter makes every requester wait out one slot
+        per competitor before its grant comes around.
+        """
+        if self.arbitration_penalty <= 0 or not self._active_streams:
+            return 0
+        competitors = len(self._active_streams)
+        if initiator in self._active_streams:
+            competitors -= 1
+        if competitors <= 0:
+            return 0
+        delay = competitors * self.arbitration_penalty
+        self.contention_cycles += delay
+        self.contention_events += 1
+        return delay
+
+    # ------------------------------------------------------------------ #
     # access routing
     # ------------------------------------------------------------------ #
-    def read_word(self, address: int) -> Tuple[int, int]:
+    def read_word(self, address: int, initiator: Optional[str] = None) -> Tuple[int, int]:
         """Read a word; returns ``(value, latency_cycles)``."""
         mapping = self.find(address)
         offset = address - mapping.base
         self.transfers += 1
         target = mapping.target
+        delay = self._arbitration_delay(initiator)
         if isinstance(target, MemoryMappedRegisters):
-            return target.read_word(offset), self.traversal_latency + 1
+            return target.read_word(offset), self.traversal_latency + 1 + delay
         if isinstance(target, MainMemory):
-            return target.read_word(offset), self.traversal_latency + target.read_latency
+            return (
+                target.read_word(offset),
+                self.traversal_latency + target.read_latency + delay,
+            )
         raise MemoryAccessError(f"target {mapping.name!r} is not readable")
 
-    def write_word(self, address: int, value: int) -> int:
+    def write_word(self, address: int, value: int, initiator: Optional[str] = None) -> int:
         """Write a word; returns the access latency in cycles."""
         mapping = self.find(address)
         offset = address - mapping.base
         self.transfers += 1
         target = mapping.target
+        delay = self._arbitration_delay(initiator)
         if isinstance(target, MemoryMappedRegisters):
             target.write_word(offset, value)
-            return self.traversal_latency + 1
+            return self.traversal_latency + 1 + delay
         if isinstance(target, MainMemory):
             target.write_word(offset, value)
-            return self.traversal_latency + target.write_latency
+            return self.traversal_latency + target.write_latency + delay
         raise MemoryAccessError(f"target {mapping.name!r} is not writable")
 
     # ------------------------------------------------------------------ #
     # bulk routing (DMA fast path)
     # ------------------------------------------------------------------ #
-    def read_block(self, address: int, n_words: int):
+    def read_block(self, address: int, n_words: int, initiator: Optional[str] = None):
         """Bulk read of ``n_words`` words; returns ``(values, per_word_latency)``.
 
         The accounting equivalent of ``n_words`` :meth:`read_word` calls
         (same transfer count, same per-word latency) resolved through a
         single address decode, so DMA streams avoid the per-word Python
         loop.  Blocks that leave the mapping or target register blocks fall
-        back to the word-by-word path.
+        back to the word-by-word path.  With arbitration enabled, the
+        per-word latency carries the round-robin delay against every other
+        active stream.
         """
         if n_words == 0:
             return np.zeros(0, dtype=np.uint32), 0
@@ -126,15 +204,18 @@ class SystemBus:
         if isinstance(target, MainMemory) and address + n_words * WORD_BYTES <= mapping.end:
             self.transfers += n_words
             values = target.read_block(address - mapping.base, n_words)
-            return values, self.traversal_latency + target.read_latency
+            delay = self._arbitration_delay(initiator)
+            return values, self.traversal_latency + target.read_latency + delay
         values = np.zeros(n_words, dtype=np.uint32)
         latency = 0
         for index in range(n_words):
-            values[index], word_latency = self.read_word(address + index * WORD_BYTES)
+            values[index], word_latency = self.read_word(
+                address + index * WORD_BYTES, initiator=initiator
+            )
             latency = max(latency, word_latency)
         return values, latency
 
-    def write_block(self, address: int, values) -> int:
+    def write_block(self, address: int, values, initiator: Optional[str] = None) -> int:
         """Bulk write of consecutive words; returns the per-word latency."""
         values = np.asarray(values)
         if values.size == 0:
@@ -144,10 +225,13 @@ class SystemBus:
         if isinstance(target, MainMemory) and address + values.size * WORD_BYTES <= mapping.end:
             self.transfers += values.size
             target.write_block(address - mapping.base, values)
-            return self.traversal_latency + target.write_latency
+            delay = self._arbitration_delay(initiator)
+            return self.traversal_latency + target.write_latency + delay
         latency = 0
         for index, value in enumerate(values):
-            word_latency = self.write_word(address + index * WORD_BYTES, int(value))
+            word_latency = self.write_word(
+                address + index * WORD_BYTES, int(value), initiator=initiator
+            )
             latency = max(latency, word_latency)
         return latency
 

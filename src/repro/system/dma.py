@@ -91,9 +91,18 @@ class DMAEngine:
         if self.busy:
             raise RuntimeError(f"{self.name} is already busy")
         per_word_latency = 0
-        if n_words:
-            values, per_word_latency = self.bus.read_block(source_address, n_words)
-            destination.write_block(destination_offset, values)
+        self.bus.begin_stream(self.name)
+        try:
+            if n_words:
+                values, per_word_latency = self.bus.read_block(
+                    source_address, n_words, initiator=self.name
+                )
+                destination.write_block(destination_offset, values)
+        except Exception:
+            # a faulted transfer must not leave a phantom stream taxing
+            # every later access with arbitration cycles
+            self.bus.end_stream(self.name)
+            raise
         return self._finish(n_words, per_word_latency, on_complete)
 
     def copy_from_scratchpad(
@@ -108,9 +117,16 @@ class DMAEngine:
         if self.busy:
             raise RuntimeError(f"{self.name} is already busy")
         per_word_latency = 0
-        if n_words:
-            values = source.read_block(source_offset, n_words)
-            per_word_latency = self.bus.write_block(destination_address, values)
+        self.bus.begin_stream(self.name)
+        try:
+            if n_words:
+                values = source.read_block(source_offset, n_words)
+                per_word_latency = self.bus.write_block(
+                    destination_address, values, initiator=self.name
+                )
+        except Exception:
+            self.bus.end_stream(self.name)
+            raise
         return self._finish(n_words, per_word_latency, on_complete)
 
     def _finish(self, n_words: int, per_word_latency: int, on_complete) -> int:
@@ -118,6 +134,15 @@ class DMAEngine:
         self.stats.transfers += 1
         self.stats.words_moved += n_words
         self.stats.busy_cycles += latency
+        if self.bus.arbitration_penalty > 0:
+            # hold the bus grant for the modelled transfer window so other
+            # streams see contention; with arbitration off, begin_stream was
+            # a no-op and no release event perturbs the event queue
+            self.scheduler.schedule(
+                latency,
+                lambda: self.bus.end_stream(self.name),
+                label=f"{self.name}-bus-release",
+            )
         if on_complete is not None:
             self.busy = True
 

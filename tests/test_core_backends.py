@@ -60,6 +60,37 @@ class TestRegistry:
         with pytest.raises(TypeError):
             resolve_backend(3.14)
 
+    def test_unregister_reregister_roundtrip(self):
+        class ScratchBackend(ExecutionBackend):
+            name = "scratch"
+
+            def matmul(self, weights, inputs):
+                return np.asarray(weights) @ np.asarray(inputs)
+
+        register_backend("scratch", ScratchBackend)
+        try:
+            with pytest.raises(ValueError):
+                register_backend("scratch", ScratchBackend)
+            unregister_backend("scratch")
+            assert "scratch" not in available_backends()
+            # after unregistering, the name is free again without overwrite=True
+            register_backend("scratch", ScratchBackend)
+            assert "scratch" in available_backends()
+        finally:
+            unregister_backend("scratch")
+        # unknown names are ignored, not an error
+        unregister_backend("scratch")
+        unregister_backend("never-registered")
+
+    def test_resolve_error_lists_registered_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            resolve_backend("does-not-exist")
+        message = str(excinfo.value)
+        assert "does-not-exist" in message
+        assert "registered:" in message
+        for name in available_backends():
+            assert name in message
+
 
 class TestBuiltinBackends:
     def test_ideal_digital_is_exact(self, rng):
@@ -120,6 +151,21 @@ class TestBuiltinBackends:
         assert backend.schedule_latency_s(10) == pytest.approx(
             2 * backend.schedule_latency_s(5)
         )
+
+    def test_analog_schedule_latency_lifecycle_on_demand(self, rng):
+        backend = AnalogPhotonicBackend(rng=0)
+        # no engine programmed yet: the schedule has no symbol clock to quote
+        assert backend.schedule_latency_s(16) == 0.0
+        backend.matmul(rng.normal(size=(4, 4)), rng.normal(size=(4, 2)))
+        latency = backend.schedule_latency_s(16)
+        assert latency > 0.0
+        # modulator-limited symbol schedule: n_columns / symbol_rate
+        engine = next(iter(backend._engines.values()))
+        assert latency == pytest.approx(16 / engine.modulator.symbol_rate)
+
+    def test_digital_schedule_latency_is_free(self):
+        assert IdealDigitalBackend().schedule_latency_s(1024) == 0.0
+        assert QuantizedDigitalBackend().schedule_latency_s(1024) == 0.0
 
 
 class TestBackendGemm:

@@ -1,0 +1,743 @@
+"""Tests for the inference serving runtime (repro.serving)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.backends import AnalogPhotonicBackend
+from repro.core.nn import MLP
+from repro.serving import (
+    BackpressureError,
+    DeadlineExceededError,
+    GemmEngine,
+    InferenceServer,
+    MLPEngine,
+    Replica,
+    ReplicaScheduler,
+    ServerClosedError,
+    ServingTelemetry,
+    SoCGemmEngine,
+    bursty_arrival_times,
+    make_column_workload,
+    poisson_arrival_times,
+    run_closed_loop,
+    run_open_loop,
+    weight_hash,
+)
+from repro.serving.engine import DEFAULT_MODEL_KEY
+from repro.serving.errors import ServingError
+from repro.system import PhotonicSoC
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+# --------------------------------------------------------------------- #
+# engines and the compiled-weights cache
+# --------------------------------------------------------------------- #
+class TestEngines:
+    def test_gemm_engine_matches_backend(self, rng):
+        weights = rng.normal(size=(6, 4))
+        inputs = rng.normal(size=(4, 5))
+        engine = GemmEngine(backend="ideal-digital")
+        assert np.allclose(engine.run_batch(weights, inputs), weights @ inputs)
+
+    def test_weight_hash_distinguishes_content_and_shape(self, rng):
+        weights = rng.normal(size=(4, 4))
+        assert weight_hash(weights) == weight_hash(weights.copy())
+        assert weight_hash(weights) != weight_hash(weights + 1e-9)
+        assert weight_hash(weights) != weight_hash(weights.reshape(2, 8))
+
+    def test_compiled_cache_hits_skip_mesh_reprogramming(self, rng):
+        weights = rng.normal(size=(5, 5))
+        engine = GemmEngine(backend="analog-photonic", rng=0)
+        first = engine.compile(weights)
+        second = engine.compile(weights.copy())
+        assert first is second
+        assert engine.stats.compiles == 1
+        assert engine.stats.cache_hits == 1
+        # the compiled runner reuses the programmed PhotonicMVM; only the
+        # first compile programs a mesh
+        backend = engine.backend
+        assert isinstance(backend, AnalogPhotonicBackend)
+        assert len(backend._engines) == 1
+
+    def test_compiled_cache_is_bounded_lru(self, rng):
+        engine = GemmEngine(backend="ideal-digital", max_models=2)
+        matrices = [rng.normal(size=(3, 3)) for _ in range(3)]
+        for weights in matrices:
+            engine.compile(weights)
+        assert engine.cached_models == 2
+        # the first model was evicted: compiling it again is a miss
+        engine.compile(matrices[0])
+        assert engine.stats.compiles == 4
+
+    def test_default_model_binding(self, rng):
+        weights = rng.normal(size=(4, 4))
+        engine = GemmEngine(backend="ideal-digital", weights=weights)
+        inputs = rng.normal(size=(4, 2))
+        assert np.allclose(engine.run_batch(None, inputs), weights @ inputs)
+        unbound = GemmEngine(backend="ideal-digital")
+        with pytest.raises(ServingError):
+            unbound.run_batch(None, inputs)
+
+    def test_engine_rejects_wrong_column_length(self, rng):
+        engine = GemmEngine(backend="ideal-digital", weights=rng.normal(size=(4, 4)))
+        with pytest.raises(ValueError):
+            engine.run_batch(None, rng.normal(size=(3, 2)))
+
+    def test_mlp_engine_matches_float_reference(self, rng):
+        model = MLP.random_init([6, 8, 3], rng=0)
+        engine = MLPEngine(model, photonic=False)
+        columns = rng.normal(size=(6, 4))
+        expected = model.forward(columns.T).T
+        assert np.allclose(engine.run_batch(None, columns), expected)
+        with pytest.raises(ServingError):
+            engine.run_batch(rng.normal(size=(3, 3)), columns)
+
+    def test_mlp_engine_photonic_path_close_to_reference(self, rng):
+        model = MLP.random_init([5, 6, 3], rng=0)
+        engine = MLPEngine(model, photonic=True, add_noise=False, rng=0)
+        columns = rng.normal(size=(5, 3))
+        expected = model.forward(columns.T).T
+        produced = engine.run_batch(None, columns)
+        assert np.linalg.norm(produced - expected) / np.linalg.norm(expected) < 0.1
+
+    def test_soc_engine_serves_tiled_offloads(self, rng):
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator()
+        weights = rng.integers(-5, 6, size=(8, 4))
+        engine = SoCGemmEngine(soc, weights=weights)
+        columns = rng.integers(-5, 6, size=(4, 3)).astype(float)
+        produced = engine.run_batch(None, columns)
+        assert np.array_equal(produced, weights @ columns.astype(np.int64))
+        assert engine.offload_cycles > 0
+        assert engine.last_report.pipeline["n_tiles"] >= 1
+
+    def test_analog_latency_hint_scales_with_batch(self, rng):
+        engine = GemmEngine(backend="analog-photonic", rng=0)
+        engine.compile(rng.normal(size=(4, 4)))
+        assert engine.latency_hint_s(10) == pytest.approx(2 * engine.latency_hint_s(5))
+
+
+# --------------------------------------------------------------------- #
+# micro-batching
+# --------------------------------------------------------------------- #
+class TestBatching:
+    def test_queued_requests_fuse_into_one_engine_call(self, rng):
+        weights = rng.normal(size=(4, 4))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=16, max_wait_s=0.0)
+            server = InferenceServer([replica])
+            columns = [rng.normal(size=4) for _ in range(8)]
+            # enqueue everything before the batcher task first runs
+            futures = []
+            server._started = True  # queue before starting the loop task
+            futures = [server.submit_nowait(column) for column in columns]
+            await server.start()
+            outputs = await asyncio.gather(*futures)
+            await server.shutdown()
+            return engine, columns, outputs
+
+        engine, columns, outputs = run_async(scenario())
+        assert engine.stats.batches == 1
+        assert engine.stats.columns == 8
+        for column, output in zip(columns, outputs):
+            assert np.allclose(output, weights @ column)
+
+    def test_max_batch_one_is_the_serial_baseline(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=1, max_wait_s=0.0)
+            async with InferenceServer([replica]) as server:
+                results = await asyncio.gather(
+                    *(server.submit(rng.normal(size=3)) for _ in range(5))
+                )
+            return engine, results
+
+        engine, results = run_async(scenario())
+        assert engine.stats.batches == 5
+        assert all(result.shape == (3,) for result in results)
+
+    def test_mixed_models_split_into_per_model_calls(self, rng):
+        w1 = rng.normal(size=(3, 3))
+        w2 = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital")
+            replica = Replica("r0", engine, max_batch=16, max_wait_s=0.0)
+            server = InferenceServer([replica])
+            server._started = True
+            x1, x2 = rng.normal(size=3), rng.normal(size=3)
+            f1 = server.submit_nowait(x1, weights=w1)
+            f2 = server.submit_nowait(x2, weights=w2)
+            f3 = server.submit_nowait(x1, weights=w1)
+            await server.start()
+            r1, r2, r3 = await asyncio.gather(f1, f2, f3)
+            await server.shutdown()
+            return engine, (x1, x2), (r1, r2, r3)
+
+        engine, (x1, x2), (r1, r2, r3) = run_async(scenario())
+        # one fused call for the two w1 requests, one for the w2 request
+        assert engine.stats.batches == 2
+        assert np.allclose(r1, w1 @ x1)
+        assert np.allclose(r2, w2 @ x2)
+        assert np.allclose(r3, w1 @ x1)
+
+    def test_wait_window_fuses_a_straggler(self, rng):
+        """max_wait_s holds the batch open so a late request joins it."""
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            # generous window: the batch closes as soon as it is full, so
+            # the test never actually waits the full second
+            replica = Replica("r0", engine, max_batch=2, max_wait_s=1.0)
+            async with InferenceServer([replica]) as server:
+                first = server.submit_nowait(rng.normal(size=3))
+                await asyncio.sleep(0.02)  # straggler arrives inside the window
+                second = server.submit_nowait(rng.normal(size=3))
+                await asyncio.gather(first, second)
+            return engine
+
+        engine = run_async(scenario())
+        assert engine.stats.batches == 1
+        assert engine.stats.columns == 2
+
+    def test_wait_window_closes_on_timeout(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=8, max_wait_s=0.02)
+            async with InferenceServer([replica]) as server:
+                result = await server.submit(rng.normal(size=3))
+            return engine, result
+
+        engine, result = run_async(scenario())
+        # no straggler ever arrived: the window expired and served a single
+        assert engine.stats.batches == 1
+        assert engine.stats.columns == 1
+        assert result.shape == (3,)
+
+    def test_shutdown_cuts_an_open_wait_window_short(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=8, max_wait_s=30.0)
+            server = InferenceServer([replica])
+            await server.start()
+            future = server.submit_nowait(rng.normal(size=3))
+            await asyncio.sleep(0.01)  # batcher is now inside the window
+            started = asyncio.get_running_loop().time()
+            await server.shutdown(drain=True)  # sentinel interrupts the wait
+            elapsed = asyncio.get_running_loop().time() - started
+            return await future, elapsed
+
+        result, elapsed = run_async(scenario())
+        assert result.shape == (3,)
+        assert elapsed < 5.0  # nowhere near the 30 s window
+
+    def test_abort_resolves_request_held_in_open_window(self, rng):
+        """Aborting mid-window must fail the pulled request, never hang it."""
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=8, max_wait_s=30.0)
+            server = InferenceServer([replica])
+            await server.start()
+            future = server.submit_nowait(rng.normal(size=3))
+            await asyncio.sleep(0.01)  # request is now held in the window
+            await server.shutdown(drain=False)
+            with pytest.raises(ServerClosedError):
+                await future
+            return replica
+
+        replica = run_async(scenario())
+        assert replica.inflight == 0
+
+    def test_server_clock_is_authoritative_for_replicas(self, rng):
+        weights = rng.normal(size=(3, 3))
+        ticks = [0.0]
+        clock = lambda: ticks[0]  # noqa: E731
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=4)  # default clock
+            server = InferenceServer([replica], clock=clock)
+            assert replica.batcher.clock is clock
+            async with server:
+                # deadline arithmetic is consistent under the frozen clock:
+                # 0.0 <= deadline, so the request must NOT expire
+                result = await server.submit(rng.normal(size=3), deadline_s=10.0)
+            return result
+
+        assert run_async(scenario()).shape == (3,)
+
+    def test_restart_resets_telemetry_window(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            server = InferenceServer([Replica("r0", engine, max_batch=4)])
+            await server.start()
+            await server.submit(rng.normal(size=3))
+            await server.shutdown()
+            frozen = server.telemetry.elapsed_s()
+            await asyncio.sleep(0.02)
+            await server.start()  # restart must unfreeze the lifetime window
+            await server.submit(rng.normal(size=3))
+            running = server.telemetry.elapsed_s()
+            await server.shutdown()
+            return frozen, running
+
+        frozen, running = run_async(scenario())
+        assert running > frozen
+
+    def test_abort_fails_queued_requests(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=2)
+            server = InferenceServer([replica])
+            server._started = True  # queue without a consumer
+            futures = [server.submit_nowait(rng.normal(size=3)) for _ in range(4)]
+            await server.start()
+            await server.shutdown(drain=False)
+            return await asyncio.gather(*futures, return_exceptions=True)
+
+        results = run_async(scenario())
+        # whatever was not served by the time of the abort failed typed
+        assert any(isinstance(result, ServerClosedError) for result in results) or all(
+            not isinstance(result, Exception) for result in results
+        )
+        assert all(
+            not isinstance(result, Exception) or isinstance(result, ServerClosedError)
+            for result in results
+        )
+
+    def test_mismatched_length_request_fails_its_batch_not_the_server(self, rng):
+        """A bad column length must error that batch, never kill the batcher."""
+        weights = rng.normal(size=(4, 4))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=8)
+            server = InferenceServer([replica])
+            server._started = True
+            good_a = server.submit_nowait(rng.normal(size=4))
+            bad = server.submit_nowait(rng.normal(size=3))  # fused with good_a
+            await server.start()
+            results = await asyncio.gather(good_a, bad, return_exceptions=True)
+            # the batcher task survives and keeps serving
+            follow_up = await server.submit(rng.normal(size=4))
+            await server.shutdown()
+            return results, follow_up
+
+        results, follow_up = run_async(scenario())
+        assert all(isinstance(result, Exception) for result in results)
+        assert follow_up.shape == (4,)
+
+    def test_precomputed_key_skips_rehashing(self, rng):
+        weights = rng.normal(size=(4, 4))
+        engine = GemmEngine(backend="ideal-digital")
+        key = weight_hash(weights)
+        engine.compile(weights, key=key)
+        # a poisoned model_key proves the key path never re-hashes
+        engine.model_key = lambda w: (_ for _ in ()).throw(AssertionError("re-hash"))
+        compiled = engine.compile(weights, key=key)
+        assert compiled.key == key
+        assert engine.stats.cache_hits == 1
+
+    def test_mlp_engine_rejects_explicit_weights_via_key_path(self, rng):
+        model = MLP.random_init([4, 3], rng=0)
+        engine = MLPEngine(model, photonic=False)
+        with pytest.raises(ServingError):
+            engine.run_batch(rng.normal(size=(3, 4)), rng.normal(size=(4, 2)), key="k")
+
+    def test_engine_failure_propagates_to_callers(self, rng):
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=rng.normal(size=(3, 3)))
+            replica = Replica("r0", engine, max_batch=4)
+            async with InferenceServer([replica]) as server:
+                with pytest.raises(ValueError):
+                    await server.submit(rng.normal(size=7))  # wrong column length
+                # the server keeps serving after a failed batch
+                good = await server.submit(rng.normal(size=3))
+            return good
+
+        assert run_async(scenario()).shape == (3,)
+
+
+# --------------------------------------------------------------------- #
+# scheduling, admission control, backpressure
+# --------------------------------------------------------------------- #
+class TestScheduling:
+    def make_replicas(self, rng, n=2, **kwargs):
+        weights = rng.normal(size=(3, 3))
+        return weights, [
+            Replica(
+                f"r{i}",
+                GemmEngine(backend="ideal-digital", weights=weights),
+                **kwargs,
+            )
+            for i in range(n)
+        ]
+
+    def test_round_robin_rotates(self, rng):
+        _, replicas = self.make_replicas(rng, n=3)
+        scheduler = ReplicaScheduler(replicas, policy="round-robin")
+        picks = [scheduler.select().name for _ in range(6)]
+        assert picks == ["r0", "r1", "r2", "r0", "r1", "r2"]
+
+    def test_least_loaded_prefers_empty_queue(self, rng):
+        _, replicas = self.make_replicas(rng, n=2)
+        scheduler = ReplicaScheduler(replicas, policy="least-loaded")
+        replicas[0].inflight = 3
+        assert scheduler.select() is replicas[1]
+
+    def test_latency_aware_prefers_fast_replica(self, rng):
+        _, replicas = self.make_replicas(rng, n=2)
+        scheduler = ReplicaScheduler(replicas, policy="latency-aware")
+        replicas[0].ewma_latency_s = 0.010
+        replicas[1].ewma_latency_s = 0.001
+        assert scheduler.select() is replicas[1]
+        # load eventually outweighs speed
+        replicas[1].inflight = 30
+        assert scheduler.select() is replicas[0]
+
+    def test_latency_aware_falls_back_to_load_on_zero_estimates(self, rng):
+        """An all-digital pool (0-latency hints) must still spread by load."""
+        _, replicas = self.make_replicas(rng, n=2)
+        scheduler = ReplicaScheduler(replicas, policy="latency-aware")
+        replicas[0].inflight = 5
+        assert scheduler.select() is replicas[1]
+
+    def test_injected_replica_clock_is_preserved(self, rng):
+        weights = rng.normal(size=(3, 3))
+        fake = lambda: 123.0  # noqa: E731
+        replica = Replica(
+            "r0", GemmEngine(backend="ideal-digital", weights=weights), clock=fake
+        )
+        InferenceServer([replica])
+        assert replica.clock is fake
+        assert replica.batcher.clock is fake
+
+    def test_unknown_policy_rejected(self, rng):
+        _, replicas = self.make_replicas(rng)
+        with pytest.raises(ValueError):
+            ReplicaScheduler(replicas, policy="random")
+
+    def test_backpressure_error_when_all_queues_full(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            replica = Replica(
+                "r0",
+                GemmEngine(backend="ideal-digital", weights=weights),
+                max_queue_depth=2,
+            )
+            server = InferenceServer([replica])
+            server._started = True  # admit without a consumer running
+            server.submit_nowait(rng.normal(size=3))
+            server.submit_nowait(rng.normal(size=3))
+            with pytest.raises(BackpressureError) as excinfo:
+                server.submit_nowait(rng.normal(size=3))
+            assert excinfo.value.replica == "r0"
+            assert excinfo.value.depth == 2
+            assert excinfo.value.limit == 2
+            assert server.telemetry.rejected == 1
+            # drain so the queued futures do not leak into the loop teardown
+            await server.start()
+            await server.shutdown()
+
+        run_async(scenario())
+
+    def test_full_preferred_replica_fails_over(self, rng):
+        weights, replicas = self.make_replicas(rng, n=2, max_queue_depth=1)
+
+        async def scenario():
+            scheduler = ReplicaScheduler(replicas, policy="round-robin")
+            loop = asyncio.get_running_loop()
+            from repro.serving.batching import InferenceRequest
+
+            def request():
+                return InferenceRequest(
+                    inputs=np.zeros(3),
+                    model_key=DEFAULT_MODEL_KEY,
+                    future=loop.create_future(),
+                    submitted_at=0.0,
+                )
+
+            first = scheduler.submit(request())   # r0
+            second = scheduler.submit(request())  # r1 (round robin)
+            third_pref_full = scheduler.submit  # r0 again, but r0 is full
+            with pytest.raises(BackpressureError):
+                third_pref_full(request())
+            assert first.name == "r0" and second.name == "r1"
+
+        run_async(scenario())
+
+    def test_server_closed_rejects_submissions(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            replica = Replica("r0", GemmEngine(backend="ideal-digital", weights=weights))
+            server = InferenceServer([replica])
+            with pytest.raises(ServerClosedError):
+                server.submit_nowait(rng.normal(size=3))
+            await server.start()
+            await server.shutdown()
+            with pytest.raises(ServerClosedError):
+                server.submit_nowait(rng.normal(size=3))
+
+        run_async(scenario())
+
+
+# --------------------------------------------------------------------- #
+# deadlines, cancellation, drain
+# --------------------------------------------------------------------- #
+class TestLifecycle:
+    def test_expired_request_gets_deadline_error(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=4)
+            server = InferenceServer([replica])
+            server._started = True
+            expired = server.submit_nowait(rng.normal(size=3), deadline_s=0.0)
+            healthy = server.submit_nowait(rng.normal(size=3))
+            await asyncio.sleep(0.005)  # let the deadline pass before dispatch
+            await server.start()
+            with pytest.raises(DeadlineExceededError):
+                await expired
+            result = await healthy
+            await server.shutdown()
+            return engine, result
+
+        engine, result = run_async(scenario())
+        # the expired request never reached the engine
+        assert engine.stats.columns == 1
+        assert result.shape == (3,)
+
+    def test_cancelled_future_is_skipped(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=4)
+            server = InferenceServer([replica])
+            server._started = True
+            cancelled = server.submit_nowait(rng.normal(size=3))
+            kept = server.submit_nowait(rng.normal(size=3))
+            cancelled.cancel()
+            await server.start()
+            result = await kept
+            await server.shutdown()
+            return engine, replica, result
+
+        engine, replica, result = run_async(scenario())
+        assert engine.stats.columns == 1
+        assert replica.batcher.stats.cancelled == 1
+        assert result.shape == (3,)
+
+    def test_shutdown_drains_queued_requests(self, rng):
+        weights = rng.normal(size=(3, 3))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=2, max_queue_depth=64)
+            server = InferenceServer([replica])
+            server._started = True
+            futures = [server.submit_nowait(rng.normal(size=3)) for _ in range(10)]
+            await server.start()
+            await server.shutdown(drain=True)
+            assert all(future.done() for future in futures)
+            return await asyncio.gather(*futures)
+
+        results = run_async(scenario())
+        assert len(results) == 10
+
+
+# --------------------------------------------------------------------- #
+# telemetry
+# --------------------------------------------------------------------- #
+class TestTelemetry:
+    def test_latency_percentiles_and_summary(self):
+        telemetry = ServingTelemetry(clock=lambda: 0.0)
+        telemetry.start()
+        for latency_ms in range(1, 101):
+            telemetry.on_result("r0", latency_ms * 1e-3, 1, "ok")
+        summary = telemetry.summary()
+        assert summary["completed"] == 100
+        assert summary["latency"]["p50_ms"] == pytest.approx(50.5)
+        assert summary["latency"]["p99_ms"] == pytest.approx(99.01)
+        assert "r0" in summary["replicas"]
+
+    def test_report_uses_eval_formatting(self):
+        telemetry = ServingTelemetry()
+        telemetry.start()
+        telemetry.on_admit("r0", 1)
+        telemetry.on_batch("r0", 1)
+        telemetry.on_result("r0", 0.002, 1, "ok")
+        text = telemetry.report("smoke")
+        assert "# smoke" in text
+        assert "replica" in text and "p99_ms" in text
+
+    def test_bounded_series_retains_recent_window_and_total(self):
+        from repro.serving.telemetry import BoundedSeries
+
+        series = BoundedSeries(max_samples=4)
+        for value in range(10):
+            series.add(value)
+        assert series.total == 10
+        assert len(series) == 4
+        assert set(series.values) == {6.0, 7.0, 8.0, 9.0}
+
+    def test_max_queue_depth_survives_ring_eviction(self):
+        telemetry = ServingTelemetry()
+        telemetry.queue_depth_samples.max_samples = 4
+        telemetry.on_admit("r0", 50)
+        for _ in range(8):
+            telemetry.on_admit("r0", 1)
+        assert telemetry.max_queue_depth() == 50
+
+    def test_utilization_bounded_by_one(self):
+        telemetry = ServingTelemetry(clock=lambda: 10.0)
+        telemetry.started_at = 0.0
+        telemetry.stopped_at = 10.0
+        utilization = telemetry.utilization({"r0": 5.0, "r1": 20.0})
+        assert utilization["r0"] == pytest.approx(0.5)
+        assert utilization["r1"] == 1.0
+
+
+# --------------------------------------------------------------------- #
+# load generation
+# --------------------------------------------------------------------- #
+class TestLoadgen:
+    def test_poisson_trace_is_seed_reproducible(self):
+        first = poisson_arrival_times(1000.0, 200, rng=7)
+        second = poisson_arrival_times(1000.0, 200, rng=7)
+        assert np.array_equal(first, second)
+        assert not np.array_equal(first, poisson_arrival_times(1000.0, 200, rng=8))
+        # mean inter-arrival approximates 1/rate
+        gaps = np.diff(np.concatenate([[0.0], first]))
+        assert np.mean(gaps) == pytest.approx(1e-3, rel=0.2)
+
+    def test_bursty_trace_is_seed_reproducible_and_bursty(self):
+        first = bursty_arrival_times(1000.0, 1000, rng=3)
+        assert np.array_equal(first, bursty_arrival_times(1000.0, 1000, rng=3))
+        gaps = np.diff(np.concatenate([[0.0], first]))
+        # burstiness: squared coefficient of variation well above the
+        # memoryless trace's (Poisson sits near 1)
+        cv2 = np.var(gaps) / np.mean(gaps) ** 2
+        poisson = poisson_arrival_times(1000.0, 1000, rng=3)
+        poisson_gaps = np.diff(np.concatenate([[0.0], poisson]))
+        poisson_cv2 = np.var(poisson_gaps) / np.mean(poisson_gaps) ** 2
+        assert cv2 > 1.25 * poisson_cv2
+        assert np.mean(gaps) == pytest.approx(1e-3, rel=0.35)
+
+    def test_column_workload_is_seed_reproducible(self):
+        first = make_column_workload(4, 10, rng=5)
+        second = make_column_workload(4, 10, rng=5)
+        assert np.array_equal(first(3), second(3))
+        assert first(3).shape == (4,)
+
+    def test_open_loop_serves_all_under_light_load(self, rng):
+        weights = rng.normal(size=(4, 4))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=8, max_queue_depth=128)
+            async with InferenceServer([replica]) as server:
+                times = poisson_arrival_times(2000.0, 50, rng=1)
+                workload = make_column_workload(4, 50, rng=2)
+                return await run_open_loop(server, times, workload)
+
+        report = run_async(scenario())
+        assert report.completed == 50
+        assert report.rejected == 0
+        assert report.achieved_hz > 0
+        assert report.telemetry["completed"] == 50
+
+    def test_closed_loop_counts_every_request(self, rng):
+        weights = rng.normal(size=(4, 4))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=8, max_queue_depth=4)
+            async with InferenceServer([replica]) as server:
+                workload = make_column_workload(4, 64, rng=2)
+                return await run_closed_loop(
+                    server, n_clients=4, requests_per_client=8, make_request=workload
+                )
+
+        report = run_async(scenario())
+        assert report.completed == 32
+        assert report.goodput_fraction == 1.0
+
+    def test_dynamic_batching_fuses_under_saturation(self, rng):
+        """Saturating offered load must serve in fused batches, not singles."""
+        weights = rng.normal(size=(6, 6))
+
+        async def scenario():
+            engine = GemmEngine(backend="analog-photonic", weights=weights, rng=0)
+            replica = Replica("r0", engine, max_batch=16, max_queue_depth=256)
+            async with InferenceServer([replica]) as server:
+                times = poisson_arrival_times(50_000.0, 120, rng=4)
+                workload = make_column_workload(6, 120, rng=5)
+                report = await run_open_loop(server, times, workload)
+            return engine, report
+
+        engine, report = run_async(scenario())
+        assert report.completed == 120
+        # far fewer engine calls than requests proves coalescing happened
+        assert engine.stats.batches < 120 / 2
+        assert engine.stats.mean_batch > 2.0
+
+
+# --------------------------------------------------------------------- #
+# multi-replica end-to-end
+# --------------------------------------------------------------------- #
+class TestMultiReplica:
+    def test_mixed_backend_pool_spreads_traffic(self, rng):
+        weights = rng.normal(size=(5, 5))
+
+        async def scenario():
+            replicas = [
+                Replica(
+                    "digital",
+                    GemmEngine(backend="ideal-digital", weights=weights),
+                    max_batch=8,
+                ),
+                Replica(
+                    "analog",
+                    GemmEngine(backend="analog-photonic", weights=weights, rng=0),
+                    max_batch=8,
+                ),
+            ]
+            async with InferenceServer(replicas, policy="round-robin") as server:
+                futures = [
+                    server.submit_nowait(rng.normal(size=5)) for _ in range(12)
+                ]
+                results = await asyncio.gather(*futures)
+                stats = server.stats()
+            return results, stats
+
+        results, stats = run_async(scenario())
+        assert len(results) == 12
+        served = {name: s["completed"] for name, s in stats["replicas"].items()}
+        assert served["digital"] > 0 and served["analog"] > 0
+        assert served["digital"] + served["analog"] == 12
+        for name in ("digital", "analog"):
+            assert 0.0 <= stats["replicas"][name]["utilization"] <= 1.0

@@ -359,3 +359,54 @@ class TestTileDescriptor:
 
     def test_invalid_dimensions_flagged(self):
         assert not TileDescriptor(0, 0, 0, rows=0, inner=4, cols=5).valid
+
+
+class TestBusArbitration:
+    """Opt-in round-robin bus contention (default off = historical model)."""
+
+    def _run(self, penalty, n_pes=2, shape=(16, 8, 8)):
+        weights, inputs = make_gemm_workload(*shape, rng=0)
+        soc = _cluster(n_pes)
+        soc.bus.arbitration_penalty = penalty
+        report = soc.run_tiled_gemm(weights, inputs)
+        assert np.array_equal(report.result, weights @ inputs)
+        return report, soc.bus
+
+    def test_default_accounting_is_contention_free(self):
+        report, bus = self._run(penalty=0)
+        assert bus.contention_cycles == 0
+        assert bus.contention_events == 0
+        assert bus.active_streams == 0
+
+    def test_concurrent_pe_streams_pay_arbitration_cycles(self):
+        baseline, _ = self._run(penalty=0)
+        contended, bus = self._run(penalty=4)
+        # two PEs streaming the shared bus concurrently now cost cycles
+        assert bus.contention_cycles > 0
+        assert bus.contention_events > 0
+        assert contended.cycles > baseline.cycles
+        # every stream window was released by the end of the run
+        assert bus.active_streams == 0
+
+    def test_penalty_scales_contention(self):
+        _, light = self._run(penalty=1)
+        _, heavy = self._run(penalty=8)
+        assert heavy.contention_cycles > light.contention_cycles
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            SystemBus(arbitration_penalty=-1)
+
+    def test_faulted_transfer_releases_the_stream(self):
+        scheduler = EventScheduler()
+        bus = SystemBus(arbitration_penalty=4)
+        memory = MainMemory(1 << 12)
+        bus.attach(0, 1 << 12, memory, "mem")
+        scratchpad = Scratchpad(1 << 12)
+        dma = DMAEngine(scheduler, bus)
+        with pytest.raises(Exception):
+            dma.copy_to_scratchpad((1 << 16), scratchpad, 0, 8)  # unmapped
+        # the failed stream must not tax later accesses with phantom cycles
+        assert bus.active_streams == 0
+        _, latency = bus.read_word(0)
+        assert latency == bus.traversal_latency + memory.read_latency
