@@ -1,0 +1,77 @@
+"""Model compiler: graph IR, calibrated cost model, cost-based placement.
+
+The compiler is the layer that turns device- and system-level simulation
+into an *architecture*: it captures whole multi-layer models as a
+content-hashable graph IR, predicts where their GeMMs run cheapest from
+calibrated cost models, shards each layer across the PE cluster (rows or
+K-dimension with partial-product accumulation), and lowers the result to
+executable plans — per-layer :meth:`~repro.system.soc.PhotonicSoC.run_tiled_gemm`
+offloads or replica-pinned serving requests — cached by
+``(graph hash, hardware fingerprint)``.
+"""
+
+from repro.compiler.costmodel import (
+    DEFAULT_PROBE_SHAPES,
+    PlanPrediction,
+    ReplicaProfile,
+    SoCCostModel,
+    StreamPrediction,
+    profile_engine,
+    profile_replicas,
+    replica_cost_fn,
+)
+from repro.compiler.execute import (
+    DEFAULT_PLAN_CACHE,
+    PlanCache,
+    PoolLayerStep,
+    PoolPlan,
+    SoCLayerStep,
+    SoCPlan,
+    compile_for_pool,
+    compile_for_soc,
+    cost_model_fingerprint,
+    pool_fingerprint,
+    profiles_fingerprint,
+    soc_fingerprint,
+)
+from repro.compiler.graph import GraphError, ModelGraph
+from repro.compiler.ops import SUPPORTED_ACTIVATIONS, DenseOp
+from repro.compiler.partition import (
+    PLACEMENT_STRATEGIES,
+    Placement,
+    ShardingDecision,
+    choose_sharding,
+    place_graph,
+)
+
+__all__ = [
+    "DEFAULT_PLAN_CACHE",
+    "DEFAULT_PROBE_SHAPES",
+    "DenseOp",
+    "GraphError",
+    "ModelGraph",
+    "PLACEMENT_STRATEGIES",
+    "PlanCache",
+    "PlanPrediction",
+    "Placement",
+    "PoolLayerStep",
+    "PoolPlan",
+    "ReplicaProfile",
+    "SUPPORTED_ACTIVATIONS",
+    "ShardingDecision",
+    "SoCCostModel",
+    "SoCLayerStep",
+    "SoCPlan",
+    "StreamPrediction",
+    "choose_sharding",
+    "compile_for_pool",
+    "compile_for_soc",
+    "cost_model_fingerprint",
+    "place_graph",
+    "pool_fingerprint",
+    "profiles_fingerprint",
+    "profile_engine",
+    "profile_replicas",
+    "replica_cost_fn",
+    "soc_fingerprint",
+]

@@ -1,0 +1,550 @@
+"""Calibrated cost model: predicted cycles/seconds per tile, plan, replica.
+
+Two calibration sources feed the compiler's placement decisions:
+
+* **SoC side** — :meth:`SoCCostModel.calibrate` runs a handful of probe
+  GeMMs through :meth:`~repro.system.soc.PhotonicSoC.run_tiled_gemm` and
+  fits linear models of the measured ``WorkloadReport.pipeline`` phase
+  cycles (DMA cycles against words/bursts/transfers moved, compute cycles
+  against per-tile shape features, one fit per device type).  The fitted
+  model predicts per-tile, per-stream and whole-plan cycles for both
+  row-sharded and K-sharded partitions without running the simulator.
+* **Serving side** — :func:`profile_engine` / :func:`profile_replicas`
+  measure each replica engine's wall-clock service time (and, for
+  :class:`~repro.serving.engine.SoCGemmEngine` replicas, the simulated
+  ``offload_cycles`` per request).  :func:`replica_cost_fn` turns the
+  profiles into the scoring callable the serving scheduler's
+  ``cost-based`` routing policy consumes.
+
+Before any calibration data exists, :meth:`SoCCostModel.from_hints` seeds
+an uncalibrated prior model from a backend's static
+:meth:`~repro.core.backends.ExecutionBackend.cost_hint`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.errors import ServingError
+from repro.system.soc import plan_k_shards, plan_shards
+
+#: Probe shapes (M, K, N) used by default calibration runs.
+DEFAULT_PROBE_SHAPES = (
+    (8, 8, 8),
+    (16, 8, 8),
+    (8, 16, 8),
+    (8, 8, 16),
+    (16, 16, 8),
+    (12, 16, 16),
+    (16, 16, 16),
+)
+
+
+def _tile_dma_features(
+    rows: int, inner: int, cols: int, load_input: bool, words_per_burst: int
+) -> np.ndarray:
+    """DMA-phase features of one tile: [words, bursts, transfers].
+
+    Matches the DMA engine's burst model: every transfer's first word per
+    burst pays the full access latency, the rest stream one word/cycle —
+    so measured DMA cycles are exactly linear in these features.
+    """
+    blocks = [rows * inner, rows * cols]  # weights in, outputs back
+    if load_input:
+        blocks.append(inner * cols)
+    words = sum(blocks)
+    bursts = sum(-(-block // words_per_burst) for block in blocks)
+    return np.array([words, bursts, len(blocks)], dtype=float)
+
+def _tile_compute_features(rows: int, inner: int, cols: int) -> np.ndarray:
+    """Compute-phase features of one tile: [1, cols, macs, rows*inner].
+
+    Covers both attached device types: the photonic PE's latency is affine
+    in the streamed columns, the MAC array's in the MAC count.
+    """
+    return np.array([1.0, cols, rows * inner * cols, rows * inner], dtype=float)
+
+
+@dataclass
+class StreamPrediction:
+    """Predicted phase cycles of one PE's tile stream."""
+
+    dma_cycles: float
+    compute_cycles: float
+    n_tiles: int
+
+    @property
+    def serial_cycles(self) -> float:
+        return self.dma_cycles + self.compute_cycles
+
+    @property
+    def pipelined_cycles(self) -> float:
+        """Double-buffered estimate: the slower phase hides the faster one.
+
+        The first tile's DMA-in cannot overlap anything, so the stream pays
+        one mean DMA latency of startup plus the dominant phase.
+        """
+        if self.n_tiles <= 0:
+            return 0.0
+        startup = self.dma_cycles / self.n_tiles
+        return startup + max(
+            self.dma_cycles - startup + self.compute_cycles / self.n_tiles,
+            self.compute_cycles,
+        )
+
+
+@dataclass
+class PlanPrediction:
+    """Predicted cycles of a whole sharded-GeMM plan."""
+
+    per_pe: List[StreamPrediction] = field(default_factory=list)
+    extra_cycles: float = 0.0  # accumulation / host driver overheads
+
+    @property
+    def serial_cycles(self) -> float:
+        return sum(stream.serial_cycles for stream in self.per_pe) + self.extra_cycles
+
+    @property
+    def pipelined_cycles(self) -> float:
+        if not self.per_pe:
+            return self.extra_cycles
+        return max(stream.pipelined_cycles for stream in self.per_pe) + self.extra_cycles
+
+
+class SoCCostModel:
+    """Per-tile DMA/compute cycle predictor fitted from measured pipelines.
+
+    Attributes:
+        dma_coeffs: coefficients over :func:`_tile_dma_features`.
+        compute_coeffs: coefficients over :func:`_tile_compute_features`,
+            one vector per accelerator ``device_type``.
+        clock_hz: SoC clock used to convert cycles to seconds.
+        n_pes: PE count of the calibrated configuration.
+    """
+
+    def __init__(
+        self,
+        dma_coeffs: np.ndarray,
+        compute_coeffs: Dict[str, np.ndarray],
+        clock_hz: float = 1e9,
+        n_pes: int = 1,
+        words_per_burst: int = 8,
+        host_coeffs: Optional[np.ndarray] = None,
+        probes: Optional[List[dict]] = None,
+    ):
+        self.dma_coeffs = np.asarray(dma_coeffs, dtype=float)
+        self.compute_coeffs = {
+            name: np.asarray(coeffs, dtype=float)
+            for name, coeffs in compute_coeffs.items()
+        }
+        self.clock_hz = float(clock_hz)
+        self.n_pes = int(n_pes)
+        self.words_per_burst = int(words_per_burst)
+        #: host MMR-driver cycles against [n_tiles, n_streams, 1]
+        self.host_coeffs = (
+            np.asarray(host_coeffs, dtype=float)
+            if host_coeffs is not None
+            else np.zeros(3)
+        )
+        self.probes = probes or []
+
+    # ------------------------------------------------------------------ #
+    # calibration
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def calibrate(
+        cls,
+        soc,
+        probe_shapes: Sequence[Tuple[int, int, int]] = DEFAULT_PROBE_SHAPES,
+        value_range: int = 4,
+        rng_seed: int = 0,
+        words_per_burst: int = 8,
+    ) -> "SoCCostModel":
+        """Fit the model by running probe GeMMs on the given SoC.
+
+        Probes run through the exact offload path the compiled plans use
+        (``run_tiled_gemm`` with default row tiling); each probe's
+        ``WorkloadReport.pipeline`` supplies one measured
+        (dma_cycles, compute_cycles) pair, regressed against the summed
+        per-tile features of its planned shard streams.  Homogeneous PE
+        clusters fit one compute model per device type; mixed clusters are
+        fitted jointly (their tiles are split deterministically by
+        ``plan_shards``, so each device's share of the features is known).
+
+        Mixed-cluster caveat: the joint fit predicts *total* compute
+        cycles well, but even row sharding makes the per-device feature
+        blocks strongly correlated, so the system is near rank-deficient
+        and the per-device attribution is a minimum-norm split — treat
+        ``predict_tile_cycles(device_type=...)`` on heterogeneous clusters
+        as an aggregate estimate, not a per-device measurement.
+        """
+        if not getattr(soc, "accelerators", None):
+            raise ValueError("cost-model calibration needs an SoC with accelerators")
+        generator = np.random.default_rng(rng_seed)
+        n_pes = len(soc.accelerators)
+        device_types = [pe.device_type for pe in soc.accelerators]
+        dma_rows, dma_targets = [], []
+        host_rows, host_targets = [], []
+        compute_rows: Dict[str, List[np.ndarray]] = {}
+        compute_targets: Dict[str, List[float]] = {}
+        probes: List[dict] = []
+        for shape in probe_shapes:
+            n_rows, n_inner, n_cols = shape
+            weights = generator.integers(
+                -value_range, value_range + 1, size=(n_rows, n_inner)
+            )
+            inputs = generator.integers(
+                -value_range, value_range + 1, size=(n_inner, n_cols)
+            )
+            report = soc.run_tiled_gemm(weights, inputs)
+            plans = plan_shards(n_rows, n_inner, n_cols, n_pes, 0, 0, 0)
+            dma_feature = np.zeros(3)
+            per_device_features: Dict[str, np.ndarray] = {}
+            for device, descriptors in zip(device_types, plans):
+                for descriptor in descriptors:
+                    dma_feature += _tile_dma_features(
+                        descriptor.rows,
+                        descriptor.inner,
+                        descriptor.cols,
+                        descriptor.load_input,
+                        words_per_burst,
+                    )
+                    per_device_features.setdefault(device, np.zeros(4))
+                    per_device_features[device] += _tile_compute_features(
+                        descriptor.rows, descriptor.inner, descriptor.cols
+                    )
+            dma_rows.append(dma_feature)
+            dma_targets.append(report.pipeline["dma_cycles"])
+            n_tiles = report.pipeline["n_tiles"]
+            n_streams = sum(1 for descriptors in plans if descriptors)
+            host_rows.append([n_tiles, n_streams, 1.0])
+            # the host MMR-driver cost is whatever serial_cycles carries
+            # beyond the two measured PE phases — exact by construction
+            host_targets.append(
+                report.pipeline["serial_cycles"]
+                - report.pipeline["dma_cycles"]
+                - report.pipeline["compute_cycles"]
+            )
+            # Joint compute fit per device: when the cluster is homogeneous
+            # the whole measured compute belongs to that device type.
+            if len(per_device_features) == 1:
+                device = next(iter(per_device_features))
+                compute_rows.setdefault(device, []).append(
+                    per_device_features[device]
+                )
+                compute_targets.setdefault(device, []).append(
+                    report.pipeline["compute_cycles"]
+                )
+            else:
+                # mixed cluster: fit a stacked system with per-device blocks
+                stacked = np.concatenate(
+                    [
+                        per_device_features.get(device, np.zeros(4))
+                        for device in sorted(set(device_types))
+                    ]
+                )
+                compute_rows.setdefault("__mixed__", []).append(stacked)
+                compute_targets.setdefault("__mixed__", []).append(
+                    report.pipeline["compute_cycles"]
+                )
+            probes.append(
+                {
+                    "shape": list(shape),
+                    "dma_cycles": report.pipeline["dma_cycles"],
+                    "compute_cycles": report.pipeline["compute_cycles"],
+                    "pipelined_cycles": report.pipeline["pipelined_cycles"],
+                }
+            )
+        dma_coeffs, *_ = np.linalg.lstsq(
+            np.asarray(dma_rows), np.asarray(dma_targets, dtype=float), rcond=None
+        )
+        host_coeffs, *_ = np.linalg.lstsq(
+            np.asarray(host_rows, dtype=float),
+            np.asarray(host_targets, dtype=float),
+            rcond=None,
+        )
+        compute_coeffs: Dict[str, np.ndarray] = {}
+        if "__mixed__" in compute_rows:
+            stacked_coeffs, *_ = np.linalg.lstsq(
+                np.asarray(compute_rows["__mixed__"]),
+                np.asarray(compute_targets["__mixed__"], dtype=float),
+                rcond=None,
+            )
+            for offset, device in enumerate(sorted(set(device_types))):
+                compute_coeffs[device] = stacked_coeffs[offset * 4 : (offset + 1) * 4]
+        else:
+            for device, rows in compute_rows.items():
+                coeffs, *_ = np.linalg.lstsq(
+                    np.asarray(rows),
+                    np.asarray(compute_targets[device], dtype=float),
+                    rcond=None,
+                )
+                compute_coeffs[device] = coeffs
+        return cls(
+            dma_coeffs,
+            compute_coeffs,
+            clock_hz=soc.clock_hz,
+            n_pes=n_pes,
+            words_per_burst=words_per_burst,
+            host_coeffs=host_coeffs,
+            probes=probes,
+        )
+
+    @classmethod
+    def from_hints(
+        cls,
+        backend,
+        clock_hz: float = 1e9,
+        n_pes: int = 1,
+        words_per_burst: int = 8,
+        word_access_cycles: int = 32,
+        cycles_per_mac: float = 1.0,
+    ) -> "SoCCostModel":
+        """Uncalibrated prior model seeded from a backend's ``cost_hint``.
+
+        Before any probe offload has run, a backend's static
+        :meth:`~repro.core.backends.ExecutionBackend.cost_hint` is the only
+        cost information available.  This fits the same linear compute
+        model :meth:`calibrate` fits, but against hint-derived targets
+        (``max(latency_s * clock, cycles_per_mac * macs)`` per probe
+        shape) and a nominal DMA burst model — good enough to rank
+        sharding choices cold; replace with :meth:`calibrate` once the
+        SoC exists.
+        """
+        compute_rows, compute_targets = [], []
+        for n_rows, n_inner, n_cols in DEFAULT_PROBE_SHAPES:
+            hint = backend.cost_hint(n_rows, n_inner, n_cols)
+            compute_rows.append(_tile_compute_features(n_rows, n_inner, n_cols))
+            compute_targets.append(
+                max(
+                    float(hint.get("latency_s", 0.0)) * clock_hz,
+                    cycles_per_mac * float(hint.get("macs", 0.0)),
+                )
+            )
+        compute_coeffs, *_ = np.linalg.lstsq(
+            np.asarray(compute_rows),
+            np.asarray(compute_targets, dtype=float),
+            rcond=None,
+        )
+        # DMA prior: every word streams at 1 cycle, every burst restarts
+        # the access pipe — the same shape the calibrated fit recovers
+        dma_coeffs = np.array([1.0, float(word_access_cycles - 1), 0.0])
+        return cls(
+            dma_coeffs,
+            {getattr(backend, "name", "backend"): compute_coeffs},
+            clock_hz=clock_hz,
+            n_pes=n_pes,
+            words_per_burst=words_per_burst,
+        )
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+    def _compute_coeffs_for(self, device_type: Optional[str]) -> np.ndarray:
+        if device_type is not None and device_type in self.compute_coeffs:
+            return self.compute_coeffs[device_type]
+        # fall back to the first fitted device (homogeneous clusters)
+        return next(iter(self.compute_coeffs.values()))
+
+    def predict_tile_cycles(
+        self,
+        rows: int,
+        inner: int,
+        cols: int,
+        load_input: bool = True,
+        device_type: Optional[str] = None,
+    ) -> Tuple[float, float]:
+        """Predicted ``(dma_cycles, compute_cycles)`` of one tile."""
+        dma = float(
+            _tile_dma_features(rows, inner, cols, load_input, self.words_per_burst)
+            @ self.dma_coeffs
+        )
+        compute = float(
+            _tile_compute_features(rows, inner, cols)
+            @ self._compute_coeffs_for(device_type)
+        )
+        return max(dma, 0.0), max(compute, 0.0)
+
+    def predict_stream(
+        self, descriptors, device_type: Optional[str] = None
+    ) -> StreamPrediction:
+        """Predicted phase cycles of one PE's tile stream."""
+        dma = compute = 0.0
+        count = 0
+        for descriptor in descriptors:
+            tile_dma, tile_compute = self.predict_tile_cycles(
+                descriptor.rows,
+                descriptor.inner,
+                descriptor.cols,
+                load_input=descriptor.load_input,
+                device_type=device_type,
+            )
+            dma += tile_dma
+            compute += tile_compute
+            count += 1
+        return StreamPrediction(dma_cycles=dma, compute_cycles=compute, n_tiles=count)
+
+    def predict_gemm(
+        self,
+        n_rows: int,
+        n_inner: int,
+        n_cols: int,
+        n_pes: Optional[int] = None,
+        k_shards: int = 1,
+        tile_rows: Optional[int] = None,
+        device_types: Optional[Sequence[str]] = None,
+    ) -> PlanPrediction:
+        """Predict a sharded GeMM's cycles under rows- or K-sharding."""
+        n_pes = self.n_pes if n_pes is None else int(n_pes)
+        if device_types is None:
+            device_types = [None] * n_pes
+        prediction = PlanPrediction()
+        if k_shards > 1:
+            slices = plan_k_shards(
+                n_rows, n_inner, n_cols, k_shards, tile_rows=tile_rows
+            )
+            streams: List[List] = [[] for _ in range(n_pes)]
+            for piece in slices:
+                streams[piece.index % n_pes].extend(piece.descriptors)
+            # the reduction reads every partial and writes the result once
+            prediction.extra_cycles = float((k_shards + 1) * n_rows * n_cols)
+        else:
+            streams = plan_shards(
+                n_rows, n_inner, n_cols, n_pes, 0, 0, 0, tile_rows=tile_rows
+            )
+        for device, descriptors in zip(device_types, streams):
+            if descriptors:
+                prediction.per_pe.append(self.predict_stream(descriptors, device))
+        n_tiles = sum(stream.n_tiles for stream in prediction.per_pe)
+        n_streams = len(prediction.per_pe)
+        prediction.extra_cycles += max(
+            float(np.array([n_tiles, n_streams, 1.0]) @ self.host_coeffs), 0.0
+        )
+        return prediction
+
+    def cycles_to_s(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+
+# ---------------------------------------------------------------------- #
+# serving-side calibration
+# ---------------------------------------------------------------------- #
+@dataclass
+class ReplicaProfile:
+    """Measured service profile of one replica engine.
+
+    Attributes:
+        name: replica (or engine) label.
+        service_s: wall-clock seconds per single-column request (min over
+            repeats, compile excluded — the steady-state service time).
+        macs: arithmetic work of the probe request (for scaling the profile
+            to differently-sized ops during placement).
+        offload_cycles: simulated cycles per request for SoC-backed engines
+            (``SoCGemmEngine.offload_cycles`` delta), else ``None``.
+        latency_hint_s: the engine's own static schedule hint.
+    """
+
+    name: str
+    service_s: float
+    macs: int
+    offload_cycles: Optional[float] = None
+    latency_hint_s: float = 0.0
+
+    def predict_request_s(self, macs: Optional[int] = None) -> float:
+        """Service-time estimate for a request of ``macs`` work."""
+        if macs is None or self.macs <= 0:
+            return self.service_s
+        return self.service_s * max(macs, 1) / self.macs
+
+
+def profile_engine(
+    engine,
+    weights: Optional[np.ndarray] = None,
+    repeats: int = 3,
+    probe_shape: Tuple[int, int] = (16, 16),
+    clock: Callable[[], float] = time.perf_counter,
+) -> ReplicaProfile:
+    """Measure an engine's steady-state single-column service time.
+
+    The first ``run_batch`` (compile: mesh programming, plan building) is
+    excluded; the profile keeps the minimum of ``repeats`` timed runs.  For
+    :class:`~repro.serving.engine.SoCGemmEngine` replicas the simulated
+    offload cycles per request are recorded too, so schedulers can reason
+    in device time as well as wall time.
+
+    Engines without a bound default model are probed with a synthetic
+    ``probe_shape`` weight matrix (the same explicit-weights path compiled
+    plans execute through).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if weights is None:
+        try:
+            compiled = engine.compile(None)
+        except ServingError:
+            weights = np.ones(probe_shape, dtype=float)
+            compiled = engine.compile(weights)
+    else:
+        compiled = engine.compile(weights)
+    column = np.zeros((compiled.n_inputs, 1))
+    engine.run_batch(weights, column)  # warm: everything compiled/cached
+    cycles_attr = getattr(engine, "offload_cycles", None)
+    cycles_before = cycles_attr if isinstance(cycles_attr, (int, float)) else None
+    best = float("inf")
+    for _ in range(repeats):
+        started = clock()
+        engine.run_batch(weights, column)
+        best = min(best, clock() - started)
+    offload_cycles = None
+    if cycles_before is not None:
+        offload_cycles = (engine.offload_cycles - cycles_before) / repeats
+    return ReplicaProfile(
+        name=engine.name,
+        service_s=best,
+        macs=compiled.n_outputs * compiled.n_inputs,
+        offload_cycles=offload_cycles,
+        latency_hint_s=engine.latency_hint_s(1),
+    )
+
+
+def profile_replicas(
+    replicas,
+    weights: Optional[np.ndarray] = None,
+    repeats: int = 3,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Dict[str, ReplicaProfile]:
+    """Profile every replica's engine; returns ``{replica_name: profile}``.
+
+    Run this before serving starts — probe batches execute inline on the
+    engines (they show up in engine stats, not in server telemetry).
+    """
+    profiles: Dict[str, ReplicaProfile] = {}
+    for replica in replicas:
+        profile = profile_engine(
+            replica.engine, weights=weights, repeats=repeats, clock=clock
+        )
+        profiles[replica.name] = replace(profile, name=replica.name)
+    return profiles
+
+
+def replica_cost_fn(
+    profiles: Dict[str, ReplicaProfile],
+) -> Callable[[object], float]:
+    """Scoring callable for ``ReplicaScheduler(policy="cost-based")``.
+
+    Returns the calibrated per-request service seconds of a replica;
+    unprofiled replicas fall back to their engine's static latency hint,
+    so a partially-profiled pool still routes sensibly.
+    """
+
+    def cost(replica) -> float:
+        profile = profiles.get(replica.name)
+        if profile is not None:
+            return max(profile.service_s, 0.0)
+        return max(replica.engine.latency_hint_s(1), 0.0)
+
+    return cost

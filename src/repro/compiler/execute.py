@@ -1,0 +1,421 @@
+"""Plan compilation and execution: lowering graphs onto SoC and replicas.
+
+``compile_for_soc`` lowers a chain :class:`~repro.compiler.graph.ModelGraph`
+into an :class:`SoCPlan` — one sharded
+:meth:`~repro.system.soc.PhotonicSoC.run_tiled_gemm` offload per layer,
+with the rows-vs-K sharding decision made per layer by the partitioner —
+and ``compile_for_pool`` lowers the same graph onto a live replica pool as
+a :class:`PoolPlan` whose layers are pinned to the replicas a calibrated
+:class:`~repro.compiler.partition.Placement` chose.
+
+Compiled plans are cached in an LRU :class:`PlanCache` keyed by
+``(graph_hash, hardware fingerprint)``: re-compiling the same model for
+the same hardware is a dictionary hit, while any change to layer bytes,
+activation wiring, PE cluster or replica pool produces a fresh plan.
+
+Executing a plan is **numerically identical** to direct per-layer
+execution on the same backend: the plan only decides *where* each matmul
+runs and how it is sharded; the matmul itself goes through the exact same
+datapath (``run_tiled_gemm`` accumulates integer partials exactly; pool
+layers execute the same ``backend.matmul`` the direct path would call).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.costmodel import ReplicaProfile, SoCCostModel, profile_replicas
+from repro.compiler.graph import GraphError, ModelGraph
+from repro.compiler.partition import Placement, choose_sharding, place_graph
+from repro.core.nn import ACTIVATIONS
+from repro.serving.errors import ServingError
+
+#: Activations an integer SoC offload can apply in its digital epilogue.
+SOC_ACTIVATIONS = ("identity", "relu")
+
+#: Tiny weight matrix used to probe whether an engine accepts explicit
+#: weights (bound-model engines raise ServingError from ``model_key``).
+_WEIGHTS_PROBE = np.zeros((1, 1))
+
+
+class PlanCache:
+    """LRU cache of compiled plans keyed by (graph hash, hardware print)."""
+
+    def __init__(self, max_plans: int = 32):
+        if max_plans < 1:
+            raise ValueError("max_plans must be >= 1")
+        self.max_plans = int(max_plans)
+        self.hits = 0
+        self.misses = 0
+        self._plans: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+
+    def get(self, key: Tuple[str, str]):
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.hits += 1
+        return plan
+
+    def put(self, key: Tuple[str, str], plan) -> None:
+        self.misses += 1
+        self._plans[key] = plan
+        while len(self._plans) > self.max_plans:
+            self._plans.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+
+#: Default process-wide plan cache used when callers do not pass their own.
+DEFAULT_PLAN_CACHE = PlanCache(max_plans=32)
+
+
+def cost_model_fingerprint(cost_model: Optional[SoCCostModel]) -> str:
+    """Fingerprint of a cost model's fitted coefficients (or ``"none"``).
+
+    Plans compiled with different calibrations (or with/without one) make
+    different sharding decisions, so the cost model is part of the plan
+    cache key — recalibrating must never return a stale cached plan.
+    """
+    if cost_model is None:
+        return "none"
+    digest = hashlib.sha1()
+    digest.update(np.asarray(cost_model.dma_coeffs, dtype=float).tobytes())
+    digest.update(np.asarray(cost_model.host_coeffs, dtype=float).tobytes())
+    for device in sorted(cost_model.compute_coeffs):
+        digest.update(device.encode())
+        digest.update(
+            np.asarray(cost_model.compute_coeffs[device], dtype=float).tobytes()
+        )
+    return digest.hexdigest()
+
+
+def profiles_fingerprint(profiles: Dict[str, ReplicaProfile]) -> str:
+    """Fingerprint of the measured replica profiles feeding a placement."""
+    digest = hashlib.sha1()
+    for name in sorted(profiles):
+        profile = profiles[name]
+        digest.update(name.encode())
+        digest.update(f"{profile.service_s}|{profile.macs}|".encode())
+    return digest.hexdigest()
+
+
+def soc_fingerprint(
+    soc,
+    k_shards: Optional[int] = None,
+    tile_rows: Optional[int] = None,
+    cost_model: Optional[SoCCostModel] = None,
+    n_columns: int = 1,
+) -> str:
+    """Hardware fingerprint of an SoC configuration for plan caching."""
+    digest = hashlib.sha1()
+    digest.update(b"soc|")
+    digest.update(str(soc.clock_hz).encode())
+    for accelerator in soc.accelerators:
+        digest.update(accelerator.device_type.encode())
+        digest.update(accelerator.backend.name.encode())
+        digest.update(str(accelerator.input_spm.size_bytes).encode())
+        digest.update(b",")
+    digest.update(f"k={k_shards}|t={tile_rows}|n={n_columns}|".encode())
+    digest.update(cost_model_fingerprint(cost_model).encode())
+    return digest.hexdigest()
+
+
+def pool_fingerprint(
+    replicas,
+    strategy: str = "min-cost",
+    profiles: Optional[Dict[str, ReplicaProfile]] = None,
+) -> str:
+    """Hardware fingerprint of a replica pool for plan caching."""
+    digest = hashlib.sha1()
+    digest.update(b"pool|")
+    for replica in replicas:
+        digest.update(replica.name.encode())
+        digest.update(type(replica.engine).__name__.encode())
+        backend = getattr(replica.engine, "backend", None)
+        digest.update(getattr(backend, "name", "none").encode())
+        digest.update(b",")
+    digest.update(strategy.encode())
+    if profiles is not None:
+        digest.update(b"|")
+        digest.update(profiles_fingerprint(profiles).encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class SoCLayerStep:
+    """One compiled layer of an SoC plan."""
+
+    op_name: str
+    weights: np.ndarray  # int64, ready for the offload path
+    bias: Optional[np.ndarray]
+    activation: str
+    sharding: str  # "rows" | "k"
+    k_shards: int
+    predicted_cycles: Optional[float] = None
+
+
+@dataclass
+class SoCPlan:
+    """An executable placement plan lowered onto one SoC cluster.
+
+    Attributes:
+        graph_hash / fingerprint: the cache key this plan was compiled for.
+        steps: per-layer offload steps in topological order.
+        reports: the per-layer :class:`~repro.system.soc.WorkloadReport`
+            list of the most recent :meth:`run`.
+    """
+
+    soc: object
+    graph_hash: str
+    fingerprint: str
+    steps: List[SoCLayerStep]
+    tile_rows: Optional[int] = None
+    predicted_cycles: Optional[float] = None
+    reports: List[object] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        """Simulated cycles of the most recent :meth:`run`."""
+        return sum(report.cycles for report in self.reports)
+
+    def run(self, columns: np.ndarray) -> np.ndarray:
+        """Execute the plan on integer input columns ``(n_in, batch)``."""
+        out = np.asarray(np.round(np.asarray(columns, dtype=float)), dtype=np.int64)
+        if out.ndim == 1:
+            out = out[:, None]
+        self.reports = []
+        for step in self.steps:
+            report = self.soc.run_tiled_gemm(
+                step.weights,
+                out,
+                tile_rows=self.tile_rows,
+                k_shards=step.k_shards if step.sharding == "k" else None,
+            )
+            self.reports.append(report)
+            out = report.result
+            if step.bias is not None:
+                out = out + step.bias[:, None]
+            if step.activation == "relu":
+                out = np.maximum(out, 0)
+        return out
+
+
+def compile_for_soc(
+    graph: ModelGraph,
+    soc,
+    cost_model: Optional[SoCCostModel] = None,
+    tile_rows: Optional[int] = None,
+    n_columns: int = 1,
+    cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
+) -> SoCPlan:
+    """Compile a chain graph into per-layer sharded SoC offloads.
+
+    Each layer gets its own rows-vs-K sharding decision from
+    :func:`~repro.compiler.partition.choose_sharding` (cost-model-driven
+    when one is supplied); ``n_columns`` is the batch width the decisions
+    are optimised for — pass the expected serving batch so the rows-vs-K
+    comparison (whose reduction cost scales with the batch) matches the
+    workload the plan will actually run.  The SoC works on integers, so
+    weights/biases are rounded at compile time and only integer-preserving
+    activations (:data:`SOC_ACTIVATIONS`) are accepted.
+    """
+    if not getattr(soc, "accelerators", None):
+        raise ValueError("SoC plan needs a PhotonicSoC with accelerators attached")
+    if not graph.is_chain():
+        raise GraphError("SoC lowering supports chain graphs only")
+    if n_columns < 1:
+        raise ValueError("n_columns must be >= 1")
+    key = (
+        graph.graph_hash(),
+        soc_fingerprint(
+            soc, tile_rows=tile_rows, cost_model=cost_model, n_columns=n_columns
+        ),
+    )
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None and cached.soc is soc:
+            return cached
+    n_pes = len(soc.accelerators)
+    steps: List[SoCLayerStep] = []
+    predicted_total: Optional[float] = 0.0 if cost_model is not None else None
+    for op in graph.topological_order():
+        if op.activation not in SOC_ACTIVATIONS:
+            raise GraphError(
+                f"op {op.name!r}: activation {op.activation!r} cannot be "
+                f"lowered to the integer SoC datapath "
+                f"(supported: {SOC_ACTIVATIONS})"
+            )
+        weights = np.asarray(np.round(np.asarray(op.weights, dtype=float)), dtype=np.int64)
+        bias = None
+        if op.bias is not None:
+            bias = np.asarray(np.round(np.asarray(op.bias, dtype=float)), dtype=np.int64)
+        decision = choose_sharding(
+            op.n_outputs, op.n_inputs, n_columns, n_pes,
+            cost_model=cost_model, tile_rows=tile_rows,
+        )
+        steps.append(
+            SoCLayerStep(
+                op_name=op.name,
+                weights=weights,
+                bias=bias,
+                activation=op.activation,
+                sharding=decision.strategy,
+                k_shards=decision.k_shards,
+                predicted_cycles=decision.predicted_cycles,
+            )
+        )
+        if predicted_total is not None:
+            if decision.predicted_cycles is None:
+                # a single missing per-layer prediction must yield "no
+                # total", not a silently understated one
+                predicted_total = None
+            else:
+                predicted_total += decision.predicted_cycles
+    plan = SoCPlan(
+        soc=soc,
+        graph_hash=key[0],
+        fingerprint=key[1],
+        steps=steps,
+        tile_rows=tile_rows,
+        predicted_cycles=predicted_total,
+    )
+    if cache is not None:
+        cache.put(key, plan)
+    return plan
+
+
+@dataclass
+class PoolLayerStep:
+    """One compiled layer of a pool plan (pinned to a replica)."""
+
+    op_name: str
+    weights: np.ndarray
+    bias: Optional[np.ndarray]
+    activation: str
+    replica: str
+    predicted_s: Optional[float] = None
+
+
+@dataclass
+class PoolPlan:
+    """An executable placement plan over a live replica pool.
+
+    Layer matmuls are submitted to the server **pinned** to the replica
+    the placement chose; bias/activation epilogues run host-side in the
+    same float arithmetic the direct path uses, so the plan's output is
+    bitwise identical to running each layer directly on the backend of its
+    assigned replica (for deterministic backends).
+    """
+
+    graph_hash: str
+    fingerprint: str
+    steps: List[PoolLayerStep]
+    placement: Placement
+    predicted_s: Optional[float] = None
+
+    async def run(self, server, column: np.ndarray) -> np.ndarray:
+        """Execute the plan for one input column through a running server."""
+        out = np.asarray(column, dtype=float)
+        was_matrix = out.ndim == 2
+        if was_matrix:
+            if out.shape[1] != 1:
+                raise ValueError("pool plans execute one input column per run")
+            out = out[:, 0]
+        elif out.ndim != 1:
+            raise ValueError("pool plans execute one input column per run")
+        for step in self.steps:
+            pre = await server.submit(out, weights=step.weights, replica=step.replica)
+            pre = np.asarray(pre, dtype=float)[:, None]
+            if step.bias is not None:
+                pre = pre + step.bias[:, None]
+            if step.activation == "identity":
+                out = pre[:, 0]
+            else:
+                out = ACTIVATIONS[step.activation](pre.T).T[:, 0]
+        return out[:, None] if was_matrix else out
+
+
+def compile_for_pool(
+    graph: ModelGraph,
+    replicas,
+    profiles: Optional[Dict[str, ReplicaProfile]] = None,
+    strategy: str = "min-cost",
+    cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
+) -> PoolPlan:
+    """Compile a chain graph into replica-pinned serving steps.
+
+    ``profiles`` defaults to measuring the pool on the spot
+    (:func:`~repro.compiler.costmodel.profile_replicas`) — pass
+    pre-measured profiles to compile without touching the engines.
+    """
+    if not graph.is_chain():
+        raise GraphError("pool lowering supports chain graphs only")
+    replicas = list(replicas)
+    if not replicas:
+        raise ValueError("pool plan needs at least one replica")
+    # plan layers execute as explicit-weights requests; engines serving only
+    # a bound model (e.g. MLPEngine) must be excluded at compile time, not
+    # fail mid-plan after earlier layers already executed
+    servable = []
+    for replica in replicas:
+        try:
+            replica.engine.model_key(_WEIGHTS_PROBE)
+        except ServingError:
+            continue
+        servable.append(replica)
+    if not servable:
+        raise ValueError(
+            "no replica in the pool accepts explicit-weights requests "
+            "(pool plans cannot be lowered onto bound-model engines such "
+            "as MLPEngine)"
+        )
+    replicas = servable
+    if profiles is None:
+        # profile first so the cache key reflects the fresh measurements —
+        # re-profiling a changed pool must never return a stale placement
+        profiles = profile_replicas(replicas)
+    else:
+        profiles = {
+            name: profile
+            for name, profile in profiles.items()
+            if name in {replica.name for replica in replicas}
+        }
+    key = (
+        graph.graph_hash(),
+        pool_fingerprint(replicas, strategy=strategy, profiles=profiles),
+    )
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    placement = place_graph(graph, profiles, strategy=strategy)
+    steps = [
+        PoolLayerStep(
+            op_name=op.name,
+            weights=np.asarray(op.weights, dtype=float),
+            bias=np.asarray(op.bias, dtype=float) if op.bias is not None else None,
+            activation=op.activation,
+            replica=placement.assignments[op.name],
+            predicted_s=placement.predicted_op_s.get(op.name),
+        )
+        for op in graph.topological_order()
+    ]
+    plan = PoolPlan(
+        graph_hash=key[0],
+        fingerprint=key[1],
+        steps=steps,
+        placement=placement,
+        predicted_s=placement.predicted_total_s,
+    )
+    if cache is not None:
+        cache.put(key, plan)
+    return plan

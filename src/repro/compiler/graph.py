@@ -1,0 +1,210 @@
+"""Model graph IR: a content-hashable DAG of dense ops.
+
+:class:`ModelGraph` captures a whole model — the chain (or DAG) of
+:class:`~repro.compiler.ops.DenseOp` nodes and the activation shapes
+flowing between them — as the unit the compiler plans, places and caches.
+Builders cover the two model sources in the repo: raw weight-matrix stacks
+(:meth:`ModelGraph.from_matrices`) and :class:`~repro.core.nn.MLP` models
+(:meth:`ModelGraph.from_mlp`), both producing linear chains, which is what
+the execution targets lower today; the IR itself stores explicit edges and
+topologically sorts, so branching graphs are representable and rejected
+only at lowering time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.ops import DenseOp
+from repro.core.nn import MLP
+
+
+class GraphError(ValueError):
+    """Raised for malformed graphs (cycles, shape breaks, duplicate names)."""
+
+
+class ModelGraph:
+    """A DAG of dense ops with content hashing and topological order.
+
+    Attributes:
+        name: human-readable model label (not part of the content hash).
+    """
+
+    def __init__(self, name: str = "model"):
+        self.name = str(name)
+        self._ops: Dict[str, DenseOp] = {}
+        self._inputs: Dict[str, Tuple[str, ...]] = {}
+        self._order: Optional[List[str]] = None
+        self._hash: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_op(self, op: DenseOp, inputs: Sequence[str] = ()) -> DenseOp:
+        """Add an op fed by the named producer ops (empty = graph input).
+
+        Shapes are checked against single-producer edges immediately; the
+        DAG property is revalidated lazily on the next traversal.
+        """
+        if op.name in self._ops:
+            raise GraphError(f"duplicate op name {op.name!r}")
+        inputs = tuple(str(name) for name in inputs)
+        for producer in inputs:
+            if producer not in self._ops:
+                raise GraphError(
+                    f"op {op.name!r} depends on unknown op {producer!r}"
+                )
+        if len(inputs) == 1:
+            producer_op = self._ops[inputs[0]]
+            if producer_op.n_outputs != op.n_inputs:
+                raise GraphError(
+                    f"shape break: {producer_op.name!r} produces "
+                    f"{producer_op.n_outputs} features but {op.name!r} "
+                    f"consumes {op.n_inputs}"
+                )
+        self._ops[op.name] = op
+        self._inputs[op.name] = inputs
+        self._order = None
+        self._hash = None
+        return op
+
+    @classmethod
+    def from_matrices(
+        cls,
+        matrices: Sequence[np.ndarray],
+        biases: Optional[Sequence[Optional[np.ndarray]]] = None,
+        activations: Optional[Sequence[str]] = None,
+        name: str = "model",
+    ) -> "ModelGraph":
+        """Build a linear chain from a stack of (n_out, n_in) matrices."""
+        if not matrices:
+            raise GraphError("a model graph needs at least one op")
+        if biases is not None and len(biases) != len(matrices):
+            raise GraphError("biases must match the number of layers")
+        if activations is not None and len(activations) != len(matrices):
+            raise GraphError("activations must match the number of layers")
+        graph = cls(name=name)
+        previous: Tuple[str, ...] = ()
+        for index, weights in enumerate(matrices):
+            op = DenseOp(
+                f"layer{index}",
+                weights,
+                bias=biases[index] if biases is not None else None,
+                activation=activations[index] if activations is not None else "identity",
+            )
+            graph.add_op(op, inputs=previous)
+            previous = (op.name,)
+        return graph
+
+    @classmethod
+    def from_mlp(cls, model: MLP, name: str = "mlp") -> "ModelGraph":
+        """Capture an :class:`~repro.core.nn.MLP` as a graph (one op per layer)."""
+        return cls.from_matrices(
+            [layer.weights for layer in model.layers],
+            biases=[layer.biases for layer in model.layers],
+            activations=[layer.activation for layer in model.layers],
+            name=name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> List[DenseOp]:
+        """Ops in dependency order (deterministic; raises on cycles)."""
+        if self._order is None:
+            remaining = {name: set(deps) for name, deps in self._inputs.items()}
+            order: List[str] = []
+            while remaining:
+                ready = sorted(
+                    name for name, deps in remaining.items() if not deps
+                )
+                if not ready:
+                    raise GraphError(
+                        f"graph {self.name!r} has a dependency cycle among "
+                        f"{sorted(remaining)}"
+                    )
+                for name in ready:
+                    order.append(name)
+                    del remaining[name]
+                for deps in remaining.values():
+                    deps.difference_update(ready)
+            self._order = order
+        return [self._ops[name] for name in self._order]
+
+    def is_chain(self) -> bool:
+        """True when the graph is one linear op chain (fan-in/out <= 1)."""
+        consumers: Dict[str, int] = {name: 0 for name in self._ops}
+        roots = 0
+        for name, deps in self._inputs.items():
+            if len(deps) > 1:
+                return False
+            if not deps:
+                roots += 1
+            for producer in deps:
+                consumers[producer] += 1
+        return roots == 1 and all(count <= 1 for count in consumers.values())
+
+    def op(self, name: str) -> DenseOp:
+        return self._ops[name]
+
+    def op_inputs(self, name: str) -> Tuple[str, ...]:
+        return self._inputs[name]
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self.topological_order())
+
+    @property
+    def n_inputs(self) -> int:
+        return self.topological_order()[0].n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.topological_order()[-1].n_outputs
+
+    # ------------------------------------------------------------------ #
+    # content hash
+    # ------------------------------------------------------------------ #
+    def graph_hash(self) -> str:
+        """Content hash over ops *and* topology (edges by op content).
+
+        Two graphs with the same layer bytes but different wiring hash
+        differently; the model name does not contribute, so renaming a
+        model never defeats the plan cache.
+        """
+        if self._hash is None:
+            order = self.topological_order()
+            position = {op.name: index for index, op in enumerate(order)}
+            digest = hashlib.sha1()
+            for op in order:
+                digest.update(op.op_hash().encode())
+                for producer in sorted(self._inputs[op.name]):
+                    digest.update(str(position[producer]).encode())
+                digest.update(b"|")
+            self._hash = digest.hexdigest()
+        return self._hash
+
+    # ------------------------------------------------------------------ #
+    # reference execution
+    # ------------------------------------------------------------------ #
+    def reference_forward(self, columns: np.ndarray) -> np.ndarray:
+        """Exact float forward pass of a chain graph (the compiler oracle)."""
+        if not self.is_chain():
+            raise GraphError("reference_forward supports chain graphs only")
+        out = np.asarray(columns, dtype=float)
+        if out.ndim == 1:
+            out = out[:, None]
+        for op in self.topological_order():
+            out = op.finish(op.weights @ out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ModelGraph {self.name!r} ops={len(self._ops)} "
+            f"hash={self.graph_hash()[:10]}>"
+        )

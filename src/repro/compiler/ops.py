@@ -1,0 +1,119 @@
+"""Graph IR operations: the units the model compiler plans and places.
+
+The compiler's IR is deliberately small: the paper's workloads are chains
+of dense products (GeMM layers, :class:`~repro.core.nn.PhotonicMLP`
+layers), so one op kind — :class:`DenseOp`, a matrix product with an
+optional bias and activation — covers everything the execution targets can
+lower today.  Every op is **content-hashable**: the hash covers the kind,
+shapes, dtypes, raw weight/bias bytes and the activation, so two ops with
+equal bytes but different dtype or shape hash differently and compiled
+plans can be cached by graph content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+import numpy as np
+
+from repro.core.nn import ACTIVATIONS
+
+#: Activations the plan executors can apply host-side after the matmul.
+SUPPORTED_ACTIVATIONS = tuple(sorted(ACTIVATIONS))
+
+
+class DenseOp:
+    """One dense layer: ``y = act(W x + b)`` with ``x`` an input column.
+
+    Attributes:
+        name: unique node name within its graph.
+        weights: (n_out, n_in) weight matrix (any real dtype; the dtype is
+            part of the content hash so an int8 and a float64 layer with
+            equal bytes never collide in the plan cache).
+        bias: optional (n_out,) bias vector.
+        activation: one of :data:`SUPPORTED_ACTIVATIONS`.
+    """
+
+    kind = "dense"
+
+    def __init__(
+        self,
+        name: str,
+        weights: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        activation: str = "identity",
+    ):
+        weights = np.ascontiguousarray(weights)
+        if weights.ndim != 2:
+            raise ValueError(f"op {name!r}: weights must be a matrix")
+        if min(weights.shape) < 1:
+            raise ValueError(f"op {name!r}: weights must be non-degenerate")
+        if activation not in ACTIVATIONS:
+            raise ValueError(
+                f"op {name!r}: unknown activation {activation!r} "
+                f"(choose from {SUPPORTED_ACTIVATIONS})"
+            )
+        if bias is not None:
+            bias = np.ascontiguousarray(bias)
+            if bias.shape != (weights.shape[0],):
+                raise ValueError(
+                    f"op {name!r}: bias shape {bias.shape} does not match "
+                    f"the output dimension {weights.shape[0]}"
+                )
+        self.name = str(name)
+        self.weights = weights
+        self.bias = bias
+        self.activation = str(activation)
+        self._hash: Optional[str] = None
+
+    @property
+    def n_inputs(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates per input column."""
+        return self.weights.shape[0] * self.weights.shape[1]
+
+    def op_hash(self) -> str:
+        """Content hash of this op (kind, shapes, dtypes, bytes, activation)."""
+        if self._hash is None:
+            digest = hashlib.sha1()
+            digest.update(self.kind.encode())
+            digest.update(str(self.weights.shape).encode())
+            digest.update(str(self.weights.dtype).encode())
+            digest.update(self.weights.tobytes())
+            if self.bias is not None:
+                digest.update(str(self.bias.dtype).encode())
+                digest.update(self.bias.tobytes())
+            digest.update(self.activation.encode())
+            self._hash = digest.hexdigest()
+        return self._hash
+
+    def finish(self, pre_activation: np.ndarray) -> np.ndarray:
+        """Apply the op's bias and activation to a raw ``W @ X`` column block.
+
+        The matmul itself runs on whatever backend the plan placed the op
+        on; this digital epilogue is the same for every target, which is
+        what keeps a compiled plan's output identical to direct per-layer
+        execution on the same backend.
+        """
+        out = np.asarray(pre_activation)
+        if self.bias is not None:
+            out = out + self.bias[:, None]
+        if self.activation == "identity":
+            return out
+        # ACTIVATIONS act along the last axis of row-major batches; column
+        # blocks transpose through them
+        return ACTIVATIONS[self.activation](out.T).T
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DenseOp {self.name!r} {self.n_outputs}x{self.n_inputs} "
+            f"act={self.activation}>"
+        )

@@ -1,0 +1,157 @@
+"""Partitioning and placement: sharding decisions and op-to-replica maps.
+
+Two placement axes:
+
+* **Within one layer** — :func:`choose_sharding` picks between row sharding
+  (:func:`~repro.system.soc.plan_shards`) and K-dimension sharding with
+  partial-product accumulation (:func:`~repro.system.soc.plan_k_shards`)
+  for a GeMM on an ``n_pes`` cluster, by predicted pipelined cycles when a
+  calibrated :class:`~repro.compiler.costmodel.SoCCostModel` is available
+  and by a shape heuristic otherwise (K-sharding wins when there are too
+  few output rows to keep every PE busy).
+* **Across layers** — :func:`place_graph` assigns each op of a
+  :class:`~repro.compiler.graph.ModelGraph` to a serving replica using the
+  measured :class:`~repro.compiler.costmodel.ReplicaProfile` costs:
+  ``min-cost`` sends every op to its cheapest replica, ``balanced`` runs
+  greedy list scheduling on predicted finish times so heavy chains spread
+  across comparable replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.compiler.costmodel import ReplicaProfile, SoCCostModel
+from repro.compiler.graph import ModelGraph
+
+PLACEMENT_STRATEGIES = ("min-cost", "balanced")
+
+
+@dataclass(frozen=True)
+class ShardingDecision:
+    """How one GeMM layer is split across the PE cluster.
+
+    Attributes:
+        strategy: ``"rows"`` or ``"k"``.
+        k_shards: K-slice count (1 under row sharding).
+        predicted_cycles: cost-model estimate backing the choice (None when
+            the decision came from the shape heuristic).
+    """
+
+    strategy: str
+    k_shards: int = 1
+    predicted_cycles: Optional[float] = None
+
+
+def choose_sharding(
+    n_rows: int,
+    n_inner: int,
+    n_cols: int,
+    n_pes: int,
+    cost_model: Optional[SoCCostModel] = None,
+    tile_rows: Optional[int] = None,
+) -> ShardingDecision:
+    """Pick rows- vs K-sharding for one (M, K, N) GeMM on ``n_pes`` PEs."""
+    if min(n_rows, n_inner, n_cols) < 1:
+        raise ValueError(
+            f"GeMM dimensions must be positive, got "
+            f"(M, K, N) = ({n_rows}, {n_inner}, {n_cols})"
+        )
+    if n_pes < 1:
+        raise ValueError("n_pes must be >= 1")
+    if n_pes == 1 or n_inner < 2:
+        predicted = None
+        if cost_model is not None:
+            predicted = cost_model.predict_gemm(
+                n_rows, n_inner, n_cols, n_pes=n_pes, tile_rows=tile_rows
+            ).pipelined_cycles
+        return ShardingDecision(strategy="rows", k_shards=1, predicted_cycles=predicted)
+    k_shards = min(n_pes, n_inner)
+    if cost_model is not None:
+        rows_prediction = cost_model.predict_gemm(
+            n_rows, n_inner, n_cols, n_pes=n_pes, tile_rows=tile_rows
+        )
+        k_prediction = cost_model.predict_gemm(
+            n_rows, n_inner, n_cols, n_pes=n_pes, k_shards=k_shards,
+            tile_rows=tile_rows,
+        )
+        if k_prediction.pipelined_cycles < rows_prediction.pipelined_cycles:
+            return ShardingDecision(
+                strategy="k",
+                k_shards=k_shards,
+                predicted_cycles=k_prediction.pipelined_cycles,
+            )
+        return ShardingDecision(
+            strategy="rows",
+            k_shards=1,
+            predicted_cycles=rows_prediction.pipelined_cycles,
+        )
+    # heuristic: rows-sharding starves PEs when M < n_pes (some get empty
+    # shards) — split K instead whenever it is wide enough to share
+    if n_rows < n_pes and n_inner >= n_pes:
+        return ShardingDecision(strategy="k", k_shards=k_shards)
+    return ShardingDecision(strategy="rows", k_shards=1)
+
+
+@dataclass
+class Placement:
+    """An op-to-replica assignment with its predicted per-replica load.
+
+    Attributes:
+        assignments: ``{op_name: replica_name}``.
+        predicted_op_s: predicted service seconds per op.
+        predicted_replica_s: predicted total seconds per replica.
+        strategy: the placement strategy that produced it.
+    """
+
+    assignments: Dict[str, str] = field(default_factory=dict)
+    predicted_op_s: Dict[str, float] = field(default_factory=dict)
+    predicted_replica_s: Dict[str, float] = field(default_factory=dict)
+    strategy: str = "min-cost"
+
+    @property
+    def predicted_total_s(self) -> float:
+        return sum(self.predicted_op_s.values())
+
+
+def place_graph(
+    graph: ModelGraph,
+    profiles: Dict[str, ReplicaProfile],
+    strategy: str = "min-cost",
+) -> Placement:
+    """Assign every op of ``graph`` to a replica by calibrated cost.
+
+    ``min-cost`` routes each op to the replica with the lowest predicted
+    service time for that op's arithmetic size.  ``balanced`` additionally
+    tracks accumulated predicted load per replica and greedily minimises
+    each op's predicted finish time, so pools of comparable replicas share
+    a deep chain instead of hot-spotting the single cheapest one.
+    """
+    if not profiles:
+        raise ValueError("placement needs at least one replica profile")
+    if strategy not in PLACEMENT_STRATEGIES:
+        raise ValueError(
+            f"unknown placement strategy {strategy!r} "
+            f"(choose from {PLACEMENT_STRATEGIES})"
+        )
+    placement = Placement(strategy=strategy)
+    accumulated: Dict[str, float] = {name: 0.0 for name in profiles}
+    for op in graph.topological_order():
+        costs = {
+            name: profile.predict_request_s(op.macs)
+            for name, profile in profiles.items()
+        }
+        if strategy == "min-cost":
+            best = min(costs, key=lambda name: (costs[name], name))
+        else:
+            best = min(
+                costs, key=lambda name: (accumulated[name] + costs[name], name)
+            )
+        placement.assignments[op.name] = best
+        placement.predicted_op_s[op.name] = costs[best]
+        accumulated[best] += costs[best]
+    placement.predicted_replica_s = {
+        name: load for name, load in accumulated.items() if load > 0.0
+    }
+    return placement

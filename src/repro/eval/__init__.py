@@ -4,6 +4,7 @@ from repro.eval.workloads import (
     ClassificationDataset,
     make_digit_dataset,
     make_gemm_workload,
+    make_layer_stack,
     make_spike_patterns,
     run_backend_gemm_experiment,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "ClassificationDataset",
     "make_digit_dataset",
     "make_gemm_workload",
+    "make_layer_stack",
     "make_spike_patterns",
     "run_backend_gemm_experiment",
     "classification_accuracy",

@@ -95,6 +95,29 @@ def make_gemm_workload(
     return weights, inputs
 
 
+def make_layer_stack(
+    layer_sizes: List[int], value_range: int = 4, rng: RngLike = 0
+) -> List[np.ndarray]:
+    """Random integer weight matrices for a multi-layer GeMM chain.
+
+    ``layer_sizes = [n0, n1, ..., nL]`` yields ``L`` matrices with shapes
+    ``(n1, n0), (n2, n1), ...`` — the chained-model workload the model
+    compiler plans and places.  Integer entries keep compiled-plan outputs
+    bitwise comparable to direct execution on exact backends.
+    """
+    if len(layer_sizes) < 2:
+        raise ValueError("need at least an input and an output size")
+    if min(layer_sizes) < 1:
+        raise ValueError("layer sizes must be positive")
+    generator = ensure_rng(rng)
+    return [
+        generator.integers(
+            -value_range, value_range + 1, size=(n_out, n_in)
+        )
+        for n_in, n_out in zip(layer_sizes[:-1], layer_sizes[1:])
+    ]
+
+
 def run_backend_gemm_experiment(
     n_modes: int = 8,
     n_cols: int = 8,

@@ -9,6 +9,12 @@ request to a replica under one of three policies:
 * ``least-loaded`` — fewest queued + in-flight requests wins.
 * ``latency-aware`` — minimise ``(load + 1) * ewma_latency`` so a slow
   analog replica sheds traffic to faster digital ones.
+* ``cost-based`` — minimise ``(load + 1) * cost_fn(replica)`` where
+  ``cost_fn`` is a calibrated per-request service-time model (e.g. the
+  compiler's :func:`repro.compiler.costmodel.replica_cost_fn`, fitted
+  from measured engine latencies and ``SoCGemmEngine.offload_cycles``).
+  Unlike ``latency-aware`` it needs no warm-up traffic: heterogeneous
+  pools route correctly from the very first request.
 
 Admission control is a bounded queue per replica: when the preferred
 replica is full, the scheduler fails over to the least-loaded alternative
@@ -27,7 +33,7 @@ from repro.serving.batching import SHUTDOWN, InferenceRequest, MicroBatcher
 from repro.serving.engine import InferenceEngine
 from repro.serving.errors import BackpressureError, ServerClosedError
 
-POLICIES = ("round-robin", "least-loaded", "latency-aware")
+POLICIES = ("round-robin", "least-loaded", "latency-aware", "cost-based")
 
 #: EWMA smoothing factor for per-replica latency estimates.
 LATENCY_EWMA_ALPHA = 0.2
@@ -180,9 +186,20 @@ class ReplicaScheduler:
     Attributes:
         replicas: the managed pool (mixed engine backends allowed).
         policy: one of :data:`POLICIES`.
+        cost_fn: per-request service-time model used by the ``cost-based``
+            policy — maps a replica to predicted seconds per request.
+            Defaults to each engine's own ``latency_hint_s(1)`` when not
+            supplied; inject a calibrated model (see
+            :func:`repro.compiler.costmodel.replica_cost_fn`) for
+            heterogeneous pools of digital engines whose hints are all 0.
     """
 
-    def __init__(self, replicas: Sequence[Replica], policy: str = "least-loaded"):
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        policy: str = "least-loaded",
+        cost_fn: Optional[Callable[[Replica], float]] = None,
+    ):
         if not replicas:
             raise ValueError("scheduler needs at least one replica")
         names = [replica.name for replica in replicas]
@@ -192,6 +209,8 @@ class ReplicaScheduler:
             raise ValueError(f"unknown policy {policy!r} (choose from {POLICIES})")
         self.replicas = list(replicas)
         self.policy = policy
+        self.cost_fn = cost_fn
+        self._by_name = {replica.name: replica for replica in self.replicas}
         self._rr_index = 0
 
     # ------------------------------------------------------------------ #
@@ -205,6 +224,17 @@ class ReplicaScheduler:
             return replica
         if self.policy == "least-loaded":
             return min(self.replicas, key=lambda replica: replica.load)
+        if self.policy == "cost-based":
+            # expected time-to-serve from the *calibrated* cost model:
+            # (load + 1) requests ahead of (and including) this one, each
+            # costing the predicted per-request service time.  Ties fall
+            # back to least-loaded so an unprofiled all-digital pool (all
+            # costs 0) never degenerates to always-pick-first.
+            def cost_score(replica: Replica) -> tuple:
+                cost = self._replica_cost(replica)
+                return ((replica.load + 1) * cost, replica.load)
+
+            return min(self.replicas, key=cost_score)
         # latency-aware: expected time-to-serve = (load + 1) * smoothed
         # latency; replicas with no observation yet look maximally cheap so
         # cold replicas get probed.  Ties (e.g. all-digital pools whose
@@ -218,14 +248,44 @@ class ReplicaScheduler:
 
         return min(self.replicas, key=score)
 
-    def submit(self, request: InferenceRequest) -> Replica:
+    def _replica_cost(self, replica: Replica) -> float:
+        """Predicted per-request service seconds under the cost model."""
+        if self.cost_fn is not None:
+            return max(float(self.cost_fn(replica)), 0.0)
+        return max(replica.engine.latency_hint_s(1), 0.0)
+
+    def replica_named(self, name: str) -> Replica:
+        """Look up a replica by name (raises ``KeyError`` for unknown names)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown replica {name!r} (pool: {sorted(self._by_name)})"
+            ) from None
+
+    def submit(
+        self, request: InferenceRequest, replica_name: Optional[str] = None
+    ) -> Replica:
         """Admit a request: enqueue on the routed replica or raise.
 
         Failover order when the preferred replica's queue is full: remaining
         replicas by ascending load.  Raises
         :class:`~repro.serving.errors.BackpressureError` when every bounded
         queue is at its limit.
+
+        ``replica_name`` pins admission to one replica (no routing, no
+        failover) — compiled placement plans use this to execute each op on
+        the replica the cost model chose.
         """
+        if replica_name is not None:
+            pinned = self.replica_named(replica_name)
+            if pinned.depth >= pinned.max_queue_depth:
+                raise BackpressureError(
+                    replica=pinned.name, depth=pinned.depth,
+                    limit=pinned.max_queue_depth,
+                )
+            pinned.queue.put_nowait(request)
+            return pinned
         preferred = self.select()
         if len(self.replicas) == 1:
             candidates = self.replicas

@@ -44,9 +44,10 @@ class InferenceServer:
         policy: str = "least-loaded",
         telemetry: Optional[ServingTelemetry] = None,
         clock: Callable[[], float] = time.perf_counter,
+        cost_fn: Optional[Callable[[Replica], float]] = None,
     ):
         self.clock = clock
-        self.scheduler = ReplicaScheduler(replicas, policy=policy)
+        self.scheduler = ReplicaScheduler(replicas, policy=policy, cost_fn=cost_fn)
         self.telemetry = telemetry if telemetry is not None else ServingTelemetry(clock=clock)
         self._started = False
         self._closed = False
@@ -131,10 +132,14 @@ class InferenceServer:
         inputs: np.ndarray,
         weights: Optional[np.ndarray] = None,
         deadline_s: Optional[float] = None,
+        replica: Optional[str] = None,
     ) -> asyncio.Future:
         """Admit one request; returns the future resolving to the output column.
 
-        Raises :class:`~repro.serving.errors.ServerClosedError` when the
+        ``replica`` pins the request to one named replica (compiled
+        placement plans route this way); the default routes through the
+        scheduler policy.  Raises
+        :class:`~repro.serving.errors.ServerClosedError` when the
         server is not accepting requests and
         :class:`~repro.serving.errors.BackpressureError` when every replica
         queue is full (the rejection is also counted in telemetry).
@@ -164,11 +169,11 @@ class InferenceServer:
         )
         self._next_request_id += 1
         try:
-            replica = self.scheduler.submit(request)
+            routed = self.scheduler.submit(request, replica_name=replica)
         except BackpressureError:
             self.telemetry.on_reject()
             raise
-        self.telemetry.on_admit(replica.name, self.scheduler.total_load())
+        self.telemetry.on_admit(routed.name, self.scheduler.total_load())
         return request.future
 
     async def submit(
@@ -176,9 +181,12 @@ class InferenceServer:
         inputs: np.ndarray,
         weights: Optional[np.ndarray] = None,
         deadline_s: Optional[float] = None,
+        replica: Optional[str] = None,
     ) -> np.ndarray:
         """Admit one request and await its output column."""
-        return await self.submit_nowait(inputs, weights=weights, deadline_s=deadline_s)
+        return await self.submit_nowait(
+            inputs, weights=weights, deadline_s=deadline_s, replica=replica
+        )
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -62,7 +62,13 @@ class LatencySeries(BoundedSeries):
     """Latency samples with percentile accessors (over the retained window)."""
 
     def percentile_s(self, percentile: float) -> float:
-        """Latency at ``percentile`` (0-100); 0.0 when empty."""
+        """Latency at ``percentile`` (0-100); 0.0 when empty.
+
+        Every percentile/mean accessor on this class is total; an empty
+        sample window (a replica that has served zero requests, a server
+        queried before traffic arrives) yields 0.0, never NaN or an
+        exception from ``np.percentile`` on an empty array.
+        """
         if not self._values:
             return 0.0
         return float(np.percentile(self.values, percentile))
@@ -184,8 +190,11 @@ class ServingTelemetry:
         slice_ = self.replicas.setdefault(replica_name, ReplicaTelemetry())
         if outcome == "ok":
             slice_.completed += 1
-            slice_.latencies.add(latency_s)
-            self.latencies.add(latency_s)
+            # a non-finite latency (clock skew, injected test clocks) must
+            # never poison the percentile windows with NaN/inf
+            if np.isfinite(latency_s):
+                slice_.latencies.add(latency_s)
+                self.latencies.add(latency_s)
         elif outcome == "expired":
             slice_.expired += 1
         elif outcome == "cancelled":
@@ -230,12 +239,18 @@ class ServingTelemetry:
         return self.queue_depth_samples.mean()
 
     def utilization(self, replica_busy_s: Dict[str, float]) -> Dict[str, float]:
-        """Per-replica engine-busy fraction of the server lifetime."""
+        """Per-replica engine-busy fraction of the server lifetime.
+
+        A zero-lifetime window (server never started, or queried in the
+        same clock tick it started) yields 0.0 utilization rather than a
+        ZeroDivisionError; busy fractions are clamped to [0, 1].
+        """
         elapsed = self.elapsed_s()
         if elapsed <= 0:
             return {name: 0.0 for name in replica_busy_s}
         return {
-            name: min(busy / elapsed, 1.0) for name, busy in replica_busy_s.items()
+            name: min(max(busy, 0.0) / elapsed, 1.0)
+            for name, busy in replica_busy_s.items()
         }
 
     def summary(self) -> Dict:

@@ -49,7 +49,13 @@ from repro.system.programs import (
     dot_product_program,
     accelerator_offload_program,
 )
-from repro.system.soc import PhotonicSoC, WorkloadReport, plan_shards
+from repro.system.soc import (
+    KShardSlice,
+    PhotonicSoC,
+    WorkloadReport,
+    plan_k_shards,
+    plan_shards,
+)
 from repro.system.faults import (
     FaultSpec,
     FaultInjector,
@@ -110,8 +116,10 @@ __all__ = [
     "gemm_program",
     "dot_product_program",
     "accelerator_offload_program",
+    "KShardSlice",
     "PhotonicSoC",
     "WorkloadReport",
+    "plan_k_shards",
     "plan_shards",
     "FaultSpec",
     "FaultInjector",

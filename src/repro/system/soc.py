@@ -73,6 +73,13 @@ def plan_shards(
     of each stream carries ``load_input`` and later tiles reuse the
     resident scratchpad copy (input-stationary dataflow).
     """
+    if min(n_rows, n_inner, n_cols) < 1:
+        raise ValueError(
+            f"GeMM dimensions must be positive, got "
+            f"(M, K, N) = ({n_rows}, {n_inner}, {n_cols})"
+        )
+    if n_pes < 1:
+        raise ValueError("n_pes must be >= 1")
     if tile_rows is not None and tile_rows < 1:
         raise ValueError("tile_rows must be >= 1")
     plans: List[List[TileDescriptor]] = []
@@ -96,6 +103,93 @@ def plan_shards(
                 )
         plans.append(descriptors)
     return plans
+
+
+#: Default staging base for K-sharded operand slices and partial products.
+K_STAGING_ADDR = 0x0004_0000
+
+
+@dataclass(frozen=True)
+class KShardSlice:
+    """One K-slice of a K-sharded (M, K, N) GeMM.
+
+    The slice owns staged contiguous copies of its operands —
+    ``A[:, k_start:k_stop]`` at ``a_addr`` and ``B[k_start:k_stop, :]`` at
+    ``b_addr`` — and writes its (M, N) partial product to ``partial_addr``.
+    ``descriptors`` is the slice's row-tiled stream for one PE's
+    double-buffered pipeline.
+    """
+
+    index: int
+    k_start: int
+    k_stop: int
+    a_addr: int
+    b_addr: int
+    partial_addr: int
+    descriptors: tuple
+
+    @property
+    def k_size(self) -> int:
+        return self.k_stop - self.k_start
+
+
+def plan_k_shards(
+    n_rows: int,
+    n_inner: int,
+    n_cols: int,
+    k_shards: int,
+    staging_addr: int = K_STAGING_ADDR,
+    tile_rows: Optional[int] = None,
+) -> List[KShardSlice]:
+    """Split the K (inner) dimension of an (M, K, N) GeMM into PE slices.
+
+    Closes the rows-only gap of :func:`plan_shards`: each slice is a full
+    (M, K_s, N) sub-GeMM whose (M, N) partial product accumulates into the
+    final result.  Operand slices are staged as contiguous copies (the DMA
+    engines move contiguous word blocks; a strided gather DMA remains an
+    open roadmap item), laid out back-to-back from ``staging_addr``:
+
+    ``[A_0 | B_0 | C_0 | A_1 | B_1 | C_1 | ...]``
+
+    Every slice's stream starts with ``load_input=True`` (each slice has
+    its own ``B`` operand) and row-tiles the slice exactly like
+    :func:`plan_shards` does, so per-slice streams still double-buffer.
+    """
+    if k_shards < 1:
+        raise ValueError("k_shards must be >= 1")
+    if min(n_rows, n_inner, n_cols) < 1:
+        raise ValueError(
+            f"GeMM dimensions must be positive, got "
+            f"(M, K, N) = ({n_rows}, {n_inner}, {n_cols})"
+        )
+    if k_shards > n_inner:
+        raise ValueError(
+            f"cannot split K={n_inner} into {k_shards} shards (need k_shards <= K)"
+        )
+    slices: List[KShardSlice] = []
+    cursor = int(staging_addr)
+    for index, columns in enumerate(np.array_split(np.arange(n_inner), k_shards)):
+        k_start, k_stop = int(columns[0]), int(columns[-1]) + 1
+        k_size = k_stop - k_start
+        a_addr = cursor
+        b_addr = a_addr + n_rows * k_size * WORD_BYTES
+        partial_addr = b_addr + k_size * n_cols * WORD_BYTES
+        cursor = partial_addr + n_rows * n_cols * WORD_BYTES
+        descriptors = plan_shards(
+            n_rows, k_size, n_cols, 1, a_addr, b_addr, partial_addr, tile_rows=tile_rows
+        )[0]
+        slices.append(
+            KShardSlice(
+                index=index,
+                k_start=k_start,
+                k_stop=k_stop,
+                a_addr=a_addr,
+                b_addr=b_addr,
+                partial_addr=partial_addr,
+                descriptors=tuple(descriptors),
+            )
+        )
+    return slices
 
 
 @dataclass
@@ -257,6 +351,31 @@ class PhotonicSoC:
             result=result,
         )
 
+    def _delta_report(
+        self,
+        label: str,
+        cycles: int,
+        result: Optional[np.ndarray],
+        energy_before: Dict[str, float],
+        instructions_before: int,
+    ) -> WorkloadReport:
+        """A report charging only what *this* run consumed.
+
+        Energy counters and instruction counts are cumulative over the
+        SoC's lifetime; like the per-run cycle delta, repeated offloads
+        (compiled plans, serving engines) must report their own
+        consumption, not the running total.  Identical to :meth:`_report`
+        on a fresh SoC.
+        """
+        report = self._report(label, cycles, result)
+        report.energy_breakdown = {
+            name: energy - energy_before.get(name, 0.0)
+            for name, energy in report.energy_breakdown.items()
+        }
+        report.energy_j = float(sum(report.energy_breakdown.values()))
+        report.instructions -= instructions_before
+        return report
+
     # ------------------------------------------------------------------ #
     # workloads (experiments E8-E10)
     # ------------------------------------------------------------------ #
@@ -315,49 +434,12 @@ class PhotonicSoC:
         label = f"offload-{accelerator.device_type}" + ("-irq" if use_interrupt else "")
         return self._report(label, cycles, result)
 
-    def run_tiled_gemm(
-        self,
-        weights: np.ndarray,
-        inputs: np.ndarray,
-        a_addr: int = 0x1000,
-        b_addr: int = 0x4000,
-        c_addr: int = 0x8000,
-        tile_rows: Optional[int] = None,
-        irq_per_tile: bool = False,
-    ) -> WorkloadReport:
-        """Shard the GeMM across every attached accelerator (PE cluster).
+    def _enqueue_streams(self, plans: List[List[TileDescriptor]], irq_per_tile: bool):
+        """Program every PE's tile stream through its MMR block.
 
-        :func:`plan_shards` partitions the output rows across the PEs and
-        splits each shard into multiple tiles; the host-side driver
-        (modelled directly as MMR writes through the bus, so arbitrarily
-        many PEs can be coordinated) enqueues each PE's tile stream with
-        the ENQUEUE control bit and launches them together.  Inside every
-        PE the double-buffered pipeline overlaps the DMA-in of tile ``t+1``
-        with the compute/write-back of tile ``t``; the report's
-        ``pipeline`` dict records the measured overlap against the serial
-        DMA + compute phase sum.
-
-        Args:
-            tile_rows: rows per tile (default: half of each PE's shard).
-            irq_per_tile: raise the completion interrupt per tile write-back
-                instead of once per drained stream.
+        Returns ``(host_cycles, n_tiles)`` — the bus cycles the host driver
+        spent on MMR writes and the total tiles enqueued.
         """
-        if not self.accelerators:
-            raise RuntimeError("no accelerator attached")
-        weights = np.asarray(weights, dtype=np.int64)
-        inputs = np.asarray(inputs, dtype=np.int64)
-        n_rows, n_inner = weights.shape
-        n_cols = inputs.shape[1]
-        n_pes = len(self.accelerators)
-        plans = plan_shards(
-            n_rows, n_inner, n_cols, n_pes, a_addr, b_addr, c_addr, tile_rows=tile_rows
-        )
-
-        self.write_matrix(a_addr, weights)
-        self.write_matrix(b_addr, inputs)
-        phase_snapshot = [
-            (pe.stats.dma_cycles, pe.stats.compute_cycles) for pe in self.accelerators
-        ]
         start_bits = CTRL_START | CTRL_IRQ_ENABLE | (
             CTRL_IRQ_PER_TILE if irq_per_tile else 0
         )
@@ -388,8 +470,18 @@ class PhotonicSoC:
                     accelerator.mmr_base + 0x08 + REG_FLAGS * WORD_BYTES, 0
                 )
                 host_cycles += self.bus.write_word(accelerator.mmr_base, start_bits)
+        return host_cycles, n_tiles
 
-        final_cycle = self.scheduler.run(max_cycles=self.max_cycles)
+    def _run_streams(self, plans: List[List[TileDescriptor]]) -> int:
+        """Drive the event loop until every stream drains.
+
+        Returns the cycles *this* offload took (the scheduler clock is
+        absolute over the SoC's lifetime; repeated offloads — a compiled
+        multi-layer plan, a long-lived serving engine — must not fold the
+        previous runs' time into their own report).
+        """
+        start_cycle = self.scheduler.current_cycle
+        final_cycle = self.scheduler.run(max_cycles=start_cycle + self.max_cycles)
         failed = [
             accelerator.name
             for accelerator, descriptors in zip(self.accelerators, plans)
@@ -400,8 +492,17 @@ class PhotonicSoC:
                 f"tiled GeMM stream rejected by {', '.join(failed)} "
                 f"(STATUS_ERROR: tile invalid or larger than the scratchpad)"
             )
-        result = self.read_matrix(c_addr, n_rows, n_cols)
-        report = self._report(f"tiled-gemm-{n_pes}pe", final_cycle + host_cycles, result)
+        return final_cycle - start_cycle
+
+    def _pipeline_accounting(
+        self,
+        report: WorkloadReport,
+        phase_snapshot,
+        host_cycles: int,
+        n_tiles: int,
+        extra_serial_cycles: int = 0,
+    ) -> None:
+        """Fill ``report.pipeline`` from the PEs' phase-cycle deltas."""
         per_pe_phases = [
             (pe.stats.dma_cycles - before[0]) + (pe.stats.compute_cycles - before[1])
             for pe, before in zip(self.accelerators, phase_snapshot)
@@ -418,8 +519,10 @@ class PhotonicSoC:
         # execution); critical_path_serial_cycles is the slowest PE run
         # serially with no intra-PE overlap, so intra_pe_overlap_cycles
         # isolates what double buffering (not PE parallelism) saved.
-        serial_cycles = dma_cycles + compute_cycles + host_cycles
-        critical_path = max(per_pe_phases, default=0) + host_cycles
+        # extra_serial_cycles carries phase costs charged on both sides
+        # (e.g. the K-shard partial-product reduction).
+        serial_cycles = dma_cycles + compute_cycles + host_cycles + extra_serial_cycles
+        critical_path = max(per_pe_phases, default=0) + host_cycles + extra_serial_cycles
         report.pipeline = {
             "n_tiles": n_tiles,
             "dma_cycles": dma_cycles,
@@ -430,6 +533,159 @@ class PhotonicSoC:
             "overlap_cycles": serial_cycles - report.cycles,
             "intra_pe_overlap_cycles": critical_path - report.cycles,
         }
+
+    def run_tiled_gemm(
+        self,
+        weights: np.ndarray,
+        inputs: np.ndarray,
+        a_addr: int = 0x1000,
+        b_addr: int = 0x4000,
+        c_addr: int = 0x8000,
+        tile_rows: Optional[int] = None,
+        irq_per_tile: bool = False,
+        k_shards: Optional[int] = None,
+    ) -> WorkloadReport:
+        """Shard the GeMM across every attached accelerator (PE cluster).
+
+        :func:`plan_shards` partitions the output rows across the PEs and
+        splits each shard into multiple tiles; the host-side driver
+        (modelled directly as MMR writes through the bus, so arbitrarily
+        many PEs can be coordinated) enqueues each PE's tile stream with
+        the ENQUEUE control bit and launches them together.  Inside every
+        PE the double-buffered pipeline overlaps the DMA-in of tile ``t+1``
+        with the compute/write-back of tile ``t``; the report's
+        ``pipeline`` dict records the measured overlap against the serial
+        DMA + compute phase sum.
+
+        Args:
+            tile_rows: rows per tile (default: half of each PE's shard).
+            irq_per_tile: raise the completion interrupt per tile write-back
+                instead of once per drained stream.
+            k_shards: split the inner (K) dimension into this many slices
+                instead of sharding rows — each slice computes an (M, N)
+                partial product on its PE (round-robin when there are more
+                slices than PEs) and the host accumulates the partials into
+                the final result over the bus.  Bitwise identical to the
+                unsharded product for deterministic backends (integer
+                partial sums are exact; results must fit 32-bit words, the
+                same constraint the row-sharded path has).
+        """
+        if not self.accelerators:
+            raise RuntimeError("no accelerator attached")
+        weights = np.asarray(weights, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        n_rows, n_inner = weights.shape
+        n_cols = inputs.shape[1]
+        n_pes = len(self.accelerators)
+        if k_shards is not None and int(k_shards) > 1:
+            return self._run_k_sharded_gemm(
+                weights, inputs, c_addr, tile_rows, irq_per_tile, int(k_shards)
+            )
+        plans = plan_shards(
+            n_rows, n_inner, n_cols, n_pes, a_addr, b_addr, c_addr, tile_rows=tile_rows
+        )
+
+        self.write_matrix(a_addr, weights)
+        self.write_matrix(b_addr, inputs)
+        phase_snapshot = [
+            (pe.stats.dma_cycles, pe.stats.compute_cycles) for pe in self.accelerators
+        ]
+        energy_before = self._energy_breakdown()
+        instructions_before = self.cpu.stats.instructions
+        host_cycles, n_tiles = self._enqueue_streams(plans, irq_per_tile)
+        final_cycle = self._run_streams(plans)
+        result = self.read_matrix(c_addr, n_rows, n_cols)
+        report = self._delta_report(
+            f"tiled-gemm-{n_pes}pe",
+            final_cycle + host_cycles,
+            result,
+            energy_before,
+            instructions_before,
+        )
+        self._pipeline_accounting(report, phase_snapshot, host_cycles, n_tiles)
+        return report
+
+    def _run_k_sharded_gemm(
+        self,
+        weights: np.ndarray,
+        inputs: np.ndarray,
+        c_addr: int,
+        tile_rows: Optional[int],
+        irq_per_tile: bool,
+        k_shards: int,
+        staging_addr: int = K_STAGING_ADDR,
+    ) -> WorkloadReport:
+        """K-dimension sharding: per-slice partial products + accumulation.
+
+        Each K-slice runs as its own row-tiled stream (so double buffering
+        still overlaps DMA and compute inside every PE); slices are dealt
+        round-robin to the PEs.  After the streams drain, the host reduces
+        the (M, N) partials into ``c_addr`` with charged bulk bus reads and
+        one bulk write — the accumulation cost appears on both sides of the
+        pipelined-vs-serial comparison so the reported overlap is still the
+        pipeline's own win.
+        """
+        n_rows, n_inner = weights.shape
+        n_cols = inputs.shape[1]
+        n_pes = len(self.accelerators)
+        slices = plan_k_shards(
+            n_rows, n_inner, n_cols, k_shards, staging_addr=staging_addr,
+            tile_rows=tile_rows,
+        )
+        needed = slices[-1].partial_addr + n_rows * n_cols * WORD_BYTES
+        if needed > self.main_memory.size_bytes:
+            raise ValueError(
+                f"K-shard staging region [{staging_addr:#x}, {needed:#x}) exceeds "
+                f"main memory ({self.main_memory.size_bytes:#x} bytes)"
+            )
+        # stage contiguous operand slices (host setup, unaccounted — the
+        # same convention as the row path's write_matrix operand loads)
+        for piece in slices:
+            self.write_matrix(piece.a_addr, weights[:, piece.k_start : piece.k_stop])
+            self.write_matrix(piece.b_addr, inputs[piece.k_start : piece.k_stop, :])
+            # zero the partial region so a stale buffer can never alias
+            self.write_matrix(
+                piece.partial_addr, np.zeros((n_rows, n_cols), dtype=np.int64)
+            )
+        plans: List[List[TileDescriptor]] = [[] for _ in range(n_pes)]
+        for piece in slices:
+            plans[piece.index % n_pes].extend(piece.descriptors)
+
+        phase_snapshot = [
+            (pe.stats.dma_cycles, pe.stats.compute_cycles) for pe in self.accelerators
+        ]
+        energy_before = self._energy_breakdown()
+        instructions_before = self.cpu.stats.instructions
+        host_cycles, n_tiles = self._enqueue_streams(plans, irq_per_tile)
+        final_cycle = self._run_streams(plans)
+
+        # partial-product accumulation: bulk bus reads of every partial,
+        # one bulk write of the reduced result (burst model: first word of
+        # each block pays the access latency, the rest stream 1 word/cycle)
+        n_words = n_rows * n_cols
+        accumulated = np.zeros((n_rows, n_cols), dtype=np.int64)
+        accumulate_cycles = 0
+        for piece in slices:
+            values, per_word = self.bus.read_block(piece.partial_addr, n_words)
+            accumulate_cycles += per_word + (n_words - 1)
+            accumulated += words_to_signed(values).reshape(n_rows, n_cols)
+        per_word = self.bus.write_block(c_addr, signed_to_words(accumulated.reshape(-1)))
+        accumulate_cycles += per_word + (n_words - 1)
+
+        result = self.read_matrix(c_addr, n_rows, n_cols)
+        report = self._delta_report(
+            f"tiled-gemm-{n_pes}pe-k{k_shards}",
+            final_cycle + host_cycles + accumulate_cycles,
+            result,
+            energy_before,
+            instructions_before,
+        )
+        self._pipeline_accounting(
+            report, phase_snapshot, host_cycles, n_tiles,
+            extra_serial_cycles=accumulate_cycles,
+        )
+        report.pipeline["k_shards"] = k_shards
+        report.pipeline["accumulate_cycles"] = accumulate_cycles
         return report
 
     def accelerator_status(self, accelerator_index: int = 0) -> int:

@@ -11,6 +11,8 @@ from repro.serving import (
     BackpressureError,
     DeadlineExceededError,
     GemmEngine,
+    InferenceEngine,
+    InferenceRequest,
     InferenceServer,
     MLPEngine,
     Replica,
@@ -741,3 +743,250 @@ class TestMultiReplica:
         assert served["digital"] + served["analog"] == 12
         for name in ("digital", "analog"):
             assert 0.0 <= stats["replicas"][name]["utilization"] <= 1.0
+
+
+# --------------------------------------------------------------------- #
+# cost-based routing and pinned submission
+# --------------------------------------------------------------------- #
+class TestCostBasedRouting:
+    def make_replicas(self, rng, n=3):
+        weights = rng.normal(size=(3, 3))
+        return [
+            Replica(f"r{i}", GemmEngine(backend="ideal-digital", weights=weights))
+            for i in range(n)
+        ]
+
+    def test_cost_based_prefers_cheap_replica_from_the_first_request(self, rng):
+        replicas = self.make_replicas(rng, n=2)
+        costs = {"r0": 0.010, "r1": 0.001}
+        scheduler = ReplicaScheduler(
+            replicas, policy="cost-based", cost_fn=lambda r: costs[r.name]
+        )
+        # no traffic observed yet — calibration alone must route correctly
+        assert scheduler.select() is replicas[1]
+
+    def test_load_eventually_outweighs_cost(self, rng):
+        replicas = self.make_replicas(rng, n=2)
+        costs = {"r0": 0.010, "r1": 0.001}
+        scheduler = ReplicaScheduler(
+            replicas, policy="cost-based", cost_fn=lambda r: costs[r.name]
+        )
+        replicas[1].inflight = 30
+        assert scheduler.select() is replicas[0]
+
+    def test_zero_cost_pool_falls_back_to_least_loaded(self, rng):
+        replicas = self.make_replicas(rng, n=2)
+        scheduler = ReplicaScheduler(replicas, policy="cost-based")
+        replicas[0].inflight = 4
+        assert scheduler.select() is replicas[1]
+
+    def test_cost_fn_default_uses_engine_latency_hint(self, rng):
+        weights = rng.normal(size=(3, 3))
+        fast = Replica("fast", GemmEngine(backend="ideal-digital", weights=weights))
+        slow = Replica(
+            "slow",
+            GemmEngine(backend="analog-photonic", weights=weights, rng=0),
+        )
+        slow.engine.compile(None)  # program the mesh so the hint is physical
+        scheduler = ReplicaScheduler([slow, fast], policy="cost-based")
+        assert scheduler.select() is fast
+
+    def test_pinned_submission_targets_named_replica(self, rng):
+        async def scenario():
+            weights = rng.normal(size=(3, 3))
+            replicas = [
+                Replica("a", GemmEngine(backend="ideal-digital", weights=weights)),
+                Replica("b", GemmEngine(backend="ideal-digital", weights=weights)),
+            ]
+            async with InferenceServer(replicas) as server:
+                for _ in range(5):
+                    await server.submit(rng.normal(size=3), replica="b")
+                return server.stats()
+
+        stats = run_async(scenario())
+        assert stats["replicas"]["b"]["completed"] == 5
+        assert stats["replicas"].get("a", {}).get("completed", 0) == 0
+
+    def test_pinned_submission_has_no_failover(self, rng):
+        weights = rng.normal(size=(3, 3))
+        replicas = [
+            Replica(
+                "a",
+                GemmEngine(backend="ideal-digital", weights=weights),
+                max_queue_depth=1,
+            ),
+            Replica("b", GemmEngine(backend="ideal-digital", weights=weights)),
+        ]
+        scheduler = ReplicaScheduler(replicas)
+
+        async def scenario():
+            request = InferenceRequest(
+                inputs=np.zeros(3),
+                weights=None,
+                model_key=DEFAULT_MODEL_KEY,
+                future=asyncio.get_running_loop().create_future(),
+                submitted_at=0.0,
+            )
+            scheduler.submit(request, replica_name="a")  # fills the queue
+            request2 = InferenceRequest(
+                inputs=np.zeros(3),
+                weights=None,
+                model_key=DEFAULT_MODEL_KEY,
+                future=asyncio.get_running_loop().create_future(),
+                submitted_at=0.0,
+            )
+            with pytest.raises(BackpressureError):
+                scheduler.submit(request2, replica_name="a")
+            assert replicas[1].depth == 0  # never failed over
+
+        run_async(scenario())
+
+    def test_unknown_pinned_replica_raises(self, rng):
+        replicas = self.make_replicas(rng, n=1)
+        scheduler = ReplicaScheduler(replicas)
+
+        async def scenario():
+            request = InferenceRequest(
+                inputs=np.zeros(3),
+                weights=None,
+                model_key=DEFAULT_MODEL_KEY,
+                future=asyncio.get_running_loop().create_future(),
+                submitted_at=0.0,
+            )
+            with pytest.raises(KeyError, match="unknown replica"):
+                scheduler.submit(request, replica_name="nope")
+
+        run_async(scenario())
+
+
+# --------------------------------------------------------------------- #
+# compiled-weights LRU cache eviction
+# --------------------------------------------------------------------- #
+class CountingEngine(InferenceEngine):
+    """Engine whose compiles are observable (mesh-programming stand-in)."""
+
+    def __init__(self, max_models=2):
+        super().__init__(name="counting", max_models=max_models)
+        self.programmed = []  # one entry per _compile call
+
+    def _compile(self, key, weights):
+        self.programmed.append(key)
+        weights = np.asarray(weights, dtype=float)
+        n_out, n_in = weights.shape
+        from repro.serving.engine import CompiledModel
+
+        return CompiledModel(
+            key=key,
+            n_inputs=n_in,
+            n_outputs=n_out,
+            runner=lambda X: weights @ X,
+        )
+
+
+class TestCompiledWeightsEviction:
+    def test_evicted_model_reprograms_exactly_once_on_next_request(self, rng):
+        engine = CountingEngine(max_models=1)
+        w_a = rng.normal(size=(3, 3))
+        w_b = rng.normal(size=(3, 3))
+        column = np.zeros((3, 1))
+        engine.run_batch(w_a, column)  # compile A
+        engine.run_batch(w_b, column)  # compile B, evicts A
+        assert engine.cached_models == 1
+        engine.run_batch(w_a, column)  # A must recompile exactly once
+        engine.run_batch(w_a, column)  # now cached again — no compile
+        key_a = weight_hash(w_a)
+        assert engine.programmed.count(key_a) == 2
+        assert engine.stats.compiles == 3
+        assert engine.stats.cache_hits == 1
+
+    def test_lru_refresh_on_hit_protects_hot_models(self, rng):
+        engine = CountingEngine(max_models=2)
+        w_a, w_b, w_c = (rng.normal(size=(3, 3)) for _ in range(3))
+        column = np.zeros((3, 1))
+        engine.run_batch(w_a, column)
+        engine.run_batch(w_b, column)
+        engine.run_batch(w_a, column)  # refresh A: B is now least recent
+        engine.run_batch(w_c, column)  # evicts B, not A
+        engine.run_batch(w_a, column)  # still cached
+        assert engine.programmed.count(weight_hash(w_a)) == 1
+        assert engine.programmed.count(weight_hash(w_b)) == 1
+
+    def test_weight_hash_distinguishes_dtype_of_equal_bytes(self):
+        data = np.arange(16, dtype=np.int32)
+        as_int = data.reshape(4, 4)
+        as_float = data.reshape(4, 4).view(np.float32)
+        assert as_int.tobytes() == as_float.tobytes()
+        assert weight_hash(as_int) != weight_hash(as_float)
+
+    def test_weight_hash_distinguishes_shape_of_equal_bytes(self):
+        data = np.arange(12.0)
+        assert weight_hash(data.reshape(3, 4)) != weight_hash(data.reshape(4, 3))
+        assert weight_hash(data.reshape(3, 4)) == weight_hash(
+            np.arange(12.0).reshape(3, 4)
+        )
+
+
+# --------------------------------------------------------------------- #
+# telemetry guards: empty sample windows
+# --------------------------------------------------------------------- #
+class TestTelemetryEmptyWindows:
+    def test_summary_and_report_with_zero_traffic(self):
+        telemetry = ServingTelemetry()
+        summary = telemetry.summary()
+        assert summary["completed"] == 0
+        assert summary["throughput_hz"] == 0.0
+        assert summary["latency"]["p99_ms"] == 0.0
+        assert summary["queue_depth"]["mean"] == 0.0
+        text = telemetry.report("empty")
+        assert "# empty" in text
+        assert "nan" not in text.lower()
+
+    def test_replica_admitted_but_never_served_reports_zeros(self):
+        telemetry = ServingTelemetry()
+        telemetry.start()
+        telemetry.on_admit("cold", 1)
+        summary = telemetry.summary()
+        cold = summary["replicas"]["cold"]
+        assert cold["completed"] == 0
+        assert cold["p50_ms"] == 0.0 and cold["p99_ms"] == 0.0
+        assert cold["mean_batch"] == 0.0
+        assert "nan" not in telemetry.report().lower()
+
+    def test_replica_with_only_expired_requests_has_no_latency_samples(self):
+        telemetry = ServingTelemetry()
+        telemetry.start()
+        telemetry.on_result("r0", 0.5, 1, "expired")
+        summary = telemetry.summary()
+        assert summary["replicas"]["r0"]["expired"] == 1
+        assert summary["replicas"]["r0"]["p99_ms"] == 0.0
+        assert summary["latency"]["count"] == 0
+
+    def test_non_finite_latency_never_poisons_percentiles(self):
+        telemetry = ServingTelemetry()
+        telemetry.start()
+        telemetry.on_result("r0", float("nan"), 1, "ok")
+        telemetry.on_result("r0", float("inf"), 1, "ok")
+        telemetry.on_result("r0", 0.002, 1, "ok")
+        summary = telemetry.summary()
+        assert summary["completed"] == 3  # completions still counted
+        assert summary["latency"]["count"] == 1  # samples filtered
+        assert np.isfinite(summary["latency"]["p99_ms"])
+
+    def test_utilization_with_zero_elapsed_window(self):
+        telemetry = ServingTelemetry(clock=lambda: 0.0)
+        assert telemetry.utilization({"r0": 1.0}) == {"r0": 0.0}
+        telemetry.start()  # started and queried in the same clock tick
+        assert telemetry.utilization({"r0": 1.0}) == {"r0": 0.0}
+
+    def test_negative_busy_time_clamped(self):
+        telemetry = ServingTelemetry(clock=lambda: 10.0)
+        telemetry.started_at = 0.0
+        assert telemetry.utilization({"r0": -3.0}) == {"r0": 0.0}
+
+    def test_percentiles_s_empty_window(self):
+        from repro.serving.telemetry import LatencySeries
+
+        series = LatencySeries()
+        assert series.percentiles_s([50, 99]) == [0.0, 0.0]
+        assert series.percentile_s(99) == 0.0
+        assert series.summary()["p99_ms"] == 0.0

@@ -17,7 +17,7 @@ from repro.system.bus import SystemBus
 from repro.system.dma import DMAEngine
 from repro.system.event import EventScheduler
 from repro.system.memory import MainMemory, Scratchpad, WORD_BYTES, to_unsigned
-from repro.system.soc import PhotonicSoC, plan_shards
+from repro.system.soc import PhotonicSoC, plan_k_shards, plan_shards
 
 
 def _cluster(n_pes, **accelerator_kwargs):
@@ -56,6 +56,128 @@ class TestShardPlanner:
     def test_explicit_tile_rows(self):
         plans = plan_shards(12, 4, 4, 1, 0, 0x4000, 0x8000, tile_rows=3)
         assert [d.rows for d in plans[0]] == [3, 3, 3, 3]
+
+    @pytest.mark.parametrize(
+        "shape",
+        [(0, 4, 4), (4, 0, 4), (4, 4, 0), (-1, 4, 4), (4, -3, 4), (4, 4, -2)],
+    )
+    def test_degenerate_dimensions_rejected(self, shape):
+        with pytest.raises(ValueError, match="dimensions must be positive"):
+            plan_shards(*shape, 2, 0x1000, 0x4000, 0x8000)
+
+    def test_degenerate_pe_count_rejected(self):
+        with pytest.raises(ValueError, match="n_pes"):
+            plan_shards(4, 4, 4, 0, 0x1000, 0x4000, 0x8000)
+
+
+class TestKShardPlanner:
+    def test_k_slices_cover_the_inner_dimension_exactly_once(self):
+        slices = plan_k_shards(8, 13, 5, 3)
+        covered = []
+        for piece in slices:
+            covered.extend(range(piece.k_start, piece.k_stop))
+        assert sorted(covered) == list(range(13))
+
+    def test_staging_regions_are_disjoint_and_ordered(self):
+        slices = plan_k_shards(8, 12, 5, 2, staging_addr=0x40000)
+        regions = []
+        for piece in slices:
+            regions.append((piece.a_addr, piece.a_addr + 8 * piece.k_size * WORD_BYTES))
+            regions.append((piece.b_addr, piece.b_addr + piece.k_size * 5 * WORD_BYTES))
+            regions.append((piece.partial_addr, piece.partial_addr + 8 * 5 * WORD_BYTES))
+        for (_, end), (start, _) in zip(regions[:-1], regions[1:]):
+            assert end <= start
+
+    def test_each_slice_loads_its_own_input(self):
+        slices = plan_k_shards(8, 12, 5, 2)
+        for piece in slices:
+            assert piece.descriptors[0].load_input is True
+            assert all(d.inner == piece.k_size for d in piece.descriptors)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dimensions must be positive"):
+            plan_k_shards(0, 8, 4, 2)
+        with pytest.raises(ValueError, match="k_shards"):
+            plan_k_shards(8, 8, 4, 0)
+        with pytest.raises(ValueError, match="k_shards <= K"):
+            plan_k_shards(8, 2, 4, 3)
+
+
+class TestKShardedGemm:
+    def test_k_sharded_matches_unsharded_exactly(self):
+        weights, inputs = make_gemm_workload(12, 16, 6, rng=0)
+        golden = weights @ inputs
+        soc = _cluster(2)
+        report = soc.run_tiled_gemm(weights, inputs, k_shards=2)
+        assert np.array_equal(report.result, golden)
+        assert report.pipeline["k_shards"] == 2
+        assert report.pipeline["n_tiles"] >= 4  # 2 slices x >= 2 row tiles
+
+    def test_k_sharded_pipelined_below_serial_phase_sum(self):
+        weights, inputs = make_gemm_workload(16, 16, 8, rng=1)
+        soc = _cluster(2)
+        report = soc.run_tiled_gemm(weights, inputs, k_shards=2)
+        assert report.pipeline["pipelined_cycles"] < report.pipeline["serial_cycles"]
+        assert report.pipeline["overlap_cycles"] > 0
+        assert report.pipeline["accumulate_cycles"] > 0
+
+    def test_more_slices_than_pes_round_robins(self):
+        weights, inputs = make_gemm_workload(8, 12, 4, rng=2)
+        soc = _cluster(2)
+        report = soc.run_tiled_gemm(weights, inputs, k_shards=4)
+        assert np.array_equal(report.result, weights @ inputs)
+        assert report.pipeline["k_shards"] == 4
+
+    def test_k_sharding_on_digital_mac_cluster(self):
+        weights, inputs = make_gemm_workload(10, 8, 4, rng=3)
+        soc = PhotonicSoC()
+        soc.add_mac_array_accelerator()
+        soc.add_mac_array_accelerator()
+        report = soc.run_tiled_gemm(weights, inputs, k_shards=2)
+        assert np.array_equal(report.result, weights @ inputs)
+
+    def test_k_shards_one_uses_the_row_path(self):
+        weights, inputs = make_gemm_workload(8, 8, 4, rng=4)
+        soc = _cluster(2)
+        report = soc.run_tiled_gemm(weights, inputs, k_shards=1)
+        assert "k_shards" not in report.pipeline
+        assert np.array_equal(report.result, weights @ inputs)
+
+    def test_staging_overflow_rejected(self):
+        soc = _cluster(2)
+        weights, inputs = make_gemm_workload(64, 64, 64, rng=5)
+        with pytest.raises(ValueError, match="staging region"):
+            soc._run_k_sharded_gemm(
+                weights.astype(np.int64),
+                inputs.astype(np.int64),
+                0x8000,
+                None,
+                False,
+                2,
+                staging_addr=(1 << 20) - 0x100,
+            )
+
+    def test_repeated_offloads_report_per_run_cycles(self):
+        # the event-scheduler clock is absolute across a SoC's lifetime; a
+        # second offload on the same SoC must not report the first one's time
+        weights, inputs = make_gemm_workload(12, 8, 4, rng=6)
+        soc = _cluster(2)
+        first = soc.run_tiled_gemm(weights, inputs)
+        second = soc.run_tiled_gemm(weights, inputs)
+        assert second.cycles < 2 * first.cycles
+        assert second.pipeline["overlap_cycles"] > 0
+
+    def test_repeated_offloads_report_per_run_energy(self):
+        # energy counters are cumulative too: the second identical offload
+        # must charge about one run's energy, not the lifetime total
+        weights, inputs = make_gemm_workload(12, 8, 4, rng=7)
+        soc = _cluster(2)
+        first = soc.run_tiled_gemm(weights, inputs)
+        second = soc.run_tiled_gemm(weights, inputs)
+        assert first.energy_j > 0
+        assert second.energy_j < 1.5 * first.energy_j
+        assert all(value >= 0 for value in second.energy_breakdown.values())
+        assert second.instructions == 0  # host driver is MMR writes, not CPU
 
 
 class TestTiledGemmEquivalence:
