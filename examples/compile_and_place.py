@@ -1,14 +1,17 @@
-"""Compiling a multi-layer model down to the photonic platform.
+"""Compiling multi-layer models — chains and DAGs — onto the platform.
 
-Walks the whole compiler pipeline on a 3-layer model:
+Walks the whole compiler pipeline:
 
-1. capture the model as a content-hashable :class:`ModelGraph`,
+1. capture a 3-layer model as a content-hashable :class:`ModelGraph`,
 2. calibrate an :class:`SoCCostModel` from measured probe offloads,
 3. compile an executable plan for a 2-PE SoC cluster (per-layer
-   rows-vs-K sharding decisions) and run it, checking the result against
-   direct per-layer execution,
+   rows-vs-K sharding decisions, batch-aware) and run it, checking the
+   result against direct per-layer execution,
 4. profile a heterogeneous replica pool and serve the same model through
-   cost-based placement, comparing the routing against round-robin.
+   cost-based placement,
+5. compile a **diamond-shaped DAG** (shared input → two parallel dense
+   branches → residual add → head) for both targets and dispatch its
+   independent branches concurrently across the pool.
 
 Run with:  python examples/compile_and_place.py
 """
@@ -21,13 +24,14 @@ import numpy as np
 from repro.compiler import (
     ModelGraph,
     SoCCostModel,
+    choose_sharding,
     compile_for_pool,
     compile_for_soc,
     profile_replicas,
     replica_cost_fn,
 )
 from repro.core.backends import IdealDigitalBackend
-from repro.eval import format_dict, make_layer_stack
+from repro.eval import format_dict, make_diamond_graph, make_layer_stack
 from repro.serving import GemmEngine, InferenceServer, Replica
 from repro.system import PhotonicSoC
 
@@ -107,12 +111,72 @@ async def pool_demo(graph):
     )
 
 
+def dag_demo():
+    """Diamond DAG: both executors, plus the batch-aware sharding flip."""
+    graph = make_diamond_graph(16, n_outputs=4, rng=0)
+    columns = np.random.default_rng(2).integers(-2, 3, size=(16, 4))
+
+    soc = PhotonicSoC()
+    soc.add_photonic_accelerator()
+    soc.add_photonic_accelerator()
+    cost_model = SoCCostModel.calibrate(soc)
+    plan = compile_for_soc(graph, soc, cost_model=cost_model, n_columns=4)
+    exact = bool(
+        np.array_equal(
+            plan.run(columns), graph.reference_forward(columns).astype(np.int64)
+        )
+    )
+    narrow = choose_sharding(2, 16, 1, 2, cost_model=cost_model)
+    wide = choose_sharding(2, 16, 32, 2, cost_model=cost_model)
+
+    async def serve():
+        replicas = [
+            Replica("r0", GemmEngine(name="r0")),
+            Replica("r1", GemmEngine(name="r1")),
+        ]
+        profiles = profile_replicas(replicas)
+        pool_plan = compile_for_pool(
+            graph, replicas, profiles=profiles, strategy="balanced"
+        )
+        async with InferenceServer(replicas) as server:
+            column = np.linspace(-1, 1, 16)
+            out = await pool_plan.run(server, column)  # level-parallel branches
+        return pool_plan, bool(
+            np.array_equal(out, graph.reference_forward(column)[:, 0])
+        )
+
+    pool_plan, pool_exact = asyncio.run(serve())
+    print(
+        format_dict(
+            "diamond DAG (branches dispatch level-parallel)",
+            {
+                "ops": len(graph),
+                "levels": pool_plan.n_levels,
+                "soc_exact": exact,
+                "soc_sharding": ", ".join(
+                    f"{s.op_name}:{s.sharding}" for s in plan.steps
+                ),
+                "pool_exact": pool_exact,
+                "pool_placement": ", ".join(
+                    f"{op}:{replica}"
+                    for op, replica in pool_plan.placement.assignments.items()
+                ),
+                "batch_aware_flip": (
+                    f"M=2 K=16: batch1 -> {narrow.strategy}{narrow.k_shards}, "
+                    f"batch32 -> {wide.strategy}{wide.k_shards}"
+                ),
+            },
+        )
+    )
+
+
 def main():
     mats = make_layer_stack(LAYER_SIZES, rng=0)
     graph = ModelGraph.from_matrices(mats, name="demo-mlp")
     columns = np.random.default_rng(1).integers(-3, 4, size=(LAYER_SIZES[0], 4))
     soc_demo(graph, columns)
     asyncio.run(pool_demo(graph))
+    dag_demo()
 
 
 if __name__ == "__main__":

@@ -1,12 +1,15 @@
 """Model compiler: graph IR, calibrated cost model, cost-based placement.
 
 The compiler is the layer that turns device- and system-level simulation
-into an *architecture*: it captures whole multi-layer models as a
-content-hashable graph IR, predicts where their GeMMs run cheapest from
-calibrated cost models, shards each layer across the PE cluster (rows or
-K-dimension with partial-product accumulation), and lowers the result to
-executable plans — per-layer :meth:`~repro.system.soc.PhotonicSoC.run_tiled_gemm`
-offloads or replica-pinned serving requests — cached by
+into an *architecture*: it captures whole models — chains **and**
+branching DAGs (residual adds, splits, concats) — as a content-hashable
+graph IR, predicts where their GeMMs run cheapest from calibrated cost
+models, shards each layer across the PE cluster (rows or K-dimension
+with partial-product accumulation, batch-aware through the expected
+micro-batch width), and lowers the graph's deterministic topological
+schedule to executable plans with buffer liveness tracking — per-op
+:meth:`~repro.system.soc.PhotonicSoC.run_tiled_gemm` offloads or
+replica-pinned serving requests dispatched level-parallel — cached by
 ``(graph hash, hardware fingerprint)``.
 """
 
@@ -22,6 +25,8 @@ from repro.compiler.costmodel import (
 )
 from repro.compiler.execute import (
     DEFAULT_PLAN_CACHE,
+    POOL_CONCURRENCY,
+    SOC_ACTIVATIONS,
     PlanCache,
     PoolLayerStep,
     PoolPlan,
@@ -34,39 +39,61 @@ from repro.compiler.execute import (
     profiles_fingerprint,
     soc_fingerprint,
 )
-from repro.compiler.graph import GraphError, ModelGraph
-from repro.compiler.ops import SUPPORTED_ACTIVATIONS, DenseOp
+from repro.compiler.graph import (
+    INPUT_BUFFER,
+    GraphError,
+    ModelGraph,
+    ScheduleStep,
+)
+from repro.compiler.ops import (
+    SUPPORTED_ACTIVATIONS,
+    AddOp,
+    ConcatOp,
+    DenseOp,
+    GraphOp,
+    SplitOp,
+)
 from repro.compiler.partition import (
     PLACEMENT_STRATEGIES,
     Placement,
     ShardingDecision,
     choose_sharding,
+    expected_batch_width,
     place_graph,
 )
 
 __all__ = [
+    "AddOp",
+    "ConcatOp",
     "DEFAULT_PLAN_CACHE",
     "DEFAULT_PROBE_SHAPES",
     "DenseOp",
     "GraphError",
+    "GraphOp",
+    "INPUT_BUFFER",
     "ModelGraph",
     "PLACEMENT_STRATEGIES",
+    "POOL_CONCURRENCY",
     "PlanCache",
     "PlanPrediction",
     "Placement",
     "PoolLayerStep",
     "PoolPlan",
     "ReplicaProfile",
+    "SOC_ACTIVATIONS",
     "SUPPORTED_ACTIVATIONS",
+    "ScheduleStep",
     "ShardingDecision",
     "SoCCostModel",
     "SoCLayerStep",
     "SoCPlan",
+    "SplitOp",
     "StreamPrediction",
     "choose_sharding",
     "compile_for_pool",
     "compile_for_soc",
     "cost_model_fingerprint",
+    "expected_batch_width",
     "place_graph",
     "pool_fingerprint",
     "profiles_fingerprint",

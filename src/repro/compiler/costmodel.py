@@ -79,6 +79,7 @@ class StreamPrediction:
 
     @property
     def serial_cycles(self) -> float:
+        """Back-to-back phase sum (no double-buffering overlap)."""
         return self.dma_cycles + self.compute_cycles
 
     @property
@@ -106,10 +107,12 @@ class PlanPrediction:
 
     @property
     def serial_cycles(self) -> float:
+        """Every stream's phases back-to-back plus the fixed overheads."""
         return sum(stream.serial_cycles for stream in self.per_pe) + self.extra_cycles
 
     @property
     def pipelined_cycles(self) -> float:
+        """Concurrent-stream estimate: the slowest PE plus fixed overheads."""
         if not self.per_pe:
             return self.extra_cycles
         return max(stream.pipelined_cycles for stream in self.per_pe) + self.extra_cycles
@@ -181,6 +184,20 @@ class SoCCostModel:
         and the per-device attribution is a minimum-norm split — treat
         ``predict_tile_cycles(device_type=...)`` on heterogeneous clusters
         as an aggregate estimate, not a per-device measurement.
+
+        Args:
+            soc: a :class:`~repro.system.soc.PhotonicSoC` with
+                accelerators attached (the probes run on it).
+            probe_shapes: (M, K, N) GeMM shapes to measure.
+            value_range: integer magnitude bound of the probe operands.
+            rng_seed: seed for the probe operand draws.
+            words_per_burst: DMA burst length assumed by the features.
+
+        Returns:
+            The fitted :class:`SoCCostModel`.
+
+        Raises:
+            ValueError: when the SoC has no accelerators attached.
         """
         if not getattr(soc, "accelerators", None):
             raise ValueError("cost-model calibration needs an SoC with accelerators")
@@ -427,6 +444,7 @@ class SoCCostModel:
         return prediction
 
     def cycles_to_s(self, cycles: float) -> float:
+        """Convert simulated cycles to seconds at the calibrated clock."""
         return cycles / self.clock_hz
 
 
@@ -479,6 +497,20 @@ def profile_engine(
     Engines without a bound default model are probed with a synthetic
     ``probe_shape`` weight matrix (the same explicit-weights path compiled
     plans execute through).
+
+    Args:
+        engine: the :class:`~repro.serving.engine.InferenceEngine` to probe.
+        weights: explicit probe weights (default: the engine's bound
+            model, else a ones matrix of ``probe_shape``).
+        repeats: timed runs to take the minimum over.
+        probe_shape: synthetic weight shape for unbound engines.
+        clock: injectable timer (tests pass a fake).
+
+    Returns:
+        The measured :class:`ReplicaProfile`.
+
+    Raises:
+        ValueError: when ``repeats`` is not positive.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")

@@ -1,42 +1,63 @@
 """Plan compilation and execution: lowering graphs onto SoC and replicas.
 
-``compile_for_soc`` lowers a chain :class:`~repro.compiler.graph.ModelGraph`
-into an :class:`SoCPlan` — one sharded
-:meth:`~repro.system.soc.PhotonicSoC.run_tiled_gemm` offload per layer,
-with the rows-vs-K sharding decision made per layer by the partitioner —
-and ``compile_for_pool`` lowers the same graph onto a live replica pool as
-a :class:`PoolPlan` whose layers are pinned to the replicas a calibrated
-:class:`~repro.compiler.partition.Placement` chose.
+``compile_for_soc`` lowers a :class:`~repro.compiler.graph.ModelGraph` —
+a chain *or* a branching DAG — into an :class:`SoCPlan`: the graph's
+deterministic topological schedule with one sharded
+:meth:`~repro.system.soc.PhotonicSoC.run_tiled_gemm` offload per dense op
+(the rows-vs-K decision made per op, at the expected batch width, by the
+partitioner) and host-side integer glue for the split/concat/add ops.
+``compile_for_pool`` lowers the same schedule onto a live replica pool as
+a :class:`PoolPlan` whose dense ops are pinned to the replicas a
+calibrated :class:`~repro.compiler.partition.Placement` chose; steps are
+grouped into dependency levels so independent branches dispatch
+**concurrently** across their replicas.
+
+Both executors walk the schedule with **buffer liveness tracking**: each
+step's producers are read from a resident buffer table and every buffer
+is freed at its last consumer (dead branches never compile at all — the
+schedule prunes ops the designated output does not need).
 
 Compiled plans are cached in an LRU :class:`PlanCache` keyed by
 ``(graph_hash, hardware fingerprint)``: re-compiling the same model for
 the same hardware is a dictionary hit, while any change to layer bytes,
 activation wiring, PE cluster or replica pool produces a fresh plan.
 
-Executing a plan is **numerically identical** to direct per-layer
-execution on the same backend: the plan only decides *where* each matmul
-runs and how it is sharded; the matmul itself goes through the exact same
-datapath (``run_tiled_gemm`` accumulates integer partials exactly; pool
-layers execute the same ``backend.matmul`` the direct path would call).
+Executing a plan is **numerically identical** to direct per-op execution
+on the same backend: the plan only decides *where* each matmul runs and
+how it is sharded; the matmul itself goes through the exact same datapath
+(``run_tiled_gemm`` accumulates integer partials exactly; pool layers
+execute the same ``backend.matmul`` the direct path would call), and the
+glue ops are exact in both domains.
 """
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.compiler.costmodel import ReplicaProfile, SoCCostModel, profile_replicas
-from repro.compiler.graph import GraphError, ModelGraph
-from repro.compiler.partition import Placement, choose_sharding, place_graph
+from repro.compiler.graph import INPUT_BUFFER, GraphError, ModelGraph
+from repro.compiler.partition import (
+    Placement,
+    choose_sharding,
+    expected_batch_width,
+    place_graph,
+)
 from repro.core.nn import ACTIVATIONS
 from repro.serving.errors import ServingError
 
 #: Activations an integer SoC offload can apply in its digital epilogue.
 SOC_ACTIVATIONS = ("identity", "relu")
+
+#: Pool-plan execution modes: ``"levels"`` dispatches each dependency
+#: level's dense ops concurrently (branch parallelism across replicas);
+#: ``"sequential"`` awaits one op at a time (the chain-era baseline).
+POOL_CONCURRENCY = ("levels", "sequential")
 
 #: Tiny weight matrix used to probe whether an engine accepts explicit
 #: weights (bound-model engines raise ServingError from ``model_key``).
@@ -55,6 +76,7 @@ class PlanCache:
         self._plans: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
 
     def get(self, key: Tuple[str, str]):
+        """Return the cached plan for ``key`` (refreshing LRU) or ``None``."""
         plan = self._plans.get(key)
         if plan is not None:
             self._plans.move_to_end(key)
@@ -62,15 +84,18 @@ class PlanCache:
         return plan
 
     def put(self, key: Tuple[str, str], plan) -> None:
+        """Insert a freshly compiled plan, evicting the least recently used."""
         self.misses += 1
         self._plans[key] = plan
         while len(self._plans) > self.max_plans:
             self._plans.popitem(last=False)
 
     def __len__(self) -> int:
+        """Number of resident plans."""
         return len(self._plans)
 
     def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
         self._plans.clear()
 
 
@@ -115,7 +140,19 @@ def soc_fingerprint(
     cost_model: Optional[SoCCostModel] = None,
     n_columns: int = 1,
 ) -> str:
-    """Hardware fingerprint of an SoC configuration for plan caching."""
+    """Hardware fingerprint of an SoC configuration for plan caching.
+
+    Args:
+        soc: the :class:`~repro.system.soc.PhotonicSoC` target.
+        k_shards / tile_rows: sharding overrides baked into the plan.
+        cost_model: calibration the sharding decisions were made with.
+        n_columns: batch width the decisions were optimised for.
+
+    Returns:
+        A hex digest covering clock, accelerator roster (device types,
+        backends, scratchpad sizes), sharding overrides, batch width and
+        the cost-model coefficients.
+    """
     digest = hashlib.sha1()
     digest.update(b"soc|")
     digest.update(str(soc.clock_hz).encode())
@@ -134,7 +171,17 @@ def pool_fingerprint(
     strategy: str = "min-cost",
     profiles: Optional[Dict[str, ReplicaProfile]] = None,
 ) -> str:
-    """Hardware fingerprint of a replica pool for plan caching."""
+    """Hardware fingerprint of a replica pool for plan caching.
+
+    Args:
+        replicas: the :class:`~repro.serving.scheduler.Replica` pool.
+        strategy: the placement strategy the plan was compiled with.
+        profiles: the measured profiles feeding the placement (optional).
+
+    Returns:
+        A hex digest covering replica names, engine types, backend names,
+        the strategy and the profile measurements.
+    """
     digest = hashlib.sha1()
     digest.update(b"pool|")
     for replica in replicas:
@@ -152,14 +199,34 @@ def pool_fingerprint(
 
 @dataclass
 class SoCLayerStep:
-    """One compiled layer of an SoC plan."""
+    """One compiled step of an SoC plan (a dense offload or host glue).
+
+    Attributes:
+        op_name: the graph node this step executes.
+        kind: op kind (``"dense"`` offloads; anything else is host glue).
+        inputs: producer buffer names in edge order (empty = graph input).
+        release: buffers freed after this step (their last consumer).
+        weights / bias: integer operands of a dense offload (``None`` for
+            glue steps).
+        activation: integer epilogue (``identity`` / ``relu``).
+        sharding: ``"rows"`` | ``"k"`` for dense steps, ``"host"`` for glue.
+        k_shards: K-slice count of a K-sharded dense step (else 1).
+        op: the glue :class:`~repro.compiler.ops.GraphOp` executed
+            host-side (``None`` for dense steps).
+        predicted_cycles: cost-model estimate for the step (0 for glue
+            under a model, ``None`` without one).
+    """
 
     op_name: str
-    weights: np.ndarray  # int64, ready for the offload path
+    weights: Optional[np.ndarray]
     bias: Optional[np.ndarray]
     activation: str
-    sharding: str  # "rows" | "k"
+    sharding: str  # "rows" | "k" | "host"
     k_shards: int
+    kind: str = "dense"
+    inputs: Tuple[str, ...] = ()
+    release: Tuple[str, ...] = ()
+    op: Optional[object] = None
     predicted_cycles: Optional[float] = None
 
 
@@ -169,44 +236,70 @@ class SoCPlan:
 
     Attributes:
         graph_hash / fingerprint: the cache key this plan was compiled for.
-        steps: per-layer offload steps in topological order.
-        reports: the per-layer :class:`~repro.system.soc.WorkloadReport`
-            list of the most recent :meth:`run`.
+        steps: topological schedule steps (dense offloads + host glue).
+        output: name of the step whose buffer is the plan result.
+        n_columns: batch width the sharding decisions were optimised for.
+        reports: the per-offload :class:`~repro.system.soc.WorkloadReport`
+            list of the most recent :meth:`run` (dense steps only).
     """
 
     soc: object
     graph_hash: str
     fingerprint: str
     steps: List[SoCLayerStep]
+    output: str
     tile_rows: Optional[int] = None
+    n_columns: int = 1
     predicted_cycles: Optional[float] = None
     reports: List[object] = field(default_factory=list)
 
     @property
     def total_cycles(self) -> int:
-        """Simulated cycles of the most recent :meth:`run`."""
+        """Simulated offload cycles of the most recent :meth:`run`."""
         return sum(report.cycles for report in self.reports)
 
     def run(self, columns: np.ndarray) -> np.ndarray:
-        """Execute the plan on integer input columns ``(n_in, batch)``."""
-        out = np.asarray(np.round(np.asarray(columns, dtype=float)), dtype=np.int64)
-        if out.ndim == 1:
-            out = out[:, None]
+        """Execute the schedule on integer input columns ``(n_in, batch)``.
+
+        Dense steps offload through ``run_tiled_gemm`` with their compiled
+        sharding; glue steps execute host-side in exact ``int64``
+        arithmetic.  Intermediate buffers are freed at their last
+        consumer, so peak residency follows the DAG's live frontier
+        instead of its total op count.
+
+        Args:
+            columns: ``(n_in,)`` vector or ``(n_in, batch)`` integer block
+                (rounded to ``int64``).
+
+        Returns:
+            The designated output's ``(n_out, batch)`` integer block.
+        """
+        block = np.asarray(np.round(np.asarray(columns, dtype=float)), dtype=np.int64)
+        if block.ndim == 1:
+            block = block[:, None]
         self.reports = []
+        buffers: Dict[str, np.ndarray] = {INPUT_BUFFER: block}
         for step in self.steps:
-            report = self.soc.run_tiled_gemm(
-                step.weights,
-                out,
-                tile_rows=self.tile_rows,
-                k_shards=step.k_shards if step.sharding == "k" else None,
-            )
-            self.reports.append(report)
-            out = report.result
-            if step.bias is not None:
-                out = out + step.bias[:, None]
+            sources = [buffers[name] for name in step.inputs or (INPUT_BUFFER,)]
+            if step.kind == "dense":
+                report = self.soc.run_tiled_gemm(
+                    step.weights,
+                    sources[0],
+                    tile_rows=self.tile_rows,
+                    k_shards=step.k_shards if step.sharding == "k" else None,
+                )
+                self.reports.append(report)
+                out = report.result
+                if step.bias is not None:
+                    out = out + step.bias[:, None]
+            else:
+                out = step.op.core(sources)
             if step.activation == "relu":
                 out = np.maximum(out, 0)
-        return out
+            buffers[step.op_name] = out
+            for name in step.release:
+                del buffers[name]
+        return buffers[self.output]
 
 
 def compile_for_soc(
@@ -214,26 +307,46 @@ def compile_for_soc(
     soc,
     cost_model: Optional[SoCCostModel] = None,
     tile_rows: Optional[int] = None,
-    n_columns: int = 1,
+    n_columns: Union[int, object] = 1,
     cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
 ) -> SoCPlan:
-    """Compile a chain graph into per-layer sharded SoC offloads.
+    """Compile a model graph into a sharded SoC offload schedule.
 
-    Each layer gets its own rows-vs-K sharding decision from
+    Accepts chains and branching DAGs alike: the graph's deterministic
+    topological schedule (dead branches pruned) becomes the plan, each
+    dense op gets its own rows-vs-K sharding decision from
     :func:`~repro.compiler.partition.choose_sharding` (cost-model-driven
-    when one is supplied); ``n_columns`` is the batch width the decisions
-    are optimised for — pass the expected serving batch so the rows-vs-K
-    comparison (whose reduction cost scales with the batch) matches the
-    workload the plan will actually run.  The SoC works on integers, so
-    weights/biases are rounded at compile time and only integer-preserving
-    activations (:data:`SOC_ACTIVATIONS`) are accepted.
+    when one is supplied) and split/concat/add glue lowers to host-side
+    integer steps.  ``n_columns`` is the batch width the decisions are
+    optimised for — pass the expected serving batch (an ``int``, or a
+    live :class:`~repro.serving.batching.MicroBatcher` / replica, resolved
+    through :func:`~repro.compiler.partition.expected_batch_width`) so the
+    rows-vs-K comparison matches the workload the plan will actually run.
+    The SoC works on integers, so weights/biases are rounded at compile
+    time and only integer-preserving activations
+    (:data:`SOC_ACTIVATIONS`) are accepted.
+
+    Args:
+        graph: the model to lower.
+        soc: a :class:`~repro.system.soc.PhotonicSoC` with accelerators.
+        cost_model: calibrated predictor driving the sharding decisions.
+        tile_rows: row-tiling override for every offload.
+        n_columns: expected batch width (or a serving object carrying it).
+        cache: plan cache (``None`` disables caching).
+
+    Returns:
+        The executable :class:`SoCPlan`.
+
+    Raises:
+        ValueError: when the SoC has no accelerators or the batch width is
+            invalid.
+        GraphError: for graphs whose activations cannot lower to the
+            integer datapath, or unresolved multi-sink outputs.
     """
     if not getattr(soc, "accelerators", None):
         raise ValueError("SoC plan needs a PhotonicSoC with accelerators attached")
-    if not graph.is_chain():
-        raise GraphError("SoC lowering supports chain graphs only")
-    if n_columns < 1:
-        raise ValueError("n_columns must be >= 1")
+    n_columns = expected_batch_width(n_columns)
+    schedule = graph.schedule()  # validates output/cycles before cache lookup
     key = (
         graph.graph_hash(),
         soc_fingerprint(
@@ -247,13 +360,31 @@ def compile_for_soc(
     n_pes = len(soc.accelerators)
     steps: List[SoCLayerStep] = []
     predicted_total: Optional[float] = 0.0 if cost_model is not None else None
-    for op in graph.topological_order():
+    for item in schedule:
+        op = item.op
         if op.activation not in SOC_ACTIVATIONS:
             raise GraphError(
                 f"op {op.name!r}: activation {op.activation!r} cannot be "
                 f"lowered to the integer SoC datapath "
                 f"(supported: {SOC_ACTIVATIONS})"
             )
+        if op.kind != "dense":
+            steps.append(
+                SoCLayerStep(
+                    op_name=op.name,
+                    weights=None,
+                    bias=None,
+                    activation=op.activation,
+                    sharding="host",
+                    k_shards=1,
+                    kind=op.kind,
+                    inputs=item.inputs,
+                    release=item.release,
+                    op=op,
+                    predicted_cycles=0.0 if cost_model is not None else None,
+                )
+            )
+            continue
         weights = np.asarray(np.round(np.asarray(op.weights, dtype=float)), dtype=np.int64)
         bias = None
         if op.bias is not None:
@@ -270,6 +401,9 @@ def compile_for_soc(
                 activation=op.activation,
                 sharding=decision.strategy,
                 k_shards=decision.k_shards,
+                kind="dense",
+                inputs=item.inputs,
+                release=item.release,
                 predicted_cycles=decision.predicted_cycles,
             )
         )
@@ -285,7 +419,9 @@ def compile_for_soc(
         graph_hash=key[0],
         fingerprint=key[1],
         steps=steps,
+        output=graph.output_name(),
         tile_rows=tile_rows,
+        n_columns=n_columns,
         predicted_cycles=predicted_total,
     )
     if cache is not None:
@@ -295,13 +431,32 @@ def compile_for_soc(
 
 @dataclass
 class PoolLayerStep:
-    """One compiled layer of a pool plan (pinned to a replica)."""
+    """One compiled step of a pool plan.
+
+    Attributes:
+        op_name: the graph node this step executes.
+        kind: op kind (``"dense"`` submits to a replica; else host glue).
+        inputs: producer buffer names in edge order (empty = graph input).
+        release: buffers freed after this step's level completes.
+        level: dependency depth — steps sharing a level have no data
+            dependencies and may dispatch concurrently.
+        weights / bias / activation: dense operands and epilogue.
+        replica: pinned replica name (empty for glue steps).
+        op: the :class:`~repro.compiler.ops.GraphOp` (executes glue
+            semantics host-side; dense steps keep it for introspection).
+        predicted_s: placement's service-time estimate for the step.
+    """
 
     op_name: str
-    weights: np.ndarray
+    weights: Optional[np.ndarray]
     bias: Optional[np.ndarray]
     activation: str
     replica: str
+    kind: str = "dense"
+    inputs: Tuple[str, ...] = ()
+    release: Tuple[str, ...] = ()
+    level: int = 0
+    op: Optional[object] = None
     predicted_s: Optional[float] = None
 
 
@@ -309,21 +464,61 @@ class PoolLayerStep:
 class PoolPlan:
     """An executable placement plan over a live replica pool.
 
-    Layer matmuls are submitted to the server **pinned** to the replica
-    the placement chose; bias/activation epilogues run host-side in the
-    same float arithmetic the direct path uses, so the plan's output is
-    bitwise identical to running each layer directly on the backend of its
-    assigned replica (for deterministic backends).
+    Dense matmuls are submitted to the server **pinned** to the replica
+    the placement chose, one dependency level at a time: steps within a
+    level are independent, so their requests dispatch concurrently and
+    independent DAG branches overlap their replicas' batching windows and
+    queue waits.  Bias/activation epilogues and glue ops run host-side in
+    the same float arithmetic the direct path uses, so the plan's output
+    is bitwise identical to running each op directly on the backend of
+    its assigned replica (for deterministic backends).
+
+    Attributes:
+        graph_hash / fingerprint: the cache key this plan was compiled for.
+        steps: topological schedule steps, annotated with levels.
+        output: name of the step whose buffer is the plan result.
+        placement: the op-to-replica assignment backing the plan.
     """
 
     graph_hash: str
     fingerprint: str
     steps: List[PoolLayerStep]
+    output: str
     placement: Placement
     predicted_s: Optional[float] = None
 
-    async def run(self, server, column: np.ndarray) -> np.ndarray:
-        """Execute the plan for one input column through a running server."""
+    @property
+    def n_levels(self) -> int:
+        """Number of dependency levels (the plan's critical-path length)."""
+        return 1 + max((step.level for step in self.steps), default=-1)
+
+    async def run(
+        self, server, column: np.ndarray, concurrency: str = "levels"
+    ) -> np.ndarray:
+        """Execute the plan for one input column through a running server.
+
+        Args:
+            server: a started :class:`~repro.serving.server.InferenceServer`
+                over the pool the plan was compiled for.
+            column: the ``(n_in,)`` input vector (or ``(n_in, 1)`` block).
+            concurrency: one of :data:`POOL_CONCURRENCY` —
+                ``"levels"`` gathers each dependency level's dense
+                requests concurrently (branch parallelism);
+                ``"sequential"`` awaits one op at a time.
+
+        Returns:
+            The output column, shaped like the input (vector in, vector
+            out; one-column block in, one-column block out).
+
+        Raises:
+            ValueError: for multi-column inputs or unknown concurrency
+                modes.
+        """
+        if concurrency not in POOL_CONCURRENCY:
+            raise ValueError(
+                f"unknown concurrency {concurrency!r} "
+                f"(choose from {POOL_CONCURRENCY})"
+            )
         out = np.asarray(column, dtype=float)
         was_matrix = out.ndim == 2
         if was_matrix:
@@ -332,16 +527,67 @@ class PoolPlan:
             out = out[:, 0]
         elif out.ndim != 1:
             raise ValueError("pool plans execute one input column per run")
-        for step in self.steps:
-            pre = await server.submit(out, weights=step.weights, replica=step.replica)
+        buffers: Dict[str, np.ndarray] = {INPUT_BUFFER: out[:, None]}
+
+        async def run_dense(step: PoolLayerStep, block: np.ndarray) -> np.ndarray:
+            pre = await server.submit(
+                block[:, 0], weights=step.weights, replica=step.replica
+            )
+            # the step's own compiled epilogue (same float arithmetic as
+            # DenseOp.finish) — steps are self-contained, the stored op is
+            # only needed for glue semantics
             pre = np.asarray(pre, dtype=float)[:, None]
             if step.bias is not None:
                 pre = pre + step.bias[:, None]
             if step.activation == "identity":
-                out = pre[:, 0]
+                return pre
+            return ACTIVATIONS[step.activation](pre.T).T
+
+        for level_steps in self._levels():
+            if concurrency == "levels":
+                dense = [
+                    step for step in level_steps if step.kind == "dense"
+                ]
+                results = await asyncio.gather(
+                    *(
+                        run_dense(
+                            step,
+                            buffers[step.inputs[0]] if step.inputs
+                            else buffers[INPUT_BUFFER],
+                        )
+                        for step in dense
+                    )
+                )
+                for step, result in zip(dense, results):
+                    buffers[step.op_name] = result
+                for step in level_steps:
+                    if step.kind != "dense":
+                        sources = [
+                            buffers[name]
+                            for name in step.inputs or (INPUT_BUFFER,)
+                        ]
+                        buffers[step.op_name] = step.op.apply(sources)
             else:
-                out = ACTIVATIONS[step.activation](pre.T).T[:, 0]
-        return out[:, None] if was_matrix else out
+                for step in level_steps:
+                    sources = [
+                        buffers[name] for name in step.inputs or (INPUT_BUFFER,)
+                    ]
+                    if step.kind == "dense":
+                        buffers[step.op_name] = await run_dense(step, sources[0])
+                    else:
+                        buffers[step.op_name] = step.op.apply(sources)
+            for step in level_steps:
+                for name in step.release:
+                    del buffers[name]
+        result = buffers[self.output]
+        return result if was_matrix else result[:, 0]
+
+    def _levels(self) -> List[List[PoolLayerStep]]:
+        """Schedule steps grouped by dependency level, in level order."""
+        grouped: Dict[int, List[PoolLayerStep]] = {}
+        for step in self.steps:
+            grouped.setdefault(step.level, []).append(step)
+        return [grouped[level] for level in sorted(grouped)]
 
 
 def compile_for_pool(
@@ -351,14 +597,33 @@ def compile_for_pool(
     strategy: str = "min-cost",
     cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
 ) -> PoolPlan:
-    """Compile a chain graph into replica-pinned serving steps.
+    """Compile a model graph into replica-pinned serving steps.
 
-    ``profiles`` defaults to measuring the pool on the spot
-    (:func:`~repro.compiler.costmodel.profile_replicas`) — pass
-    pre-measured profiles to compile without touching the engines.
+    Accepts chains and branching DAGs: dense ops are placed on replicas
+    by calibrated cost and annotated with dependency levels so
+    independent branches dispatch concurrently; glue ops lower to
+    host-side float steps.  ``profiles`` defaults to measuring the pool
+    on the spot (:func:`~repro.compiler.costmodel.profile_replicas`) —
+    pass pre-measured profiles to compile without touching the engines.
+
+    Args:
+        graph: the model to lower.
+        replicas: the target :class:`~repro.serving.scheduler.Replica`
+            pool (engines must accept explicit-weights requests).
+        profiles: pre-measured replica profiles keyed by replica name.
+        strategy: placement strategy
+            (:data:`~repro.compiler.partition.PLACEMENT_STRATEGIES`).
+        cache: plan cache (``None`` disables caching).
+
+    Returns:
+        The executable :class:`PoolPlan`.
+
+    Raises:
+        ValueError: when the pool is empty or no replica accepts
+            explicit-weights requests.
+        GraphError: for malformed graphs (cycles, unresolved outputs).
     """
-    if not graph.is_chain():
-        raise GraphError("pool lowering supports chain graphs only")
+    schedule = graph.schedule()  # validates output/cycles before cache lookup
     replicas = list(replicas)
     if not replicas:
         raise ValueError("pool plan needs at least one replica")
@@ -398,21 +663,50 @@ def compile_for_pool(
         if cached is not None:
             return cached
     placement = place_graph(graph, profiles, strategy=strategy)
-    steps = [
-        PoolLayerStep(
-            op_name=op.name,
-            weights=np.asarray(op.weights, dtype=float),
-            bias=np.asarray(op.bias, dtype=float) if op.bias is not None else None,
-            activation=op.activation,
-            replica=placement.assignments[op.name],
-            predicted_s=placement.predicted_op_s.get(op.name),
+    levels: Dict[str, int] = {}
+    steps: List[PoolLayerStep] = []
+    for item in schedule:
+        op = item.op
+        level = (
+            1 + max(levels[name] for name in item.inputs) if item.inputs else 0
         )
-        for op in graph.topological_order()
-    ]
+        levels[op.name] = level
+        if op.kind == "dense":
+            steps.append(
+                PoolLayerStep(
+                    op_name=op.name,
+                    weights=np.asarray(op.weights, dtype=float),
+                    bias=np.asarray(op.bias, dtype=float) if op.bias is not None else None,
+                    activation=op.activation,
+                    replica=placement.assignments[op.name],
+                    kind="dense",
+                    inputs=item.inputs,
+                    release=item.release,
+                    level=level,
+                    op=op,
+                    predicted_s=placement.predicted_op_s.get(op.name),
+                )
+            )
+        else:
+            steps.append(
+                PoolLayerStep(
+                    op_name=op.name,
+                    weights=None,
+                    bias=None,
+                    activation=op.activation,
+                    replica="",
+                    kind=op.kind,
+                    inputs=item.inputs,
+                    release=item.release,
+                    level=level,
+                    op=op,
+                )
+            )
     plan = PoolPlan(
         graph_hash=key[0],
         fingerprint=key[1],
         steps=steps,
+        output=graph.output_name(),
         placement=placement,
         predicted_s=placement.predicted_total_s,
     )

@@ -1,19 +1,30 @@
 """Graph IR operations: the units the model compiler plans and places.
 
-The compiler's IR is deliberately small: the paper's workloads are chains
-of dense products (GeMM layers, :class:`~repro.core.nn.PhotonicMLP`
-layers), so one op kind — :class:`DenseOp`, a matrix product with an
-optional bias and activation — covers everything the execution targets can
-lower today.  Every op is **content-hashable**: the hash covers the kind,
-shapes, dtypes, raw weight/bias bytes and the activation, so two ops with
-equal bytes but different dtype or shape hash differently and compiled
-plans can be cached by graph content.
+The IR covers the workloads the paper's platform targets — whole neural
+models, which in practice are **DAGs**, not chains: residual MLPs,
+multi-head readouts, SNN readout fan-outs.  Four op kinds span them:
+
+* :class:`DenseOp` — a matrix product with optional bias and activation,
+  the only op that executes on an accelerator backend.
+* :class:`SplitOp` — a contiguous feature slice of its producer (several
+  ``SplitOp`` nodes over one producer model a fan-out "split").
+* :class:`ConcatOp` — feature-wise concatenation of its producers
+  (fan-in; edge order is semantic and part of the content hash).
+* :class:`AddOp` — elementwise sum of its producers (residual fan-in).
+
+Every op is **content-hashable**: the hash covers the kind, shapes,
+dtypes, raw weight/bias bytes, activation and structural parameters, so
+two ops with equal bytes but different dtype or shape hash differently
+and compiled plans can be cached by graph content.  The glue ops
+(:class:`SplitOp` / :class:`ConcatOp` / :class:`AddOp`) carry no weights
+and execute host-side in both lowering targets; only :class:`DenseOp`
+is placed on backends.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -23,7 +34,150 @@ from repro.core.nn import ACTIVATIONS
 SUPPORTED_ACTIVATIONS = tuple(sorted(ACTIVATIONS))
 
 
-class DenseOp:
+def _check_activation(name: str, activation: str) -> str:
+    """Validate an activation label against the shared registry."""
+    if activation not in ACTIVATIONS:
+        raise ValueError(
+            f"op {name!r}: unknown activation {activation!r} "
+            f"(choose from {SUPPORTED_ACTIVATIONS})"
+        )
+    return str(activation)
+
+
+def _apply_activation(activation: str, columns: np.ndarray) -> np.ndarray:
+    """Apply a registry activation to an ``(n_features, batch)`` column block."""
+    if activation == "identity":
+        return columns
+    # ACTIVATIONS act along the last axis of row-major batches; column
+    # blocks transpose through them
+    return ACTIVATIONS[activation](columns.T).T
+
+
+class GraphOp:
+    """Base class of every IR node.
+
+    Subclasses declare their wiring contract through :attr:`arity` /
+    :meth:`expected_input_sizes` and their semantics through
+    :meth:`apply`; :attr:`placeable` marks ops that execute on an
+    accelerator backend (only :class:`DenseOp`) — glue ops run host-side
+    in every lowering target.
+
+    Attributes:
+        name: unique node name within its graph.
+        activation: digital epilogue applied after the op's core semantics
+            (one of :data:`SUPPORTED_ACTIVATIONS`).
+    """
+
+    kind = "op"
+    #: True when the op's core computation runs on a backend (a matmul);
+    #: False for host-side glue (split/concat/add).
+    placeable = False
+
+    def __init__(self, name: str, activation: str = "identity"):
+        self.name = str(name)
+        self.activation = _check_activation(name, activation)
+        self._hash: Optional[str] = None
+
+    @property
+    def n_inputs(self) -> int:
+        """Feature length of each input column (first input for fan-in ops)."""
+        raise NotImplementedError
+
+    @property
+    def n_outputs(self) -> int:
+        """Feature length of the output column."""
+        raise NotImplementedError
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates per input column (0 for glue ops)."""
+        return 0
+
+    def expected_input_sizes(self) -> Sequence[int]:
+        """Feature sizes the op requires of its producers, in edge order."""
+        raise NotImplementedError
+
+    def validate_inputs(self, producer_sizes: Sequence[int]) -> None:
+        """Check the producers wired to this op against its contract.
+
+        Args:
+            producer_sizes: ``n_outputs`` of each producer, in edge order.
+
+        Raises:
+            ValueError: when the edge count or any feature size mismatches.
+        """
+        expected = self.expected_input_sizes()
+        if len(producer_sizes) != len(expected):
+            raise ValueError(
+                f"op {self.name!r} ({self.kind}) takes {len(expected)} input(s), "
+                f"got {len(producer_sizes)}"
+            )
+        for position, (got, want) in enumerate(zip(producer_sizes, expected)):
+            if got != want:
+                raise ValueError(
+                    f"op {self.name!r} ({self.kind}) input {position} expects "
+                    f"{want} features but its producer supplies {got}"
+                )
+
+    def _hash_parts(self) -> Sequence[bytes]:
+        """Kind-specific byte fields folded into :meth:`op_hash`."""
+        raise NotImplementedError
+
+    def op_hash(self) -> str:
+        """Content hash of this op (kind, parameters, bytes, activation).
+
+        Returns:
+            A hex digest stable across processes and insertion orders; the
+            op *name* does not contribute, so renaming nodes never defeats
+            the plan cache.
+        """
+        if self._hash is None:
+            digest = hashlib.sha1()
+            digest.update(self.kind.encode())
+            for part in self._hash_parts():
+                digest.update(part)
+            digest.update(self.activation.encode())
+            self._hash = digest.hexdigest()
+        return self._hash
+
+    def core(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """The op's semantics *without* the activation epilogue.
+
+        Dtype-preserving for the glue ops (slice / concatenate / integer
+        sum), which is what lets the SoC executor run them in its exact
+        ``int64`` domain and apply the integer epilogue itself.
+
+        Args:
+            inputs: one ``(n_features, batch)`` array per wired producer,
+                in edge order (roots receive the graph input).
+
+        Returns:
+            The op's raw ``(n_outputs, batch)`` output column block.
+        """
+        raise NotImplementedError
+
+    def apply(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Reference semantics: producer column blocks in, column block out.
+
+        Equal to :meth:`core` followed by the activation epilogue.
+
+        Args:
+            inputs: one ``(n_features, batch)`` array per wired producer,
+                in edge order (roots receive the graph input).
+
+        Returns:
+            The op's ``(n_outputs, batch)`` output column block.
+        """
+        return _apply_activation(self.activation, self.core(inputs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"{self.n_outputs}x{self.n_inputs} act={self.activation}>"
+        )
+
+
+class DenseOp(GraphOp):
     """One dense layer: ``y = act(W x + b)`` with ``x`` an input column.
 
     Attributes:
@@ -36,6 +190,7 @@ class DenseOp:
     """
 
     kind = "dense"
+    placeable = True
 
     def __init__(
         self,
@@ -49,11 +204,6 @@ class DenseOp:
             raise ValueError(f"op {name!r}: weights must be a matrix")
         if min(weights.shape) < 1:
             raise ValueError(f"op {name!r}: weights must be non-degenerate")
-        if activation not in ACTIVATIONS:
-            raise ValueError(
-                f"op {name!r}: unknown activation {activation!r} "
-                f"(choose from {SUPPORTED_ACTIVATIONS})"
-            )
         if bias is not None:
             bias = np.ascontiguousarray(bias)
             if bias.shape != (weights.shape[0],):
@@ -61,18 +211,18 @@ class DenseOp:
                     f"op {name!r}: bias shape {bias.shape} does not match "
                     f"the output dimension {weights.shape[0]}"
                 )
-        self.name = str(name)
+        super().__init__(name, activation=activation)
         self.weights = weights
         self.bias = bias
-        self.activation = str(activation)
-        self._hash: Optional[str] = None
 
     @property
     def n_inputs(self) -> int:
+        """Feature length of the input column (``weights.shape[1]``)."""
         return self.weights.shape[1]
 
     @property
     def n_outputs(self) -> int:
+        """Feature length of the output column (``weights.shape[0]``)."""
         return self.weights.shape[0]
 
     @property
@@ -80,20 +230,20 @@ class DenseOp:
         """Multiply-accumulates per input column."""
         return self.weights.shape[0] * self.weights.shape[1]
 
-    def op_hash(self) -> str:
-        """Content hash of this op (kind, shapes, dtypes, bytes, activation)."""
-        if self._hash is None:
-            digest = hashlib.sha1()
-            digest.update(self.kind.encode())
-            digest.update(str(self.weights.shape).encode())
-            digest.update(str(self.weights.dtype).encode())
-            digest.update(self.weights.tobytes())
-            if self.bias is not None:
-                digest.update(str(self.bias.dtype).encode())
-                digest.update(self.bias.tobytes())
-            digest.update(self.activation.encode())
-            self._hash = digest.hexdigest()
-        return self._hash
+    def expected_input_sizes(self) -> Sequence[int]:
+        """One producer supplying ``n_inputs`` features."""
+        return (self.n_inputs,)
+
+    def _hash_parts(self) -> Sequence[bytes]:
+        parts = [
+            str(self.weights.shape).encode(),
+            str(self.weights.dtype).encode(),
+            self.weights.tobytes(),
+        ]
+        if self.bias is not None:
+            parts.append(str(self.bias.dtype).encode())
+            parts.append(self.bias.tobytes())
+        return parts
 
     def finish(self, pre_activation: np.ndarray) -> np.ndarray:
         """Apply the op's bias and activation to a raw ``W @ X`` column block.
@@ -102,18 +252,175 @@ class DenseOp:
         on; this digital epilogue is the same for every target, which is
         what keeps a compiled plan's output identical to direct per-layer
         execution on the same backend.
+
+        Args:
+            pre_activation: the ``(n_outputs, batch)`` raw product block.
+
+        Returns:
+            The finished ``(n_outputs, batch)`` output block.
         """
         out = np.asarray(pre_activation)
         if self.bias is not None:
             out = out + self.bias[:, None]
-        if self.activation == "identity":
-            return out
-        # ACTIVATIONS act along the last axis of row-major batches; column
-        # blocks transpose through them
-        return ACTIVATIONS[self.activation](out.T).T
+        return _apply_activation(self.activation, out)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"<DenseOp {self.name!r} {self.n_outputs}x{self.n_inputs} "
-            f"act={self.activation}>"
-        )
+    def core(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """The raw matrix product ``weights @ x`` (no bias, no activation)."""
+        (columns,) = inputs
+        return self.weights @ columns
+
+    def apply(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Reference execution: ``finish(weights @ x)`` on the one producer."""
+        return self.finish(self.core(inputs))
+
+
+class SplitOp(GraphOp):
+    """A contiguous feature slice ``x[start:stop]`` of one producer.
+
+    A fan-out "split" is modelled as several ``SplitOp`` nodes consuming
+    the same producer, each owning one slice — which keeps every IR node
+    single-output and makes branch liveness explicit to the executors.
+
+    Attributes:
+        n_features: feature length of the producer being sliced.
+        start / stop: the half-open slice bounds.
+    """
+
+    kind = "split"
+
+    def __init__(
+        self,
+        name: str,
+        n_features: int,
+        start: int,
+        stop: int,
+        activation: str = "identity",
+    ):
+        n_features, start, stop = int(n_features), int(start), int(stop)
+        if n_features < 1:
+            raise ValueError(f"op {name!r}: n_features must be >= 1")
+        if not 0 <= start < stop <= n_features:
+            raise ValueError(
+                f"op {name!r}: slice [{start}:{stop}] is not a non-empty "
+                f"range inside {n_features} features"
+            )
+        super().__init__(name, activation=activation)
+        self.n_features = n_features
+        self.start = start
+        self.stop = stop
+
+    @property
+    def n_inputs(self) -> int:
+        """Feature length of the producer being sliced."""
+        return self.n_features
+
+    @property
+    def n_outputs(self) -> int:
+        """Feature length of the slice (``stop - start``)."""
+        return self.stop - self.start
+
+    def expected_input_sizes(self) -> Sequence[int]:
+        """One producer supplying ``n_features`` features."""
+        return (self.n_features,)
+
+    def _hash_parts(self) -> Sequence[bytes]:
+        return [f"{self.n_features}|{self.start}|{self.stop}".encode()]
+
+    def core(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Slice rows ``[start:stop]`` out of the producer's column block."""
+        (columns,) = inputs
+        return columns[self.start : self.stop]
+
+
+class ConcatOp(GraphOp):
+    """Feature-wise concatenation of its producers (fan-in).
+
+    Edge order is semantic: ``ConcatOp`` glues producer columns in wiring
+    order, and the graph hash covers ordered edges, so two graphs that
+    concatenate the same branches in different orders hash differently.
+
+    Attributes:
+        input_sizes: feature length expected of each producer, in order.
+    """
+
+    kind = "concat"
+
+    def __init__(
+        self, name: str, input_sizes: Sequence[int], activation: str = "identity"
+    ):
+        sizes = tuple(int(size) for size in input_sizes)
+        if len(sizes) < 2:
+            raise ValueError(f"op {name!r}: concat needs at least two inputs")
+        if min(sizes) < 1:
+            raise ValueError(f"op {name!r}: input sizes must be positive")
+        super().__init__(name, activation=activation)
+        self.input_sizes = sizes
+
+    @property
+    def n_inputs(self) -> int:
+        """Feature length of the first producer (see :attr:`input_sizes`)."""
+        return self.input_sizes[0]
+
+    @property
+    def n_outputs(self) -> int:
+        """Total feature length of the concatenated output."""
+        return sum(self.input_sizes)
+
+    def expected_input_sizes(self) -> Sequence[int]:
+        """The declared per-edge feature sizes, in edge order."""
+        return self.input_sizes
+
+    def _hash_parts(self) -> Sequence[bytes]:
+        return [",".join(str(size) for size in self.input_sizes).encode()]
+
+    def core(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Stack producer column blocks along the feature axis, in edge order."""
+        return np.concatenate(list(inputs), axis=0)
+
+
+class AddOp(GraphOp):
+    """Elementwise sum of equally-sized producers (residual fan-in).
+
+    Attributes:
+        n_features: feature length shared by every producer and the output.
+        arity: number of producers (>= 2); part of the content hash so a
+            2-way and a 3-way add of the same width never collide.
+    """
+
+    kind = "add"
+
+    def __init__(
+        self, name: str, n_features: int, arity: int = 2, activation: str = "identity"
+    ):
+        n_features, arity = int(n_features), int(arity)
+        if n_features < 1:
+            raise ValueError(f"op {name!r}: n_features must be >= 1")
+        if arity < 2:
+            raise ValueError(f"op {name!r}: add needs at least two inputs")
+        super().__init__(name, activation=activation)
+        self.n_features = n_features
+        self.arity = arity
+
+    @property
+    def n_inputs(self) -> int:
+        """Feature length of every producer."""
+        return self.n_features
+
+    @property
+    def n_outputs(self) -> int:
+        """Feature length of the sum (same as the inputs)."""
+        return self.n_features
+
+    def expected_input_sizes(self) -> Sequence[int]:
+        """``arity`` producers, each supplying ``n_features`` features."""
+        return (self.n_features,) * self.arity
+
+    def _hash_parts(self) -> Sequence[bytes]:
+        return [f"{self.n_features}|{self.arity}".encode()]
+
+    def core(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Elementwise-sum the producer column blocks (dtype-preserving)."""
+        total = inputs[0]
+        for block in inputs[1:]:
+            total = total + block
+        return total

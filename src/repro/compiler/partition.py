@@ -5,22 +5,32 @@ Two placement axes:
 * **Within one layer** — :func:`choose_sharding` picks between row sharding
   (:func:`~repro.system.soc.plan_shards`) and K-dimension sharding with
   partial-product accumulation (:func:`~repro.system.soc.plan_k_shards`)
-  for a GeMM on an ``n_pes`` cluster, by predicted pipelined cycles when a
-  calibrated :class:`~repro.compiler.costmodel.SoCCostModel` is available
-  and by a shape heuristic otherwise (K-sharding wins when there are too
-  few output rows to keep every PE busy).
-* **Across layers** — :func:`place_graph` assigns each op of a
+  for a GeMM on an ``n_pes`` cluster.  The decision is **batch-aware**:
+  with a calibrated :class:`~repro.compiler.costmodel.SoCCostModel` every
+  candidate partition (rows, and each viable K-slice count) is predicted
+  at the expected micro-batch width ``n_cols`` — the K-shard reduction and
+  the duplicated-input DMA both scale with the batch, so the best plan at
+  batch 1 is often not the best plan at batch 32.  Without a model a
+  shape heuristic stands in (K-sharding wins when there are too few
+  output rows to keep every PE busy).  :func:`expected_batch_width`
+  bridges the serving layer: it turns a live
+  :class:`~repro.serving.batching.MicroBatcher` (or its replica) into the
+  batch width the decisions should be optimised for.
+* **Across layers** — :func:`place_graph` assigns each *placeable* op of a
   :class:`~repro.compiler.graph.ModelGraph` to a serving replica using the
   measured :class:`~repro.compiler.costmodel.ReplicaProfile` costs:
   ``min-cost`` sends every op to its cheapest replica, ``balanced`` runs
   greedy list scheduling on predicted finish times so heavy chains spread
-  across comparable replicas.
+  across comparable replicas (and independent DAG branches land on
+  different replicas, which is what the pool executor's level-parallel
+  dispatch exploits).  Glue ops (split/concat/add) execute host-side and
+  are never placed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.compiler.costmodel import ReplicaProfile, SoCCostModel
 from repro.compiler.graph import ModelGraph
@@ -44,6 +54,42 @@ class ShardingDecision:
     predicted_cycles: Optional[float] = None
 
 
+def expected_batch_width(source: Union[int, object]) -> int:
+    """Resolve the micro-batch width a sharding decision should assume.
+
+    The serving layer owns the fusing: a compiled plan executes whatever
+    column width the :class:`~repro.serving.batching.MicroBatcher` fuses,
+    so sharding decisions tuned for single columns mis-predict under load.
+    This bridges the two layers without a hard import:
+
+    Args:
+        source: either a plain ``int`` batch width, or a serving object —
+            a :class:`~repro.serving.scheduler.Replica` (unwrapped to its
+            batcher) or a :class:`~repro.serving.batching.MicroBatcher`.
+            Batchers report their observed mean fused batch when they have
+            served traffic, else their configured ``max_batch`` bound.
+
+    Returns:
+        The batch width, always >= 1.
+
+    Raises:
+        ValueError: for non-positive widths or objects that carry no
+            batching information.
+    """
+    if hasattr(source, "expected_columns"):  # a Replica or MicroBatcher
+        return max(1, int(source.expected_columns()))
+    try:
+        width = int(source)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"cannot derive a batch width from {source!r}: pass an int, a "
+            f"MicroBatcher or a Replica"
+        ) from None
+    if width < 1:
+        raise ValueError(f"batch width must be >= 1, got {width}")
+    return width
+
+
 def choose_sharding(
     n_rows: int,
     n_inner: int,
@@ -52,7 +98,30 @@ def choose_sharding(
     cost_model: Optional[SoCCostModel] = None,
     tile_rows: Optional[int] = None,
 ) -> ShardingDecision:
-    """Pick rows- vs K-sharding for one (M, K, N) GeMM on ``n_pes`` PEs."""
+    """Pick rows- vs K-sharding for one (M, K, N) GeMM on ``n_pes`` PEs.
+
+    With a calibrated cost model the choice is an argmin over predicted
+    pipelined cycles of **every candidate partition** — row sharding and
+    each viable K-slice count (2 … ``min(n_pes, n_inner)``) — evaluated at
+    the expected batch width ``n_cols`` (see :func:`expected_batch_width`
+    for deriving it from a live batcher).  Ties prefer row sharding, then
+    fewer K-slices, so the decision is deterministic.
+
+    Args:
+        n_rows: output rows M of the GeMM.
+        n_inner: inner (reduction) dimension K.
+        n_cols: expected batch width N the plan will execute at.
+        n_pes: accelerator count of the target cluster.
+        cost_model: calibrated predictor; ``None`` falls back to the
+            batch-oblivious shape heuristic.
+        tile_rows: row-tiling override forwarded to the predictions.
+
+    Returns:
+        The winning :class:`ShardingDecision`.
+
+    Raises:
+        ValueError: for non-positive GeMM dimensions or PE counts.
+    """
     if min(n_rows, n_inner, n_cols) < 1:
         raise ValueError(
             f"GeMM dimensions must be positive, got "
@@ -67,30 +136,31 @@ def choose_sharding(
                 n_rows, n_inner, n_cols, n_pes=n_pes, tile_rows=tile_rows
             ).pipelined_cycles
         return ShardingDecision(strategy="rows", k_shards=1, predicted_cycles=predicted)
-    k_shards = min(n_pes, n_inner)
+    max_k = min(n_pes, n_inner)
     if cost_model is not None:
-        rows_prediction = cost_model.predict_gemm(
-            n_rows, n_inner, n_cols, n_pes=n_pes, tile_rows=tile_rows
-        )
-        k_prediction = cost_model.predict_gemm(
-            n_rows, n_inner, n_cols, n_pes=n_pes, k_shards=k_shards,
-            tile_rows=tile_rows,
-        )
-        if k_prediction.pipelined_cycles < rows_prediction.pipelined_cycles:
-            return ShardingDecision(
-                strategy="k",
-                k_shards=k_shards,
-                predicted_cycles=k_prediction.pipelined_cycles,
-            )
-        return ShardingDecision(
+        best = ShardingDecision(
             strategy="rows",
             k_shards=1,
-            predicted_cycles=rows_prediction.pipelined_cycles,
+            predicted_cycles=cost_model.predict_gemm(
+                n_rows, n_inner, n_cols, n_pes=n_pes, tile_rows=tile_rows
+            ).pipelined_cycles,
         )
+        for k_shards in range(2, max_k + 1):
+            predicted = cost_model.predict_gemm(
+                n_rows, n_inner, n_cols, n_pes=n_pes, k_shards=k_shards,
+                tile_rows=tile_rows,
+            ).pipelined_cycles
+            if predicted < best.predicted_cycles:
+                best = ShardingDecision(
+                    strategy="k", k_shards=k_shards, predicted_cycles=predicted
+                )
+        return best
     # heuristic: rows-sharding starves PEs when M < n_pes (some get empty
-    # shards) — split K instead whenever it is wide enough to share
+    # shards) — split K instead whenever it is wide enough to share.  The
+    # heuristic is batch-oblivious by construction; calibrate a cost model
+    # for batch-aware decisions.
     if n_rows < n_pes and n_inner >= n_pes:
-        return ShardingDecision(strategy="k", k_shards=k_shards)
+        return ShardingDecision(strategy="k", k_shards=max_k)
     return ShardingDecision(strategy="rows", k_shards=1)
 
 
@@ -99,7 +169,7 @@ class Placement:
     """An op-to-replica assignment with its predicted per-replica load.
 
     Attributes:
-        assignments: ``{op_name: replica_name}``.
+        assignments: ``{op_name: replica_name}`` (placeable ops only).
         predicted_op_s: predicted service seconds per op.
         predicted_replica_s: predicted total seconds per replica.
         strategy: the placement strategy that produced it.
@@ -112,6 +182,7 @@ class Placement:
 
     @property
     def predicted_total_s(self) -> float:
+        """Summed predicted service seconds across every placed op."""
         return sum(self.predicted_op_s.values())
 
 
@@ -120,13 +191,28 @@ def place_graph(
     profiles: Dict[str, ReplicaProfile],
     strategy: str = "min-cost",
 ) -> Placement:
-    """Assign every op of ``graph`` to a replica by calibrated cost.
+    """Assign every placeable op of ``graph`` to a replica by calibrated cost.
 
-    ``min-cost`` routes each op to the replica with the lowest predicted
-    service time for that op's arithmetic size.  ``balanced`` additionally
-    tracks accumulated predicted load per replica and greedily minimises
-    each op's predicted finish time, so pools of comparable replicas share
-    a deep chain instead of hot-spotting the single cheapest one.
+    Only live, *placeable* ops (dense layers — see
+    :attr:`~repro.compiler.ops.GraphOp.placeable`) receive assignments;
+    glue ops execute host-side and dead branches are pruned by the
+    schedule.  ``min-cost`` routes each op to the replica with the lowest
+    predicted service time for that op's arithmetic size; ``balanced``
+    additionally tracks accumulated predicted load per replica and
+    greedily minimises each op's predicted finish time, so pools of
+    comparable replicas share deep chains — and independent branches of a
+    DAG spread across replicas instead of hot-spotting the cheapest one.
+
+    Args:
+        graph: the model to place.
+        profiles: measured per-replica service profiles.
+        strategy: one of :data:`PLACEMENT_STRATEGIES`.
+
+    Returns:
+        The :class:`Placement` with assignments and predicted loads.
+
+    Raises:
+        ValueError: on empty profiles or unknown strategies.
     """
     if not profiles:
         raise ValueError("placement needs at least one replica profile")
@@ -137,7 +223,10 @@ def place_graph(
         )
     placement = Placement(strategy=strategy)
     accumulated: Dict[str, float] = {name: 0.0 for name in profiles}
-    for op in graph.topological_order():
+    for step in graph.schedule():
+        op = step.op
+        if not op.placeable:
+            continue
         costs = {
             name: profile.predict_request_s(op.macs)
             for name, profile in profiles.items()

@@ -3,8 +3,12 @@
 from repro.eval.workloads import (
     ClassificationDataset,
     make_digit_dataset,
+    make_diamond_graph,
+    make_fanout_graph,
     make_gemm_workload,
     make_layer_stack,
+    make_multi_head_graph,
+    make_residual_graph,
     make_spike_patterns,
     run_backend_gemm_experiment,
 )
@@ -22,8 +26,12 @@ from repro.eval.sweeps import SweepResult, run_sweep, cross_sweep
 __all__ = [
     "ClassificationDataset",
     "make_digit_dataset",
+    "make_diamond_graph",
+    "make_fanout_graph",
     "make_gemm_workload",
     "make_layer_stack",
+    "make_multi_head_graph",
+    "make_residual_graph",
     "make_spike_patterns",
     "run_backend_gemm_experiment",
     "classification_accuracy",

@@ -118,6 +118,209 @@ def make_layer_stack(
     ]
 
 
+def make_diamond_graph(
+    n_features: int,
+    n_outputs: int = 4,
+    value_range: int = 3,
+    activation: str = "relu",
+    rng: RngLike = 0,
+    name: str = "diamond",
+):
+    """Build the canonical branching workload: a diamond-shaped DAG.
+
+    Shared input -> two parallel dense branches -> residual add -> dense
+    head.  Both branches are roots consuming the same graph input, so the
+    graph exercises multi-root fan-out, fan-in (:class:`AddOp`) and the
+    executors' level-parallel dispatch.  Integer weights keep compiled
+    plans bitwise comparable to direct execution on exact backends.
+
+    Args:
+        n_features: input (and branch) feature width.
+        n_outputs: head output width.
+        value_range: integer weight magnitude bound.
+        activation: branch activation (``relu`` by default; use
+            ``identity`` for fully linear diamonds).
+        rng: seed or generator for the weight draws.
+        name: graph label.
+
+    Returns:
+        The diamond :class:`~repro.compiler.graph.ModelGraph`.
+    """
+    from repro.compiler.graph import ModelGraph
+    from repro.compiler.ops import AddOp, DenseOp
+
+    generator = ensure_rng(rng)
+
+    def matrix(n_out, n_in):
+        return generator.integers(-value_range, value_range + 1, size=(n_out, n_in))
+
+    graph = ModelGraph(name=name)
+    graph.add_op(DenseOp("left", matrix(n_features, n_features), activation=activation))
+    graph.add_op(DenseOp("right", matrix(n_features, n_features), activation=activation))
+    graph.add_op(AddOp("residual", n_features), inputs=["left", "right"])
+    graph.add_op(DenseOp("head", matrix(n_outputs, n_features)), inputs=["residual"])
+    return graph
+
+
+def make_residual_graph(
+    n_features: int,
+    n_blocks: int = 2,
+    n_outputs: int = 4,
+    value_range: int = 3,
+    rng: RngLike = 0,
+    name: str = "residual",
+):
+    """Build a residual-MLP DAG: stem -> ``n_blocks`` skip blocks -> head.
+
+    Each block computes ``x + relu(W x)`` through an :class:`AddOp` whose
+    second edge skips the dense branch — the fan-out/fan-in pattern the
+    paper's whole-model workloads (residual MLPs) lower through.
+
+    Args:
+        n_features: feature width carried through the blocks.
+        n_blocks: number of residual blocks.
+        n_outputs: head output width.
+        value_range: integer weight magnitude bound.
+        rng: seed or generator for the weight draws.
+        name: graph label.
+
+    Returns:
+        The residual :class:`~repro.compiler.graph.ModelGraph`.
+    """
+    from repro.compiler.graph import ModelGraph
+    from repro.compiler.ops import AddOp, DenseOp
+
+    if n_blocks < 1:
+        raise ValueError("need at least one residual block")
+    generator = ensure_rng(rng)
+
+    def matrix(n_out, n_in):
+        return generator.integers(-value_range, value_range + 1, size=(n_out, n_in))
+
+    graph = ModelGraph(name=name)
+    graph.add_op(DenseOp("stem", matrix(n_features, n_features)))
+    previous = "stem"
+    for index in range(n_blocks):
+        branch = f"block{index}_dense"
+        graph.add_op(
+            DenseOp(branch, matrix(n_features, n_features), activation="relu"),
+            inputs=[previous],
+        )
+        graph.add_op(
+            AddOp(f"block{index}_add", n_features), inputs=[previous, branch]
+        )
+        previous = f"block{index}_add"
+    graph.add_op(DenseOp("head", matrix(n_outputs, n_features)), inputs=[previous])
+    return graph
+
+
+def make_multi_head_graph(
+    n_features: int,
+    head_sizes: Tuple[int, ...] = (4, 4),
+    value_range: int = 3,
+    rng: RngLike = 0,
+    name: str = "multi-head",
+):
+    """Build a multi-head readout DAG: trunk -> split -> heads -> concat.
+
+    The trunk's output is split into contiguous feature slices
+    (:class:`SplitOp`), each slice feeds its own dense head, and the head
+    outputs concatenate (:class:`ConcatOp`) — the SNN-readout fan-out
+    pattern.  The trunk width is split as evenly as the head count allows.
+
+    Args:
+        n_features: input and trunk feature width (must be >= the head
+            count).
+        head_sizes: output width of each head (also the head count).
+        value_range: integer weight magnitude bound.
+        rng: seed or generator for the weight draws.
+        name: graph label.
+
+    Returns:
+        The multi-head :class:`~repro.compiler.graph.ModelGraph`.
+    """
+    from repro.compiler.graph import ModelGraph
+    from repro.compiler.ops import ConcatOp, DenseOp, SplitOp
+
+    n_heads = len(head_sizes)
+    if n_heads < 2:
+        raise ValueError("need at least two heads")
+    if n_features < n_heads:
+        raise ValueError("trunk width must cover one feature per head")
+    generator = ensure_rng(rng)
+
+    def matrix(n_out, n_in):
+        return generator.integers(-value_range, value_range + 1, size=(n_out, n_in))
+
+    graph = ModelGraph(name=name)
+    graph.add_op(DenseOp("trunk", matrix(n_features, n_features), activation="relu"))
+    bounds = np.linspace(0, n_features, n_heads + 1).astype(int)
+    head_names = []
+    for index, head_size in enumerate(head_sizes):
+        start, stop = int(bounds[index]), int(bounds[index + 1])
+        graph.add_op(
+            SplitOp(f"slice{index}", n_features, start, stop), inputs=["trunk"]
+        )
+        graph.add_op(
+            DenseOp(f"head{index}", matrix(head_size, stop - start)),
+            inputs=[f"slice{index}"],
+        )
+        head_names.append(f"head{index}")
+    graph.add_op(
+        ConcatOp("readout", tuple(int(size) for size in head_sizes)),
+        inputs=head_names,
+    )
+    return graph
+
+
+def make_fanout_graph(
+    n_features: int = 8,
+    n_branches: int = 4,
+    n_outputs: int = 4,
+    value_range: int = 3,
+    rng: RngLike = 0,
+    name: str = "fanout",
+):
+    """Build a wide fan-out DAG: ``n_branches`` parallel dense roots -> add -> head.
+
+    Every branch consumes the shared graph input and the merged sum feeds
+    one dense head, so all branches sit in the same dependency level —
+    the stress workload for the pool executor's level-parallel dispatch
+    (and the shape the branch-parallel benchmarks measure).
+
+    Args:
+        n_features: input (and branch) feature width.
+        n_branches: number of parallel dense branches (>= 2).
+        n_outputs: head output width.
+        value_range: integer weight magnitude bound.
+        rng: seed or generator for the weight draws.
+        name: graph label.
+
+    Returns:
+        The fan-out :class:`~repro.compiler.graph.ModelGraph`.
+    """
+    from repro.compiler.graph import ModelGraph
+    from repro.compiler.ops import AddOp, DenseOp
+
+    if n_branches < 2:
+        raise ValueError("need at least two branches")
+    generator = ensure_rng(rng)
+
+    def matrix(n_out, n_in):
+        return generator.integers(-value_range, value_range + 1, size=(n_out, n_in))
+
+    graph = ModelGraph(name=name)
+    branch_names = []
+    for index in range(n_branches):
+        graph.add_op(DenseOp(f"branch{index}", matrix(n_features, n_features)))
+        branch_names.append(f"branch{index}")
+    graph.add_op(
+        AddOp("merge", n_features, arity=n_branches), inputs=branch_names
+    )
+    graph.add_op(DenseOp("head", matrix(n_outputs, n_features)), inputs=["merge"])
+    return graph
+
+
 def run_backend_gemm_experiment(
     n_modes: int = 8,
     n_cols: int = 8,

@@ -125,6 +125,18 @@ class MicroBatcher:
         if self.on_pull is not None:
             self.on_pull(1)
 
+    def expected_columns(self) -> int:
+        """Batch width a compiled plan should be optimised for.
+
+        The observed mean fused-batch size once traffic has been served,
+        else the configured ``max_batch`` bound — this is what the model
+        compiler's batch-aware sharding decisions consume (see
+        :func:`repro.compiler.partition.expected_batch_width`).
+        """
+        if self.stats.batches > 0:
+            return max(1, int(round(self.stats.mean_batch)))
+        return self.max_batch
+
     async def serve(self, queue: asyncio.Queue) -> None:
         """Serve until the :data:`SHUTDOWN` sentinel is dequeued.
 

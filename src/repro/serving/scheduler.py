@@ -118,6 +118,15 @@ class Replica:
         for observer in self._observers:
             observer(self.name, request, latency_s, batch_size, outcome)
 
+    def expected_columns(self) -> int:
+        """Batch width compiled plans targeting this replica should assume.
+
+        Delegates to the micro-batcher's observed/configured fusing width
+        — the compiler resolves replicas through
+        :func:`repro.compiler.partition.expected_batch_width`.
+        """
+        return self.batcher.expected_columns()
+
     def add_observer(
         self, observer: Callable[[str, InferenceRequest, float, int, str], None]
     ) -> None:

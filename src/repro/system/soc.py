@@ -638,8 +638,17 @@ class PhotonicSoC:
                 f"K-shard staging region [{staging_addr:#x}, {needed:#x}) exceeds "
                 f"main memory ({self.main_memory.size_bytes:#x} bytes)"
             )
-        # stage contiguous operand slices (host setup, unaccounted — the
-        # same convention as the row path's write_matrix operand loads)
+        # Stage contiguous operand slices (host setup, unaccounted — the
+        # same convention as the row path's write_matrix operand loads).
+        #
+        # LIMITATION (strided DMA): A[:, k_start:k_stop] is a *strided*
+        # view of the row-major weight matrix, and B[k_start:k_stop, :] a
+        # row range of the input, so each K-slice's operands are copied
+        # into a fresh contiguous staging region before launch because the
+        # DMA engines (system/dma.py) move contiguous word blocks only.  A
+        # gather/strided DMA descriptor would let tile streams read the
+        # original operands in place and remove this host-side copy — the
+        # open ROADMAP item points here.
         for piece in slices:
             self.write_matrix(piece.a_addr, weights[:, piece.k_start : piece.k_stop])
             self.write_matrix(piece.b_addr, inputs[piece.k_start : piece.k_stop, :])

@@ -13,6 +13,9 @@ import numpy as np
 import pytest
 
 from repro.compiler import (
+    INPUT_BUFFER,
+    AddOp,
+    ConcatOp,
     DenseOp,
     GraphError,
     ModelGraph,
@@ -20,9 +23,11 @@ from repro.compiler import (
     Placement,
     ShardingDecision,
     SoCCostModel,
+    SplitOp,
     choose_sharding,
     compile_for_pool,
     compile_for_soc,
+    expected_batch_width,
     place_graph,
     pool_fingerprint,
     profile_engine,
@@ -33,8 +38,13 @@ from repro.compiler import (
 from repro.compiler.costmodel import ReplicaProfile
 from repro.core.backends import resolve_backend
 from repro.core.nn import MLP
-from repro.eval import make_layer_stack
-from repro.serving import GemmEngine, InferenceServer, Replica
+from repro.eval import (
+    make_diamond_graph,
+    make_layer_stack,
+    make_multi_head_graph,
+    make_residual_graph,
+)
+from repro.serving import GemmEngine, InferenceServer, MicroBatcher, Replica
 from repro.system import PhotonicSoC
 
 
@@ -538,3 +548,352 @@ class TestPoolPlan:
         profiles = profile_replicas(replicas, weights=np.ones((6, 6)))
         assert set(profiles) == {"ideal", "quant"}
         assert all(profile.service_s > 0 for profile in profiles.values())
+
+
+# --------------------------------------------------------------------- #
+# glue ops (fan-out / fan-in)
+# --------------------------------------------------------------------- #
+class TestGlueOps:
+    def test_split_validation_and_semantics(self):
+        op = SplitOp("s", 10, 2, 6)
+        assert op.n_inputs == 10 and op.n_outputs == 4 and op.macs == 0
+        block = np.arange(20).reshape(10, 2)
+        assert np.array_equal(op.apply([block]), block[2:6])
+        with pytest.raises(ValueError):
+            SplitOp("s", 10, 4, 4)  # empty slice
+        with pytest.raises(ValueError):
+            SplitOp("s", 10, -1, 4)
+        with pytest.raises(ValueError):
+            SplitOp("s", 10, 2, 11)
+
+    def test_concat_orders_edges(self):
+        op = ConcatOp("c", (2, 3))
+        a, b = np.ones((2, 1)), 2 * np.ones((3, 1))
+        assert np.array_equal(op.apply([a, b]), np.vstack([a, b]))
+        with pytest.raises(ValueError):
+            ConcatOp("c", (4,))  # single input is not a concat
+        with pytest.raises(ValueError):
+            ConcatOp("c", (4, 0))
+
+    def test_add_arity_and_dtype_preservation(self):
+        op = AddOp("a", 3, arity=3)
+        blocks = [np.full((3, 2), v, dtype=np.int64) for v in (1, 2, 3)]
+        total = op.apply(blocks)
+        assert total.dtype == np.int64 and np.all(total == 6)
+        with pytest.raises(ValueError):
+            AddOp("a", 3, arity=1)
+        with pytest.raises(ValueError):
+            AddOp("a", 0)
+
+    def test_glue_hashes_cover_parameters(self):
+        assert SplitOp("x", 10, 0, 4).op_hash() != SplitOp("x", 10, 4, 8).op_hash()
+        assert ConcatOp("x", (2, 3)).op_hash() != ConcatOp("x", (3, 2)).op_hash()
+        assert AddOp("x", 4).op_hash() != AddOp("x", 4, arity=3).op_hash()
+        # kinds never collide even with look-alike parameters
+        assert AddOp("x", 4).op_hash() != SplitOp("x", 4, 0, 4).op_hash()
+        # renaming never changes the content hash
+        assert AddOp("x", 4).op_hash() == AddOp("y", 4).op_hash()
+
+    def test_relu_epilogue_on_glue(self):
+        op = AddOp("a", 2, activation="relu")
+        out = op.apply([np.array([[1.0], [-3.0]]), np.array([[1.0], [1.0]])])
+        assert np.array_equal(out, [[2.0], [0.0]])
+
+
+# --------------------------------------------------------------------- #
+# branching DAGs
+# --------------------------------------------------------------------- #
+class TestBranchingGraphs:
+    @staticmethod
+    def _diamond():
+        return make_diamond_graph(8, n_outputs=4, rng=0)
+
+    def test_wiring_validation(self):
+        graph = ModelGraph()
+        graph.add_op(DenseOp("a", np.ones((4, 4))))
+        with pytest.raises(GraphError):  # concat cannot be a root
+            graph.add_op(ConcatOp("c", (4, 4)))
+        with pytest.raises(GraphError):  # arity mismatch
+            graph.add_op(AddOp("r", 4, arity=2), inputs=["a"])
+        with pytest.raises(GraphError):  # feature-size mismatch
+            graph.add_op(SplitOp("s", 5, 0, 2), inputs=["a"])
+        with pytest.raises(GraphError):  # reserved buffer name
+            graph.add_op(DenseOp(INPUT_BUFFER, np.ones((4, 4))))
+
+    def test_hash_stable_under_insertion_reorder(self):
+        def build(order_swapped):
+            graph = ModelGraph()
+            graph.add_op(DenseOp("stem", np.eye(4)))
+            first, second = ("right", "left") if order_swapped else ("left", "right")
+            graph.add_op(DenseOp(first, np.full((4, 4), 2.0)), inputs=["stem"])
+            graph.add_op(DenseOp(second, 2.0 * np.full((4, 4), 1.0)), inputs=["stem"])
+            graph.add_op(AddOp("add", 4), inputs=["left", "right"])
+            return graph
+
+        assert build(False).graph_hash() == build(True).graph_hash()
+
+    def test_hash_sensitive_to_edge_order(self):
+        def build(flipped):
+            graph = ModelGraph()
+            graph.add_op(DenseOp("a", np.ones((2, 4))))
+            graph.add_op(DenseOp("b", np.ones((3, 4))))
+            inputs = ["b", "a"] if flipped else ["a", "b"]
+            sizes = (3, 2) if flipped else (2, 3)
+            graph.add_op(ConcatOp("c", sizes), inputs=inputs)
+            graph.set_output("c")
+            return graph
+
+        assert build(False).graph_hash() != build(True).graph_hash()
+
+    def test_multi_sink_requires_explicit_output(self):
+        graph = ModelGraph()
+        graph.add_op(DenseOp("a", np.ones((4, 4))))
+        graph.add_op(DenseOp("b", np.ones((4, 4))), inputs=["a"])
+        graph.add_op(DenseOp("c", np.ones((4, 4))), inputs=["a"])
+        assert graph.sinks() == ["b", "c"]
+        with pytest.raises(GraphError):
+            graph.output_name()
+        base_hash = ModelGraph.from_matrices([np.ones((4, 4))]).graph_hash()
+        graph.set_output("b")
+        assert graph.output_name() == "b"
+        hash_b = graph.graph_hash()
+        graph.set_output("c")
+        assert graph.graph_hash() != hash_b  # output designation is semantic
+        assert graph.graph_hash() != base_hash
+        with pytest.raises(GraphError):
+            graph.set_output("missing")
+
+    def test_explicit_sole_sink_output_hashes_like_the_default(self):
+        mats = make_layer_stack([4, 4, 4], rng=0)
+        default = ModelGraph.from_matrices(mats)
+        explicit = ModelGraph.from_matrices(mats)
+        explicit.set_output("layer1")  # the sole sink — semantically a no-op
+        assert default.graph_hash() == explicit.graph_hash()
+
+    def test_dead_branches_are_pruned(self):
+        graph = self._diamond()
+        graph.add_op(DenseOp("dead", np.ones((3, 4)), activation="softmax"),
+                     inputs=["head"])
+        graph.set_output("head")
+        assert "dead" not in graph.live_op_names()
+        scheduled = [step.op.name for step in graph.schedule()]
+        assert "dead" not in scheduled and len(scheduled) == 4
+
+    def test_schedule_releases_buffers_at_last_consumer(self):
+        graph = self._diamond()
+        steps = {step.op.name: step for step in graph.schedule()}
+        # both roots read the graph input; the name-later root frees it
+        assert steps["left"].release == ()
+        assert steps["right"].release == (INPUT_BUFFER,)
+        assert set(steps["residual"].release) == {"left", "right"}
+        assert steps["head"].release == ("residual",)
+
+    def test_roots_must_agree_on_input_width(self):
+        graph = ModelGraph()
+        graph.add_op(DenseOp("a", np.ones((4, 4))))
+        graph.add_op(DenseOp("b", np.ones((4, 5))))
+        graph.add_op(AddOp("add", 4), inputs=["a", "b"])
+        with pytest.raises(GraphError):
+            graph.schedule()
+
+    def test_reference_forward_diamond_matches_numpy(self):
+        graph = self._diamond()
+        x = np.linspace(-2, 2, 8)
+        left = graph.op("left").weights @ x
+        right = graph.op("right").weights @ x
+        res = np.maximum(left, 0) + np.maximum(right, 0)
+        want = graph.op("head").weights @ res
+        assert np.allclose(graph.reference_forward(x)[:, 0], want)
+
+    def test_single_op_graph(self):
+        graph = ModelGraph.from_matrices([np.arange(12).reshape(3, 4)])
+        assert graph.is_chain() and graph.output_name() == "layer0"
+        out = graph.reference_forward(np.ones(4))
+        assert out.shape == (3, 1)
+
+
+# --------------------------------------------------------------------- #
+# batch-aware sharding
+# --------------------------------------------------------------------- #
+class TestBatchAwareSharding:
+    def test_decision_flips_with_batch_width(self):
+        soc = make_soc(2)
+        model = SoCCostModel.calibrate(soc)
+        narrow = choose_sharding(2, 16, 1, 2, cost_model=model)
+        wide = choose_sharding(2, 16, 32, 2, cost_model=model)
+        assert (narrow.strategy, narrow.k_shards) != (wide.strategy, wide.k_shards)
+
+    def test_expected_batch_width_resolution(self):
+        assert expected_batch_width(7) == 7
+        with pytest.raises(ValueError):
+            expected_batch_width(0)
+        engine = GemmEngine(weights=np.ones((4, 4)), name="g")
+        batcher = MicroBatcher(engine, max_batch=16)
+        assert expected_batch_width(batcher) == 16  # no traffic yet
+        batcher.stats.batches = 4
+        batcher.stats.requests = 10
+        assert expected_batch_width(batcher) == 2  # observed mean, rounded
+
+    def test_replica_resolves_through_its_batcher(self):
+        replica = Replica("r0", GemmEngine(weights=np.ones((4, 4))), max_batch=8)
+        assert expected_batch_width(replica) == 8
+        assert replica.expected_columns() == 8
+
+    def test_compile_accepts_serving_objects_as_batch_width(self):
+        graph = ModelGraph.from_matrices(make_layer_stack([8, 8], rng=0))
+        soc = make_soc(2)
+        replica = Replica("r0", GemmEngine(weights=np.ones((8, 8))), max_batch=32)
+        via_replica = compile_for_soc(graph, soc, n_columns=replica, cache=None)
+        via_int = compile_for_soc(graph, soc, n_columns=32, cache=None)
+        assert via_replica.n_columns == via_int.n_columns == 32
+        assert via_replica.fingerprint == via_int.fingerprint
+
+
+# --------------------------------------------------------------------- #
+# DAG plan execution oracles (acceptance)
+# --------------------------------------------------------------------- #
+class TestSoCDagPlans:
+    def test_diamond_plan_is_bitwise_identical_to_direct(self):
+        graph = make_diamond_graph(8, n_outputs=4, rng=3)
+        soc = make_soc(2)
+        model = SoCCostModel.calibrate(soc)
+        plan = compile_for_soc(graph, soc, cost_model=model, n_columns=3, cache=None)
+        columns = np.arange(8 * 3).reshape(8, 3) % 5 - 2
+        planned = plan.run(columns)
+        direct = graph.reference_forward(columns).astype(np.int64)
+        assert np.array_equal(planned, direct)
+        assert len(plan.reports) == 3  # three dense offloads, one glue step
+        assert plan.total_cycles > 0
+
+    def test_residual_and_multi_head_plans_match(self):
+        soc = make_soc(2)
+        columns = np.arange(12)[:, None] % 4 - 1
+        for graph in (
+            make_residual_graph(12, n_blocks=2, rng=1),
+            make_multi_head_graph(12, head_sizes=(4, 3), rng=2),
+        ):
+            plan = compile_for_soc(graph, soc, cache=None)
+            assert np.array_equal(
+                plan.run(columns),
+                graph.reference_forward(columns).astype(np.int64),
+            )
+
+    def test_single_op_graph_compiles_and_runs(self):
+        graph = ModelGraph.from_matrices(make_layer_stack([6, 4], rng=0))
+        soc = make_soc(2)
+        plan = compile_for_soc(graph, soc, cache=None)
+        columns = np.arange(6)[:, None]
+        assert np.array_equal(
+            plan.run(columns), graph.reference_forward(columns).astype(np.int64)
+        )
+
+    def test_dead_softmax_branch_is_pruned_not_rejected(self):
+        graph = make_diamond_graph(8, rng=0)
+        graph.add_op(
+            DenseOp("dead", np.ones((3, 4)), activation="softmax"), inputs=["head"]
+        )
+        graph.set_output("head")
+        plan = compile_for_soc(graph, make_soc(1), cache=None)
+        assert [step.op_name for step in plan.steps] == [
+            "left", "right", "residual", "head"
+        ]
+        # an unused *live* softmax would still be rejected
+        graph.set_output("dead")
+        with pytest.raises(GraphError):
+            compile_for_soc(graph, make_soc(1), cache=None)
+
+    def test_dag_and_chain_hashes_key_the_cache_separately(self):
+        cache = PlanCache(max_plans=8)
+        soc = make_soc(2)
+        diamond = make_diamond_graph(8, rng=0)
+        first = compile_for_soc(diamond, soc, cache=cache)
+        again = compile_for_soc(diamond, soc, cache=cache)
+        assert again is first and cache.hits == 1
+
+
+class TestPoolDagPlans:
+    @staticmethod
+    def _mixed_pool():
+        return [
+            Replica("ideal", GemmEngine(backend="ideal-digital", name="ideal")),
+            Replica(
+                "quant",
+                GemmEngine(
+                    backend="quantized-digital",
+                    name="quant",
+                    weight_bits=12,
+                    input_bits=12,
+                ),
+            ),
+        ]
+
+    def test_diamond_pool_plan_matches_direct_backend_execution(self):
+        graph = make_diamond_graph(8, n_outputs=4, rng=3)
+        replicas = self._mixed_pool()
+        profiles = {
+            "ideal": ReplicaProfile(name="ideal", service_s=1e-4, macs=64),
+            "quant": ReplicaProfile(name="quant", service_s=1e-4, macs=64),
+        }
+        plan = compile_for_pool(
+            graph, replicas, profiles=profiles, strategy="balanced", cache=None
+        )
+        # the two parallel branches sit in the same level, on distinct replicas
+        by_name = {step.op_name: step for step in plan.steps}
+        assert by_name["left"].level == by_name["right"].level == 0
+        assert by_name["left"].replica != by_name["right"].replica
+        assert plan.n_levels == 3
+
+        async def scenario():
+            # both modes inside one server session: replica queues bind to
+            # the running event loop, so pools are not reusable across loops
+            async with InferenceServer(replicas) as server:
+                column = np.linspace(-2, 2, 8)
+                gathered = await plan.run(server, column, concurrency="levels")
+                serial = await plan.run(server, column, concurrency="sequential")
+                return gathered, serial
+
+        backends = {
+            "ideal": resolve_backend("ideal-digital"),
+            "quant": resolve_backend(
+                "quantized-digital", weight_bits=12, input_bits=12
+            ),
+        }
+
+        def matmul(weights, columns):
+            op_name = next(
+                step.op_name
+                for step in plan.steps
+                if step.kind == "dense" and step.op.weights is weights
+            )
+            return backends[by_name[op_name].replica].matmul(
+                np.asarray(weights, dtype=float), columns
+            )
+
+        want = graph.reference_forward(np.linspace(-2, 2, 8), matmul=matmul)[:, 0]
+        gathered, serial = run_async(scenario())
+        assert np.array_equal(gathered, want)
+        assert np.array_equal(serial, want)
+
+    def test_unknown_concurrency_rejected(self):
+        graph = make_diamond_graph(8, rng=0)
+        replicas = [Replica("r0", GemmEngine(name="r0"))]
+        plan = compile_for_pool(
+            graph,
+            replicas,
+            profiles={"r0": ReplicaProfile(name="r0", service_s=1e-4, macs=16)},
+            cache=None,
+        )
+
+        async def scenario():
+            async with InferenceServer(replicas) as server:
+                with pytest.raises(ValueError):
+                    await plan.run(server, np.ones(8), concurrency="chaotic")
+
+        run_async(scenario())
+
+    def test_glue_ops_are_never_placed(self):
+        graph = make_diamond_graph(8, rng=0)
+        placement = place_graph(
+            graph, {"r0": ReplicaProfile(name="r0", service_s=1e-4, macs=16)}
+        )
+        assert set(placement.assignments) == {"left", "right", "head"}

@@ -379,6 +379,29 @@ class TestBatching:
 
         assert run_async(scenario()).shape == (3,)
 
+    def test_expected_columns_reports_observed_then_configured_width(self, rng):
+        weights = rng.normal(size=(4, 4))
+
+        async def scenario():
+            engine = GemmEngine(backend="ideal-digital", weights=weights)
+            replica = Replica("r0", engine, max_batch=16, max_wait_s=0.0)
+            # before any traffic: the configured fusing bound
+            assert replica.expected_columns() == 16
+            server = InferenceServer([replica])
+            server._started = True  # queue before starting the loop task
+            futures = [
+                server.submit_nowait(rng.normal(size=4)) for _ in range(8)
+            ]
+            await server.start()
+            await asyncio.gather(*futures)
+            await server.shutdown()
+            return replica
+
+        replica = run_async(scenario())
+        # after traffic: the observed mean fused batch (8 requests, 1 batch)
+        assert replica.batcher.expected_columns() == 8
+        assert replica.expected_columns() == 8
+
 
 # --------------------------------------------------------------------- #
 # scheduling, admission control, backpressure

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Validate internal Markdown links across the repo's documentation.
+
+Scans every ``*.md`` file under :data:`DOC_DIRS` — the repo root plus
+``docs/``, ``examples/``, ``benchmarks/``, ``tests/`` and ``src/``
+(recursively) — for inline links ``[text](target)`` and checks that:
+
+* relative file targets exist on disk;
+* ``#anchor`` fragments (same-file or cross-file) resolve to a heading in
+  the target file, using GitHub's slug rules (lowercase, formatting
+  stripped, punctuation dropped, spaces to hyphens).
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+this is the *internal* consistency gate CI runs so docs can't silently
+rot when files move or headings get renamed.
+
+Usage::
+
+    python tools/check_links.py          # exit 1 on any broken link
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories scanned for Markdown files (recursively).
+DOC_DIRS = (".", "docs", "examples", "benchmarks", "tests", "src")
+
+#: Inline Markdown link: [text](target) — images share the syntax.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ATX heading at line start (fenced code blocks are masked out first).
+HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+FENCE_PATTERN = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line.
+
+    Backticks are formatting and vanish; word characters (underscores
+    included) and hyphens survive; everything else (``*``, ``.``, ``:``,
+    …) is dropped; spaces become hyphens.
+    """
+    text = heading.strip().replace("`", "").lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files() -> list[Path]:
+    """Every Markdown file under the scanned directories, deduplicated."""
+    files: set[Path] = set()
+    for directory in DOC_DIRS:
+        base = REPO_ROOT / directory
+        if directory == ".":
+            files.update(base.glob("*.md"))
+        elif base.is_dir():
+            files.update(base.rglob("*.md"))
+    return sorted(files)
+
+
+@functools.lru_cache(maxsize=None)
+def anchors_of(path: Path) -> set[str]:
+    """Slugs of every heading in a Markdown file (duplicates not suffixed).
+
+    Cached per path — heavily anchor-linked files (the README) are parsed
+    once per run, not once per link.
+    """
+    text = FENCE_PATTERN.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(match.group(2)) for match in HEADING_PATTERN.finditer(text)}
+
+
+def check_file(path: Path) -> list[str]:
+    """Return a list of broken-link descriptions for one Markdown file."""
+    problems: list[str] = []
+    text = FENCE_PATTERN.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, fragment = target.partition("#")
+        if target:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(REPO_ROOT)}: missing file {target!r}")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.suffix.lower() != ".md":
+                continue  # anchors into non-Markdown files are not checked
+            if fragment not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: anchor #{fragment} not found "
+                    f"in {resolved.relative_to(REPO_ROOT)}"
+                )
+    return problems
+
+
+def main() -> int:
+    """Check every documentation file; print problems and return 1 if any."""
+    problems: list[str] = []
+    files = markdown_files()
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} broken link(s) across {len(files)} file(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"all internal links resolve across {len(files)} Markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
