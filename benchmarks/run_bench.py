@@ -17,6 +17,7 @@ repository root:
       "compiler": {"plan_vs_naive": {...}, "k_sharding": {...}, "routing": {...}},
       "compiler_dag": {"diamond": {...}, "batch_aware_sharding": {...},
                        "branch_parallel": {...}},
+      "soc_datapath": {"k_sharding": {...}, "branch_fusion": {...}},
       "history": [{"machine": ..., "results": {...}, "soc_offload": {...}}, ...]
     }
 
@@ -35,6 +36,12 @@ diamond-graph equivalence figures on both executors, the batch-aware
 rows-vs-K sharding flip (decision and measured cycles at batch 1 vs 32),
 and the branch-parallel speedup of level dispatch over sequential
 execution on a fan-out graph served by a replica pool.
+
+The ``soc_datapath`` section holds the zero-copy datapath benchmark:
+staged vs descriptor-based in-place K-shard operand streaming (cycles,
+staging traffic, per-engine DMA bytes) and sequential vs branch-fused
+multi-head lowering at 2 and 4 PEs (measured and cost-model-predicted
+cycles), both with bitwise oracles.
 
 Future performance PRs compare their run against ``latest`` (and the
 trajectory in ``history``) to prove a speedup or catch a regression.
@@ -139,6 +146,113 @@ def collect_soc_offload(pe_counts=(1, 2, 4), shape=(32, 16, 16)) -> dict:
             "wall_s": wall_s,
         }
     return section
+
+
+def collect_soc_datapath(quick: bool = False) -> dict:
+    """Zero-copy datapath benchmark: in-place K-shards and branch fusion.
+
+    Two legs, both with bitwise oracles so the trajectory never records a
+    speedup bought with wrong numbers:
+
+    * ``k_sharding``: the same K-sharded GeMM run twice on fresh 2-PE SoCs
+      — the legacy staged layout (operand slices copied to the staging
+      region) vs the descriptor-based in-place datapath (strided DMA reads
+      straight from the operand matrices).  Records cycles, staging
+      traffic and per-engine DMA bytes; the in-place run must not be
+      slower and must perform zero staging writes.
+    * ``branch_fusion``: a multi-head model compiled twice per cluster
+      size — per-branch lowering (``fuse="never"``) vs the cost-model
+      driven fused stacked offload (``fuse="auto"``).  Records measured
+      and predicted cycles; the fused plan must not be slower where the
+      model predicts a win.
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy as np
+
+    from repro.compiler import SoCCostModel, compile_for_soc
+    from repro.eval import make_gemm_workload, make_multi_head_graph
+    from repro.system import PhotonicSoC
+
+    def cluster(n_pes):
+        soc = PhotonicSoC()
+        for _ in range(n_pes):
+            soc.add_photonic_accelerator()
+        return soc
+
+    # -- staged vs in-place K-sharded operand streaming ------------------- #
+    shape = (16, 16, 8) if quick else (32, 16, 16)
+    weights, inputs = make_gemm_workload(*shape, rng=0)
+    golden = weights @ inputs
+    points = {}
+    for mode in ("staged", "in-place"):
+        soc = cluster(2)
+        report = soc.run_tiled_gemm(weights, inputs, k_shards=2, k_staging=mode)
+        assert np.array_equal(report.result, golden), f"{mode} K-shard mismatch"
+        points[mode] = {
+            "cycles": report.cycles,
+            "pipelined_cycles": report.pipeline["pipelined_cycles"],
+            "serial_cycles": report.pipeline["serial_cycles"],
+            "staging_cycles": report.pipeline["staging_cycles"],
+            "staging_words": report.pipeline["staging_words"],
+            "dma_bytes_moved": {
+                name: stats["bytes_moved"] for name, stats in report.dma.items()
+            },
+        }
+    assert points["in-place"]["cycles"] <= points["staged"]["cycles"], (
+        "in-place K-sharding regressed past the staged baseline"
+    )
+    assert points["in-place"]["staging_words"] == 0, (
+        "in-place K-sharding still writes to the staging region"
+    )
+    k_sharding = {
+        "shape": list(shape),
+        "k_shards": 2,
+        "n_pes": 2,
+        "exact": True,
+        "speedup": points["staged"]["cycles"] / points["in-place"]["cycles"],
+        **points,
+    }
+
+    # -- sequential vs branch-fused multi-head lowering ------------------- #
+    graph = make_multi_head_graph(n_features=12, head_sizes=(3, 3, 3, 3), rng=2)
+    columns = np.arange(12 * 2).reshape(12, 2) % 7 - 3
+    reference = graph.reference_forward(columns).astype(np.int64)
+    pe_counts = (2,) if quick else (2, 4)
+    fusion_points = {}
+    for n_pes in pe_counts:
+        cost_model = SoCCostModel.calibrate(cluster(n_pes))
+        fused = compile_for_soc(
+            graph, cluster(n_pes), cost_model=cost_model, n_columns=2, cache=None
+        )
+        plain = compile_for_soc(
+            graph, cluster(n_pes), cost_model=cost_model, n_columns=2,
+            fuse="never", cache=None,
+        )
+        assert np.array_equal(fused.run(columns), reference), "fused plan mismatch"
+        assert np.array_equal(plain.run(columns), reference), "plain plan mismatch"
+        fused_steps = [s for s in fused.steps if s.kind == "fused-dense"]
+        assert fused_steps, "cost model declined fusion on the benchmark shape"
+        assert fused.total_cycles <= plain.total_cycles, (
+            f"{n_pes}-PE fused plan regressed past sequential lowering"
+        )
+        step = fused_steps[0]
+        fusion_points[f"{n_pes}pe"] = {
+            "fused_cycles": fused.total_cycles,
+            "sequential_cycles": plain.total_cycles,
+            "speedup": plain.total_cycles / fused.total_cycles,
+            "predicted_fused_cycles": step.predicted_fused_cycles,
+            "predicted_serial_cycles": step.predicted_serial_cycles,
+            "offloads_fused": len(fused.reports),
+            "offloads_sequential": len(plain.reports),
+        }
+    branch_fusion = {
+        "graph": "multi-head (12 features, 4x3 heads)",
+        "n_columns": 2,
+        "exact": True,
+        **fusion_points,
+    }
+    return {"k_sharding": k_sharding, "branch_fusion": branch_fusion}
 
 
 def collect_serving(quick: bool = False) -> dict:
@@ -581,7 +695,7 @@ def collect_compiler_dag(quick: bool = False) -> dict:
 
 def update_trajectory(
     output: Path, results: dict, soc_offload: dict, serving: dict, compiler: dict,
-    compiler_dag: dict,
+    compiler_dag: dict, soc_datapath: dict,
 ) -> dict:
     """Write the condensed results, appending to any existing history."""
     record = {
@@ -592,6 +706,7 @@ def update_trajectory(
         "serving": serving,
         "compiler": compiler,
         "compiler_dag": compiler_dag,
+        "soc_datapath": soc_datapath,
     }
     payload = {
         "latest": results,
@@ -599,6 +714,7 @@ def update_trajectory(
         "serving": serving,
         "compiler": compiler,
         "compiler_dag": compiler_dag,
+        "soc_datapath": soc_datapath,
         "history": [],
     }
     if output.exists():
@@ -647,12 +763,14 @@ def main() -> int:
     serving = collect_serving(quick=args.quick)
     compiler = collect_compiler(quick=args.quick)
     compiler_dag = collect_compiler_dag(quick=args.quick)
+    soc_datapath = collect_soc_datapath(quick=args.quick)
 
     if args.quick:
         print("quick mode: trajectory file not updated")
     else:
         update_trajectory(
-            args.output, results, soc_offload, serving, compiler, compiler_dag
+            args.output, results, soc_offload, serving, compiler, compiler_dag,
+            soc_datapath,
         )
         print(f"wrote {args.output} ({len(results)} benchmarks)")
     for name, stats in sorted(results.items()):
@@ -702,6 +820,23 @@ def main() -> int:
         f"sequential -> {branches['levels_s'] * 1e3:.1f} ms level dispatch "
         f"({branches['speedup']:.1f}x)"
     )
+    datapath_k = soc_datapath["k_sharding"]
+    print(
+        f"  soc_datapath/k_sharding: {datapath_k['staged']['cycles']} cycles "
+        f"staged -> {datapath_k['in-place']['cycles']} in-place "
+        f"({datapath_k['speedup']:.2f}x, staging words "
+        f"{datapath_k['staged']['staging_words']} -> "
+        f"{datapath_k['in-place']['staging_words']})"
+    )
+    for name, stats in sorted(soc_datapath["branch_fusion"].items()):
+        if not isinstance(stats, dict):
+            continue
+        print(
+            f"  soc_datapath/branch_fusion/{name}: "
+            f"{stats['sequential_cycles']} cycles sequential -> "
+            f"{stats['fused_cycles']} fused ({stats['speedup']:.2f}x, "
+            f"{stats['offloads_sequential']} -> {stats['offloads_fused']} offloads)"
+        )
     return exit_code
 
 

@@ -15,6 +15,7 @@ replica-pinned serving requests dispatched level-parallel — cached by
 
 from repro.compiler.costmodel import (
     DEFAULT_PROBE_SHAPES,
+    FanoutPrediction,
     PlanPrediction,
     ReplicaProfile,
     SoCCostModel,
@@ -25,6 +26,7 @@ from repro.compiler.costmodel import (
 )
 from repro.compiler.execute import (
     DEFAULT_PLAN_CACHE,
+    FUSION_MODES,
     POOL_CONCURRENCY,
     SOC_ACTIVATIONS,
     PlanCache,
@@ -55,8 +57,10 @@ from repro.compiler.ops import (
 )
 from repro.compiler.partition import (
     PLACEMENT_STRATEGIES,
+    FusionDecision,
     Placement,
     ShardingDecision,
+    choose_fusion,
     choose_sharding,
     expected_batch_width,
     place_graph,
@@ -68,6 +72,9 @@ __all__ = [
     "DEFAULT_PLAN_CACHE",
     "DEFAULT_PROBE_SHAPES",
     "DenseOp",
+    "FUSION_MODES",
+    "FanoutPrediction",
+    "FusionDecision",
     "GraphError",
     "GraphOp",
     "INPUT_BUFFER",
@@ -89,6 +96,7 @@ __all__ = [
     "SoCPlan",
     "SplitOp",
     "StreamPrediction",
+    "choose_fusion",
     "choose_sharding",
     "compile_for_pool",
     "compile_for_soc",

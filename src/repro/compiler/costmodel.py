@@ -99,6 +99,27 @@ class StreamPrediction:
 
 
 @dataclass
+class FanoutPrediction:
+    """Predicted cycles of a same-input dense fan-out, fused vs sequential.
+
+    Attributes:
+        fused_cycles: best predicted cycles of ONE vertically-stacked
+            offload covering every branch (rows = sum of branch rows,
+            inner = the shared/fused reduction width).
+        serial_cycles: sum of each branch's best predicted cycles when
+            offloaded one after the other.
+    """
+
+    fused_cycles: float
+    serial_cycles: float
+
+    @property
+    def fuse(self) -> bool:
+        """True when the fused offload is predicted to be faster."""
+        return self.fused_cycles < self.serial_cycles
+
+
+@dataclass
 class PlanPrediction:
     """Predicted cycles of a whole sharded-GeMM plan."""
 
@@ -442,6 +463,77 @@ class SoCCostModel:
             float(np.array([n_tiles, n_streams, 1.0]) @ self.host_coeffs), 0.0
         )
         return prediction
+
+    def best_gemm_cycles(
+        self,
+        n_rows: int,
+        n_inner: int,
+        n_cols: int,
+        n_pes: Optional[int] = None,
+        tile_rows: Optional[int] = None,
+    ) -> float:
+        """Best predicted pipelined cycles over every candidate partition.
+
+        The same argmin :func:`~repro.compiler.partition.choose_sharding`
+        runs — row sharding plus each viable K-slice count — collapsed to
+        its winning cycle count, so fusion comparisons weigh each side at
+        its best sharding rather than a fixed one.
+        """
+        n_pes = self.n_pes if n_pes is None else int(n_pes)
+        best = self.predict_gemm(
+            n_rows, n_inner, n_cols, n_pes=n_pes, tile_rows=tile_rows
+        ).pipelined_cycles
+        for k_shards in range(2, min(n_pes, n_inner) + 1):
+            best = min(
+                best,
+                self.predict_gemm(
+                    n_rows, n_inner, n_cols, n_pes=n_pes, k_shards=k_shards,
+                    tile_rows=tile_rows,
+                ).pipelined_cycles,
+            )
+        return best
+
+    def predict_fanout(
+        self,
+        branch_shapes: Sequence[Tuple[int, int]],
+        fused_inner: int,
+        n_cols: int,
+        n_pes: Optional[int] = None,
+        tile_rows: Optional[int] = None,
+    ) -> FanoutPrediction:
+        """Predict a same-input dense fan-out, fused vs sequential.
+
+        Args:
+            branch_shapes: per-branch ``(n_rows, n_inner)`` GeMM shapes.
+            fused_inner: reduction width of the stacked offload — equal to
+                the branches' shared width for a plain fan-out, or the
+                full source width when split heads are embedded
+                block-diagonally (the zero padding is real streamed work,
+                which is exactly why the decision needs a prediction).
+            n_cols: expected batch width.
+            n_pes / tile_rows: cluster size and row-tiling override.
+
+        Returns:
+            The :class:`FanoutPrediction` comparing one stacked offload
+            against the branches offloaded one after the other, each side
+            at its best sharding.
+        """
+        if not branch_shapes:
+            raise ValueError("predict_fanout needs at least one branch shape")
+        serial = sum(
+            self.best_gemm_cycles(
+                rows, inner, n_cols, n_pes=n_pes, tile_rows=tile_rows
+            )
+            for rows, inner in branch_shapes
+        )
+        fused = self.best_gemm_cycles(
+            sum(rows for rows, _ in branch_shapes),
+            fused_inner,
+            n_cols,
+            n_pes=n_pes,
+            tile_rows=tile_rows,
+        )
+        return FanoutPrediction(fused_cycles=fused, serial_cycles=serial)
 
     def cycles_to_s(self, cycles: float) -> float:
         """Convert simulated cycles to seconds at the calibrated clock."""

@@ -44,6 +44,7 @@ from repro.compiler.costmodel import ReplicaProfile, SoCCostModel, profile_repli
 from repro.compiler.graph import INPUT_BUFFER, GraphError, ModelGraph
 from repro.compiler.partition import (
     Placement,
+    choose_fusion,
     choose_sharding,
     expected_batch_width,
     place_graph,
@@ -53,6 +54,12 @@ from repro.serving.errors import ServingError
 
 #: Activations an integer SoC offload can apply in its digital epilogue.
 SOC_ACTIVATIONS = ("identity", "relu")
+
+#: Branch-fusion modes of ``compile_for_soc``: ``"auto"`` fuses same-input
+#: dense fan-outs when :func:`~repro.compiler.partition.choose_fusion` says
+#: it pays, ``"always"`` fuses every eligible group, ``"never"`` keeps one
+#: offload per dense op (the pre-fusion lowering).
+FUSION_MODES = ("auto", "always", "never")
 
 #: Pool-plan execution modes: ``"levels"`` dispatches each dependency
 #: level's dense ops concurrently (branch parallelism across replicas);
@@ -139,6 +146,7 @@ def soc_fingerprint(
     tile_rows: Optional[int] = None,
     cost_model: Optional[SoCCostModel] = None,
     n_columns: int = 1,
+    fuse: str = "auto",
 ) -> str:
     """Hardware fingerprint of an SoC configuration for plan caching.
 
@@ -147,11 +155,13 @@ def soc_fingerprint(
         k_shards / tile_rows: sharding overrides baked into the plan.
         cost_model: calibration the sharding decisions were made with.
         n_columns: batch width the decisions were optimised for.
+        fuse: branch-fusion mode the plan was compiled with
+            (:data:`FUSION_MODES`).
 
     Returns:
         A hex digest covering clock, accelerator roster (device types,
-        backends, scratchpad sizes), sharding overrides, batch width and
-        the cost-model coefficients.
+        backends, scratchpad sizes), sharding overrides, batch width,
+        fusion mode and the cost-model coefficients.
     """
     digest = hashlib.sha1()
     digest.update(b"soc|")
@@ -161,7 +171,7 @@ def soc_fingerprint(
         digest.update(accelerator.backend.name.encode())
         digest.update(str(accelerator.input_spm.size_bytes).encode())
         digest.update(b",")
-    digest.update(f"k={k_shards}|t={tile_rows}|n={n_columns}|".encode())
+    digest.update(f"k={k_shards}|t={tile_rows}|n={n_columns}|f={fuse}|".encode())
     digest.update(cost_model_fingerprint(cost_model).encode())
     return digest.hexdigest()
 
@@ -202,19 +212,30 @@ class SoCLayerStep:
     """One compiled step of an SoC plan (a dense offload or host glue).
 
     Attributes:
-        op_name: the graph node this step executes.
-        kind: op kind (``"dense"`` offloads; anything else is host glue).
+        op_name: the graph node this step executes (a synthetic
+            ``fused(...)`` label for branch-fused steps).
+        kind: op kind (``"dense"`` offloads one op; ``"fused-dense"``
+            offloads a whole same-input fan-out as one stacked GeMM;
+            anything else is host glue).
         inputs: producer buffer names in edge order (empty = graph input).
         release: buffers freed after this step (their last consumer).
         weights / bias: integer operands of a dense offload (``None`` for
-            glue steps).
-        activation: integer epilogue (``identity`` / ``relu``).
+            glue steps; fused steps carry the stacked weights and keep
+            per-branch biases in ``branches``).
+        activation: integer epilogue (``identity`` / ``relu``; fused steps
+            apply per-branch epilogues from ``branches`` instead).
         sharding: ``"rows"`` | ``"k"`` for dense steps, ``"host"`` for glue.
         k_shards: K-slice count of a K-sharded dense step (else 1).
         op: the glue :class:`~repro.compiler.ops.GraphOp` executed
             host-side (``None`` for dense steps).
         predicted_cycles: cost-model estimate for the step (0 for glue
             under a model, ``None`` without one).
+        branches: fused-dense only — per-branch ``(name, n_rows, bias,
+            activation)`` tuples in stacking order; the host splits the
+            offload's output rows back into these buffers.
+        predicted_fused_cycles / predicted_serial_cycles: the cost-model
+            comparison behind a fused step's fusion decision (``None``
+            without a model).
     """
 
     op_name: str
@@ -228,6 +249,9 @@ class SoCLayerStep:
     release: Tuple[str, ...] = ()
     op: Optional[object] = None
     predicted_cycles: Optional[float] = None
+    branches: Tuple[Tuple[str, int, Optional[np.ndarray], str], ...] = ()
+    predicted_fused_cycles: Optional[float] = None
+    predicted_serial_cycles: Optional[float] = None
 
 
 @dataclass
@@ -262,10 +286,12 @@ class SoCPlan:
         """Execute the schedule on integer input columns ``(n_in, batch)``.
 
         Dense steps offload through ``run_tiled_gemm`` with their compiled
-        sharding; glue steps execute host-side in exact ``int64``
-        arithmetic.  Intermediate buffers are freed at their last
-        consumer, so peak residency follows the DAG's live frontier
-        instead of its total op count.
+        sharding; fused-dense steps offload a whole same-input fan-out as
+        one stacked GeMM, then split the output rows back into per-branch
+        buffers (bias/activation applied per branch) host-side; glue steps
+        execute host-side in exact ``int64`` arithmetic.  Intermediate
+        buffers are freed at their last consumer, so peak residency
+        follows the DAG's live frontier instead of its total op count.
 
         Args:
             columns: ``(n_in,)`` vector or ``(n_in, batch)`` integer block
@@ -281,6 +307,27 @@ class SoCPlan:
         buffers: Dict[str, np.ndarray] = {INPUT_BUFFER: block}
         for step in self.steps:
             sources = [buffers[name] for name in step.inputs or (INPUT_BUFFER,)]
+            if step.kind == "fused-dense":
+                report = self.soc.run_tiled_gemm(
+                    step.weights,
+                    sources[0],
+                    tile_rows=self.tile_rows,
+                    k_shards=step.k_shards if step.sharding == "k" else None,
+                )
+                self.reports.append(report)
+                stacked = report.result
+                row = 0
+                for name, n_rows, bias, activation in step.branches:
+                    out = stacked[row : row + n_rows]
+                    row += n_rows
+                    if bias is not None:
+                        out = out + bias[:, None]
+                    if activation == "relu":
+                        out = np.maximum(out, 0)
+                    buffers[name] = out
+                for name in step.release:
+                    del buffers[name]
+                continue
             if step.kind == "dense":
                 report = self.soc.run_tiled_gemm(
                     step.weights,
@@ -302,12 +349,91 @@ class SoCPlan:
         return buffers[self.output]
 
 
+def _fanout_groups(schedule) -> List[dict]:
+    """Detect same-source dense fan-outs eligible for vertical fusion.
+
+    Two shapes qualify:
+
+    * **plain fan-out** — two or more dense ops reading the *same* buffer
+      (diamond / fan-out graphs): their weight matrices stack vertically
+      as-is.
+    * **split heads** — dense ops each reading its own identity
+      :class:`~repro.compiler.ops.SplitOp` view of one shared source
+      (multi-head graphs): each head's weights embed block-diagonally
+      into the full source width, zero columns outside its slice.  The
+      embedding is exact in integer arithmetic — the padded positions
+      contribute zero to every dot product — but the zeros are real
+      streamed work, which is why padded groups are flagged for the
+      fusion cost decision.
+
+    Returns a list of group dicts with the members (schedule items, in
+    schedule order), the shared ``source`` buffer the fused step reads,
+    per-member column ``slices`` (``None`` for plain stacking), the
+    ``fused_inner`` reduction width and the ``padded`` flag.
+    """
+    by_name = {item.op.name: item for item in schedule}
+    grouped: "OrderedDict[Tuple[str, str], List]" = OrderedDict()
+    spans: Dict[str, Optional[Tuple[int, int]]] = {}
+    for item in schedule:
+        op = item.op
+        if op.kind != "dense":
+            continue
+        deps = item.inputs or (INPUT_BUFFER,)
+        if len(deps) != 1:
+            continue
+        dep = deps[0]
+        producer = by_name.get(dep)
+        if (
+            producer is not None
+            and producer.op.kind == "split"
+            and producer.op.activation == "identity"
+            and op.n_inputs == producer.op.stop - producer.op.start
+        ):
+            source = producer.inputs[0] if producer.inputs else INPUT_BUFFER
+            grouped.setdefault(("split", source), []).append(item)
+            spans[op.name] = (producer.op.start, producer.op.stop)
+        else:
+            grouped.setdefault(("direct", dep), []).append(item)
+            spans[op.name] = None
+    groups: List[dict] = []
+    for (mode, source), members in grouped.items():
+        if len(members) < 2:
+            continue
+        if mode == "split":
+            widths = {
+                by_name[member.inputs[0]].op.n_features for member in members
+            }
+            if len(widths) != 1:
+                continue
+            fused_inner = widths.pop()
+            slices = [spans[member.op.name] for member in members]
+            padded = any(span != (0, fused_inner) for span in slices)
+        else:
+            widths = {member.op.n_inputs for member in members}
+            if len(widths) != 1:
+                continue
+            fused_inner = widths.pop()
+            slices = [None] * len(members)
+            padded = False
+        groups.append(
+            {
+                "source": source,
+                "members": members,
+                "slices": slices,
+                "fused_inner": fused_inner,
+                "padded": padded,
+            }
+        )
+    return groups
+
+
 def compile_for_soc(
     graph: ModelGraph,
     soc,
     cost_model: Optional[SoCCostModel] = None,
     tile_rows: Optional[int] = None,
     n_columns: Union[int, object] = 1,
+    fuse: str = "auto",
     cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
 ) -> SoCPlan:
     """Compile a model graph into a sharded SoC offload schedule.
@@ -326,31 +452,46 @@ def compile_for_soc(
     time and only integer-preserving activations
     (:data:`SOC_ACTIVATIONS`) are accepted.
 
+    Independent dense ops reading the same buffer — plain fan-outs, or
+    multi-head groups reading identity splits of one source — can fuse
+    into a **single vertically-stacked offload** whose output rows the
+    host splits back into per-branch buffers (exact integer arithmetic
+    either way).  ``fuse`` picks the policy (:data:`FUSION_MODES`):
+    ``"auto"`` asks :func:`~repro.compiler.partition.choose_fusion` —
+    cost-model-driven when one is supplied — ``"always"`` fuses every
+    eligible group, ``"never"`` disables fusion.
+
     Args:
         graph: the model to lower.
         soc: a :class:`~repro.system.soc.PhotonicSoC` with accelerators.
         cost_model: calibrated predictor driving the sharding decisions.
         tile_rows: row-tiling override for every offload.
         n_columns: expected batch width (or a serving object carrying it).
+        fuse: branch-fusion mode (:data:`FUSION_MODES`).
         cache: plan cache (``None`` disables caching).
 
     Returns:
         The executable :class:`SoCPlan`.
 
     Raises:
-        ValueError: when the SoC has no accelerators or the batch width is
-            invalid.
+        ValueError: when the SoC has no accelerators, the batch width is
+            invalid or the fusion mode is unknown.
         GraphError: for graphs whose activations cannot lower to the
             integer datapath, or unresolved multi-sink outputs.
     """
     if not getattr(soc, "accelerators", None):
         raise ValueError("SoC plan needs a PhotonicSoC with accelerators attached")
+    if fuse not in FUSION_MODES:
+        raise ValueError(
+            f"unknown fusion mode {fuse!r} (choose from {FUSION_MODES})"
+        )
     n_columns = expected_batch_width(n_columns)
     schedule = graph.schedule()  # validates output/cycles before cache lookup
     key = (
         graph.graph_hash(),
         soc_fingerprint(
-            soc, tile_rows=tile_rows, cost_model=cost_model, n_columns=n_columns
+            soc, tile_rows=tile_rows, cost_model=cost_model,
+            n_columns=n_columns, fuse=fuse,
         ),
     )
     if cache is not None:
@@ -358,6 +499,80 @@ def compile_for_soc(
         if cached is not None and cached.soc is soc:
             return cached
     n_pes = len(soc.accelerators)
+    output_name = graph.output_name()
+
+    def round_int(values) -> np.ndarray:
+        return np.asarray(np.round(np.asarray(values, dtype=float)), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # branch fusion: same-input dense fan-outs collapse into one stacked
+    # offload each; the fused step replaces the group's first member and
+    # split ops whose every consumer fused away are pruned
+    # ------------------------------------------------------------------ #
+    fused_steps: Dict[str, SoCLayerStep] = {}
+    skip_names: set = set()
+    if fuse != "never":
+        consumers: Dict[str, set] = {}
+        for item in schedule:
+            for dep in item.inputs or (INPUT_BUFFER,):
+                consumers.setdefault(dep, set()).add(item.op.name)
+        fused_groups = []
+        fused_member_names: set = set()
+        for group in _fanout_groups(schedule):
+            shapes = [
+                (member.op.n_outputs, member.op.n_inputs)
+                for member in group["members"]
+            ]
+            decision = choose_fusion(
+                shapes, group["fused_inner"], n_columns, n_pes,
+                cost_model=cost_model, tile_rows=tile_rows,
+                padded=group["padded"],
+            )
+            if not (decision.fuse or fuse == "always"):
+                continue
+            fused_groups.append((group, decision))
+            fused_member_names.update(
+                member.op.name for member in group["members"]
+            )
+        for group, decision in fused_groups:
+            members = group["members"]
+            total_rows = sum(member.op.n_outputs for member in members)
+            weights = np.zeros((total_rows, group["fused_inner"]), dtype=np.int64)
+            branches = []
+            row = 0
+            for member, span in zip(members, group["slices"]):
+                op = member.op
+                start, stop = span if span is not None else (0, group["fused_inner"])
+                weights[row : row + op.n_outputs, start:stop] = round_int(op.weights)
+                bias = round_int(op.bias) if op.bias is not None else None
+                branches.append((op.name, op.n_outputs, bias, op.activation))
+                row += op.n_outputs
+            shard = choose_sharding(
+                total_rows, group["fused_inner"], n_columns, n_pes,
+                cost_model=cost_model, tile_rows=tile_rows,
+            )
+            fused_steps[members[0].op.name] = SoCLayerStep(
+                op_name="fused(" + "+".join(branch[0] for branch in branches) + ")",
+                weights=weights,
+                bias=None,
+                activation="identity",
+                sharding=shard.strategy,
+                k_shards=shard.k_shards,
+                kind="fused-dense",
+                inputs=() if group["source"] == INPUT_BUFFER else (group["source"],),
+                branches=tuple(branches),
+                predicted_cycles=shard.predicted_cycles,
+                predicted_fused_cycles=decision.predicted_fused_cycles,
+                predicted_serial_cycles=decision.predicted_serial_cycles,
+            )
+            skip_names.update(member.op.name for member in members[1:])
+            for member in members:
+                dep = (member.inputs or (INPUT_BUFFER,))[0]
+                if dep == group["source"]:
+                    continue  # plain fan-out: the dep IS the fused input
+                if dep != output_name and consumers[dep] <= fused_member_names:
+                    skip_names.add(dep)
+
     steps: List[SoCLayerStep] = []
     predicted_total: Optional[float] = 0.0 if cost_model is not None else None
     for item in schedule:
@@ -368,7 +583,14 @@ def compile_for_soc(
                 f"lowered to the integer SoC datapath "
                 f"(supported: {SOC_ACTIVATIONS})"
             )
-        if op.kind != "dense":
+        decision_cycles: Optional[float]
+        if op.name in fused_steps:
+            step = fused_steps[op.name]
+            steps.append(step)
+            decision_cycles = step.predicted_cycles
+        elif op.name in skip_names:
+            continue
+        elif op.kind != "dense":
             steps.append(
                 SoCLayerStep(
                     op_name=op.name,
@@ -385,35 +607,50 @@ def compile_for_soc(
                 )
             )
             continue
-        weights = np.asarray(np.round(np.asarray(op.weights, dtype=float)), dtype=np.int64)
-        bias = None
-        if op.bias is not None:
-            bias = np.asarray(np.round(np.asarray(op.bias, dtype=float)), dtype=np.int64)
-        decision = choose_sharding(
-            op.n_outputs, op.n_inputs, n_columns, n_pes,
-            cost_model=cost_model, tile_rows=tile_rows,
-        )
-        steps.append(
-            SoCLayerStep(
-                op_name=op.name,
-                weights=weights,
-                bias=bias,
-                activation=op.activation,
-                sharding=decision.strategy,
-                k_shards=decision.k_shards,
-                kind="dense",
-                inputs=item.inputs,
-                release=item.release,
-                predicted_cycles=decision.predicted_cycles,
+        else:
+            bias = round_int(op.bias) if op.bias is not None else None
+            decision = choose_sharding(
+                op.n_outputs, op.n_inputs, n_columns, n_pes,
+                cost_model=cost_model, tile_rows=tile_rows,
             )
-        )
+            steps.append(
+                SoCLayerStep(
+                    op_name=op.name,
+                    weights=round_int(op.weights),
+                    bias=bias,
+                    activation=op.activation,
+                    sharding=decision.strategy,
+                    k_shards=decision.k_shards,
+                    kind="dense",
+                    inputs=item.inputs,
+                    release=item.release,
+                    predicted_cycles=decision.predicted_cycles,
+                )
+            )
+            decision_cycles = decision.predicted_cycles
         if predicted_total is not None:
-            if decision.predicted_cycles is None:
+            if decision_cycles is None:
                 # a single missing per-layer prediction must yield "no
                 # total", not a silently understated one
                 predicted_total = None
             else:
-                predicted_total += decision.predicted_cycles
+                predicted_total += decision_cycles
+    if fused_steps:
+        # fusion moved producers and pruned steps, so every release set is
+        # recomputed from scratch over the final step list (same last-use
+        # rule the schedule itself applies)
+        last_use: Dict[str, int] = {}
+        for index, step in enumerate(steps):
+            for dep in step.inputs or (INPUT_BUFFER,):
+                last_use[dep] = index
+        for index, step in enumerate(steps):
+            deps = step.inputs or (INPUT_BUFFER,)
+            step.release = tuple(sorted(
+                {
+                    dep for dep in deps
+                    if last_use[dep] == index and dep != output_name
+                }
+            ))
     plan = SoCPlan(
         soc=soc,
         graph_hash=key[0],

@@ -39,6 +39,23 @@ PLACEMENT_STRATEGIES = ("min-cost", "balanced")
 
 
 @dataclass(frozen=True)
+class FusionDecision:
+    """Whether a same-input dense fan-out is fused into one offload.
+
+    Attributes:
+        fuse: True when the branches lower as one vertically-stacked GeMM.
+        predicted_fused_cycles: cost-model estimate of the stacked offload
+            (None when the decision came from the shape heuristic).
+        predicted_serial_cycles: cost-model estimate of offloading the
+            branches one after the other (None without a model).
+    """
+
+    fuse: bool
+    predicted_fused_cycles: Optional[float] = None
+    predicted_serial_cycles: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class ShardingDecision:
     """How one GeMM layer is split across the PE cluster.
 
@@ -162,6 +179,74 @@ def choose_sharding(
     if n_rows < n_pes and n_inner >= n_pes:
         return ShardingDecision(strategy="k", k_shards=max_k)
     return ShardingDecision(strategy="rows", k_shards=1)
+
+
+def choose_fusion(
+    branch_shapes,
+    fused_inner: int,
+    n_cols: int,
+    n_pes: int,
+    cost_model: Optional[SoCCostModel] = None,
+    tile_rows: Optional[int] = None,
+    padded: bool = False,
+) -> FusionDecision:
+    """Decide whether a same-input dense fan-out fuses into one offload.
+
+    Independent dense branches reading the same buffer can lower as a
+    single vertically-stacked GeMM — one offload's driver/DMA cost instead
+    of one per branch, with the output split back into branch rows on the
+    host.  Whether that wins is a cost question: a plain fan-out stacks
+    the weights for free, but split heads embed block-diagonally into the
+    full source width and the zero padding is real streamed work.
+
+    With a calibrated cost model the decision is
+    :meth:`~repro.compiler.costmodel.SoCCostModel.predict_fanout` — fused
+    and sequential each priced at their best sharding, at the expected
+    batch width.  Without one the decision is **no fusion**: stacking
+    changes which shardings are reachable (and padded split-head stacks
+    stream zero columns as real work), so fusing is only worth it when a
+    measured model predicts it — callers who want it anyway force it with
+    ``compile_for_soc(..., fuse="always")``.
+
+    Args:
+        branch_shapes: per-branch ``(n_rows, n_inner)`` GeMM shapes.
+        fused_inner: reduction width of the stacked offload.
+        n_cols: expected batch width.
+        n_pes: accelerator count of the target cluster.
+        cost_model: calibrated predictor; ``None`` falls back to the
+            heuristic.
+        tile_rows: row-tiling override forwarded to the predictions.
+        padded: True when branches embed block-diagonally (split heads)
+            rather than stacking their exact weights (plain fan-out).
+
+    Returns:
+        The :class:`FusionDecision`.
+
+    Raises:
+        ValueError: for empty branch lists or non-positive dimensions.
+    """
+    branch_shapes = list(branch_shapes)
+    if len(branch_shapes) < 2:
+        raise ValueError("fusion needs at least two branches")
+    for rows, inner in branch_shapes:
+        if min(rows, inner) < 1:
+            raise ValueError(
+                f"branch dimensions must be positive, got ({rows}, {inner})"
+            )
+    if min(fused_inner, n_cols) < 1:
+        raise ValueError("fused_inner and n_cols must be positive")
+    if n_pes < 1:
+        raise ValueError("n_pes must be >= 1")
+    if cost_model is None:
+        return FusionDecision(fuse=False)
+    prediction = cost_model.predict_fanout(
+        branch_shapes, fused_inner, n_cols, n_pes=n_pes, tile_rows=tile_rows
+    )
+    return FusionDecision(
+        fuse=prediction.fuse,
+        predicted_fused_cycles=prediction.fused_cycles,
+        predicted_serial_cycles=prediction.serial_cycles,
+    )
 
 
 @dataclass

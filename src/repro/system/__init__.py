@@ -34,7 +34,7 @@ from repro.system.isa import Instruction, IllegalInstructionError, parse_registe
 from repro.system.assembler import assemble, AssemblyError, Program
 from repro.system.cpu import RiscvCPU, CPUStats, CPUError
 from repro.system.interrupt import InterruptController, InterruptLine
-from repro.system.dma import DMAEngine, DMAStats
+from repro.system.dma import DMADescriptor, DMAEngine, DMAStats, GatherDescriptor
 from repro.system.dfg import DataflowGraph, DFGNode, ScheduleResult, build_gemm_dfg, DataflowError
 from repro.system.accelerator import (
     BaseMatrixAccelerator,
@@ -100,8 +100,10 @@ __all__ = [
     "CPUError",
     "InterruptController",
     "InterruptLine",
+    "DMADescriptor",
     "DMAEngine",
     "DMAStats",
+    "GatherDescriptor",
     "DataflowGraph",
     "DFGNode",
     "ScheduleResult",

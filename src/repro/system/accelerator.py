@@ -47,7 +47,7 @@ from repro.core.energy import PhotonicCoreEnergyModel
 from repro.core.mvm import PhotonicMVM
 from repro.system.bus import SystemBus
 from repro.system.dfg import build_gemm_dfg
-from repro.system.dma import DMAEngine
+from repro.system.dma import DMADescriptor, DMAEngine
 from repro.system.event import EventScheduler
 from repro.system.interrupt import InterruptController
 from repro.system.memory import (
@@ -68,6 +68,7 @@ REG_COLS = 5        # N: input-matrix columns
 REG_SCALE_SHIFT = 6  # fixed-point scaling shift applied to results
 REG_FLAGS = 7       # per-tile flags (see FLAG_*)
 REG_TILES_DONE = 8  # device-written: completed-tile count of the stream
+REG_WEIGHTS_PITCH = 9  # row pitch (words) of the weight operand; 0 = dense
 
 #: REG_FLAGS bits.  The default (0) loads the input operand, which keeps
 #: the classic single-shot START protocol unchanged.
@@ -85,6 +86,11 @@ class TileDescriptor:
         load_input: DMA the input operand in; ``False`` reuses the operand
             already resident in the input scratchpad (input-stationary
             streams where only the weight tile changes).
+        weights_pitch: row pitch of the weight operand in main memory, in
+            words.  ``0`` (or ``== inner``) means the tile is densely
+            packed; a larger pitch makes the fetch a strided DMA descriptor
+            that streams the ``rows x inner`` slice of a wider row-major
+            matrix in place, without a host staging copy.
     """
 
     weights_addr: int
@@ -95,6 +101,7 @@ class TileDescriptor:
     cols: int
     scale_shift: int = 0
     load_input: bool = True
+    weights_pitch: int = 0
 
     @property
     def weight_words(self) -> int:
@@ -114,6 +121,8 @@ class TileDescriptor:
 
     @property
     def valid(self) -> bool:
+        if self.weights_pitch and self.weights_pitch < self.inner:
+            return False
         return min(self.rows, self.inner, self.cols) >= 1
 
 
@@ -226,6 +235,7 @@ class BaseMatrixAccelerator:
             cols=self.mmr.data_register(REG_COLS),
             scale_shift=self.mmr.data_register(REG_SCALE_SHIFT),
             load_input=not flags & FLAG_SKIP_INPUT_LOAD,
+            weights_pitch=self.mmr.data_register(REG_WEIGHTS_PITCH),
         )
 
     def _tile_fit(self, descriptor: TileDescriptor) -> Optional[str]:
@@ -359,8 +369,18 @@ class BaseMatrixAccelerator:
             self._exclusive_active = True
         else:
             self._next_buffer = (self._next_buffer + 1) % self.n_buffers
+        weight_source = descriptor.weights_addr
+        if descriptor.weights_pitch and descriptor.weights_pitch != descriptor.inner:
+            # the tile is a column slice of a wider row-major matrix: one
+            # strided descriptor streams it in place over the bus
+            weight_source = DMADescriptor(
+                base=descriptor.weights_addr,
+                block_words=descriptor.inner,
+                n_blocks=descriptor.rows,
+                stride_words=descriptor.weights_pitch,
+            )
         latency = self.dma.copy_to_scratchpad(
-            descriptor.weights_addr,
+            weight_source,
             self.weight_spm,
             self._buffer_offset(self.weight_spm, job.buffer),
             descriptor.weight_words,

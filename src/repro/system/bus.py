@@ -215,6 +215,79 @@ class SystemBus:
             latency = max(latency, word_latency)
         return values, latency
 
+    def read_strided(
+        self,
+        address: int,
+        block_words: int,
+        n_blocks: int,
+        stride_words: int,
+        initiator: Optional[str] = None,
+    ):
+        """Bulk read of a strided sequence of blocks; returns
+        ``(values, per_word_latency)``.
+
+        Accounting-equivalent to ``n_blocks`` :meth:`read_block` calls of
+        ``block_words`` words each, resolved through a single address decode
+        when the whole span stays inside one main-memory mapping.  This is
+        how a DMA descriptor with ``stride_words > block_words`` streams a
+        matrix column slice in place, without host staging copies.
+        """
+        total = n_blocks * block_words
+        if total == 0:
+            return np.zeros(0, dtype=np.uint32), 0
+        if n_blocks == 1 or stride_words in (0, block_words):
+            return self.read_block(address, total, initiator=initiator)
+        mapping = self.find(address)
+        target = mapping.target
+        span_end = address + ((n_blocks - 1) * stride_words + block_words) * WORD_BYTES
+        if isinstance(target, MainMemory) and stride_words >= 0 and span_end <= mapping.end:
+            self.transfers += total
+            values = target.read_strided(
+                address - mapping.base, block_words, n_blocks, stride_words
+            )
+            delay = self._arbitration_delay(initiator)
+            return values, self.traversal_latency + target.read_latency + delay
+        pieces = []
+        latency = 0
+        for index in range(n_blocks):
+            values, block_latency = self.read_block(
+                address + index * stride_words * WORD_BYTES,
+                block_words,
+                initiator=initiator,
+            )
+            pieces.append(values)
+            latency = max(latency, block_latency)
+        return np.concatenate(pieces), latency
+
+    def read_gather(self, addresses, block_words: int, initiator: Optional[str] = None):
+        """Bulk read of one block per (arbitrary) address; returns
+        ``(values, per_word_latency)`` — the irregular-access sibling of
+        :meth:`read_strided`."""
+        addresses = [int(address) for address in addresses]
+        if not addresses or block_words == 0:
+            return np.zeros(0, dtype=np.uint32), 0
+        mapping = self.find(min(addresses))
+        target = mapping.target
+        if isinstance(target, MainMemory) and all(
+            mapping.base <= address and address + block_words * WORD_BYTES <= mapping.end
+            for address in addresses
+        ):
+            self.transfers += len(addresses) * block_words
+            values = target.read_gather(
+                [address - mapping.base for address in addresses], block_words
+            )
+            delay = self._arbitration_delay(initiator)
+            return values, self.traversal_latency + target.read_latency + delay
+        pieces = []
+        latency = 0
+        for address in addresses:
+            values, block_latency = self.read_block(
+                address, block_words, initiator=initiator
+            )
+            pieces.append(values)
+            latency = max(latency, block_latency)
+        return np.concatenate(pieces), latency
+
     def write_block(self, address: int, values, initiator: Optional[str] = None) -> int:
         """Bulk write of consecutive words; returns the per-word latency."""
         values = np.asarray(values)

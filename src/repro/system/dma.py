@@ -8,16 +8,83 @@ energy analysis needs.  Transfers move as single bulk (vectorised) block
 copies through ``SystemBus.read_block``/``write_block`` — bitwise equal to
 the historical word-at-a-time loop with identical cycle/energy accounting,
 just without the Python-level per-word overhead.
+
+Transfers are described either by a plain ``(address, n_words)`` pair or by
+a :class:`DMADescriptor` — base / block length / block count / stride —
+which lets a single transfer stream a strided view such as the column slice
+``A[:, k0:k1]`` of a row-major matrix directly from its original bus
+addresses.  :class:`GatherDescriptor` covers irregular address lists.  Both
+are charged with the same burst model as a contiguous transfer of equal
+word count: the burst engine re-registers at block boundaries for free, but
+every word still crosses the bus and is counted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple, Union
 
 from repro.system.bus import SystemBus
 from repro.system.event import EventScheduler
 from repro.system.memory import MainMemory, WORD_BYTES
+
+
+@dataclass(frozen=True)
+class DMADescriptor:
+    """A strided transfer: ``n_blocks`` blocks of ``block_words`` words,
+    consecutive block bases ``stride_words`` apart.
+
+    ``stride_words == 0`` (or ``== block_words``) describes a contiguous
+    transfer; ``stride_words > block_words`` skips words between blocks,
+    which is exactly the shape of a row-major matrix column slice.
+    """
+
+    base: int
+    block_words: int
+    n_blocks: int = 1
+    stride_words: int = 0
+
+    def __post_init__(self):
+        if self.base < 0:
+            raise ValueError("descriptor base must be >= 0")
+        if self.block_words < 0 or self.n_blocks < 0:
+            raise ValueError("descriptor block shape must be >= 0")
+        if self.stride_words < 0:
+            raise ValueError("descriptor stride must be >= 0")
+        if self.n_blocks > 1 and 0 < self.stride_words < self.block_words:
+            raise ValueError("descriptor blocks overlap: stride < block length")
+
+    @property
+    def n_words(self) -> int:
+        """Total words the descriptor moves."""
+        return self.block_words * self.n_blocks
+
+    @property
+    def contiguous(self) -> bool:
+        """True when the blocks form one gap-free range."""
+        return self.n_blocks <= 1 or self.stride_words in (0, self.block_words)
+
+
+@dataclass(frozen=True)
+class GatherDescriptor:
+    """A gather transfer: one ``block_words``-sized block per address."""
+
+    addresses: Tuple[int, ...]
+    block_words: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "addresses", tuple(int(a) for a in self.addresses))
+        if any(address < 0 for address in self.addresses):
+            raise ValueError("gather addresses must be >= 0")
+        if self.block_words < 0:
+            raise ValueError("gather block length must be >= 0")
+
+    @property
+    def n_words(self) -> int:
+        return self.block_words * len(self.addresses)
+
+
+Source = Union[int, DMADescriptor, GatherDescriptor]
 
 
 @dataclass
@@ -43,6 +110,13 @@ class DMAEngine:
         words_per_burst: words moved per burst; bursts pipeline so the
             effective per-word cost drops for long transfers.
         energy_per_word: DMA engine energy per word moved [J].
+
+    The engine is busy for the whole modelled transfer window, callback or
+    not.  Several transfers issued in the *same* cycle chain as one
+    descriptor list — the window extends by each transfer's latency, which
+    is how an accelerator queues its weights + input fetches back to back.
+    Issuing from a strictly later cycle while the window is still open is a
+    programming error and raises.
     """
 
     def __init__(
@@ -61,7 +135,19 @@ class DMAEngine:
         self.energy_per_word = float(energy_per_word)
         self.name = name
         self.stats = DMAStats()
-        self.busy = False
+        self._busy_until = 0
+        self._issue_cycle = -1
+
+    @property
+    def busy(self) -> bool:
+        """True while the modelled transfer window of the last transfer
+        (or chain of same-cycle transfers) is still open."""
+        return self.scheduler.current_cycle < self._busy_until
+
+    def _check_idle(self) -> None:
+        now = self.scheduler.current_cycle
+        if now < self._busy_until and now > self._issue_cycle:
+            raise RuntimeError(f"{self.name} is already busy")
 
     def _transfer_latency(self, n_words: int, per_word_latency: int) -> int:
         """Cycle cost of a transfer with burst pipelining.
@@ -76,7 +162,7 @@ class DMAEngine:
 
     def copy_to_scratchpad(
         self,
-        source_address: int,
+        source: Source,
         destination: MainMemory,
         destination_offset: int,
         n_words: int,
@@ -84,19 +170,38 @@ class DMAEngine:
     ) -> int:
         """Copy ``n_words`` from bus address space into a scratchpad.
 
-        Returns the modelled transfer latency in cycles.  The data is moved
-        immediately (functional view); the completion callback fires after
-        the latency has elapsed (timing view).
+        ``source`` is either a plain word-aligned bus address (contiguous
+        transfer) or a :class:`DMADescriptor`/:class:`GatherDescriptor`,
+        whose word count must match ``n_words``.  Returns the modelled
+        transfer latency in cycles.  The data is moved immediately
+        (functional view); the completion callback fires after the latency
+        has elapsed (timing view).
         """
-        if self.busy:
-            raise RuntimeError(f"{self.name} is already busy")
+        self._check_idle()
+        if isinstance(source, (DMADescriptor, GatherDescriptor)) and source.n_words != n_words:
+            raise ValueError(
+                f"descriptor moves {source.n_words} words, transfer asked for {n_words}"
+            )
         per_word_latency = 0
         self.bus.begin_stream(self.name)
         try:
             if n_words:
-                values, per_word_latency = self.bus.read_block(
-                    source_address, n_words, initiator=self.name
-                )
+                if isinstance(source, DMADescriptor):
+                    values, per_word_latency = self.bus.read_strided(
+                        source.base,
+                        source.block_words,
+                        source.n_blocks,
+                        source.stride_words,
+                        initiator=self.name,
+                    )
+                elif isinstance(source, GatherDescriptor):
+                    values, per_word_latency = self.bus.read_gather(
+                        source.addresses, source.block_words, initiator=self.name
+                    )
+                else:
+                    values, per_word_latency = self.bus.read_block(
+                        source, n_words, initiator=self.name
+                    )
                 destination.write_block(destination_offset, values)
         except Exception:
             # a faulted transfer must not leave a phantom stream taxing
@@ -114,8 +219,7 @@ class DMAEngine:
         on_complete: Optional[Callable[[], None]] = None,
     ) -> int:
         """Copy ``n_words`` from a scratchpad into bus address space."""
-        if self.busy:
-            raise RuntimeError(f"{self.name} is already busy")
+        self._check_idle()
         per_word_latency = 0
         self.bus.begin_stream(self.name)
         try:
@@ -134,23 +238,23 @@ class DMAEngine:
         self.stats.transfers += 1
         self.stats.words_moved += n_words
         self.stats.busy_cycles += latency
+        now = self.scheduler.current_cycle
+        window_start = max(now, self._busy_until)
+        self._busy_until = window_start + latency
+        self._issue_cycle = now
         if self.bus.arbitration_penalty > 0:
             # hold the bus grant for the modelled transfer window so other
             # streams see contention; with arbitration off, begin_stream was
             # a no-op and no release event perturbs the event queue
             self.scheduler.schedule(
-                latency,
+                self._busy_until - now,
                 lambda: self.bus.end_stream(self.name),
                 label=f"{self.name}-bus-release",
             )
         if on_complete is not None:
-            self.busy = True
-
-            def _complete():
-                self.busy = False
-                on_complete()
-
-            self.scheduler.schedule(latency, _complete, label=f"{self.name}-done")
+            self.scheduler.schedule(
+                self._busy_until - now, on_complete, label=f"{self.name}-done"
+            )
         return latency
 
     def energy_j(self) -> float:

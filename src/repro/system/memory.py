@@ -131,6 +131,50 @@ class MainMemory:
         self.stats.writes += words.size
         self._words[index : index + words.size] = words
 
+    def read_strided(
+        self, address: int, block_words: int, n_blocks: int, stride_words: int
+    ) -> np.ndarray:
+        """Bulk read of ``n_blocks`` blocks of ``block_words`` words each,
+        consecutive blocks ``stride_words`` words apart (counted as reads).
+
+        This is the memory-side of a strided DMA descriptor: it lets a DMA
+        engine stream a row-major matrix column slice ``A[:, k0:k1]``
+        straight from its original location, without a host staging copy.
+        """
+        if n_blocks < 0 or block_words < 0:
+            raise MemoryAccessError("negative strided block shape")
+        if stride_words < 0:
+            raise MemoryAccessError("negative block stride")
+        if n_blocks == 0 or block_words == 0:
+            return np.zeros(0, dtype=np.uint32)
+        base = self._block_index(address, block_words)
+        # with a non-negative stride the first block starts lowest and the
+        # last block ends highest, so validating both bounds covers the rest
+        self._block_index(address + (n_blocks - 1) * stride_words * WORD_BYTES, block_words)
+        offsets = (
+            base
+            + np.arange(n_blocks, dtype=np.int64)[:, None] * stride_words
+            + np.arange(block_words, dtype=np.int64)[None, :]
+        )
+        self.stats.reads += n_blocks * block_words
+        return self._words[offsets].reshape(-1)
+
+    def read_gather(self, addresses, block_words: int) -> np.ndarray:
+        """Bulk read of one ``block_words``-sized block per address
+        (counted as reads) — the irregular-access sibling of
+        :meth:`read_strided`."""
+        if block_words < 0:
+            raise MemoryAccessError("negative block length")
+        starts = [self._block_index(int(address), block_words) for address in addresses]
+        if not starts or block_words == 0:
+            return np.zeros(0, dtype=np.uint32)
+        offsets = (
+            np.asarray(starts, dtype=np.int64)[:, None]
+            + np.arange(block_words, dtype=np.int64)[None, :]
+        )
+        self.stats.reads += len(starts) * block_words
+        return self._words[offsets].reshape(-1)
+
     def load_words(self, address: int, values) -> None:
         """Bulk-initialise memory starting at ``address`` (no stats impact)."""
         words = signed_to_words(list(values))

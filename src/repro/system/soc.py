@@ -29,6 +29,7 @@ from repro.system.accelerator import (
     REG_ROWS,
     REG_SCALE_SHIFT,
     REG_WEIGHTS_ADDR,
+    REG_WEIGHTS_PITCH,
     TileDescriptor,
 )
 from repro.system.assembler import assemble
@@ -63,6 +64,7 @@ def plan_shards(
     b_addr: int,
     c_addr: int,
     tile_rows: Optional[int] = None,
+    weights_pitch: int = 0,
 ) -> List[List[TileDescriptor]]:
     """Shard an (M, K, N) GeMM into per-PE tile streams.
 
@@ -72,6 +74,12 @@ def plan_shards(
     prefetch).  The ``(K, N)`` input operand is shared: only the first tile
     of each stream carries ``load_input`` and later tiles reuse the
     resident scratchpad copy (input-stationary dataflow).
+
+    ``weights_pitch`` (words) describes the row pitch of the weight operand
+    in memory.  The default ``0`` means densely packed (pitch = ``n_inner``);
+    a larger pitch means the operand is a column slice ``A[:, k0:k1]`` of a
+    wider row-major matrix, which the tiles then fetch with a strided DMA
+    descriptor instead of requiring a contiguous staged copy.
     """
     if min(n_rows, n_inner, n_cols) < 1:
         raise ValueError(
@@ -82,6 +90,9 @@ def plan_shards(
         raise ValueError("n_pes must be >= 1")
     if tile_rows is not None and tile_rows < 1:
         raise ValueError("tile_rows must be >= 1")
+    if weights_pitch and weights_pitch < n_inner:
+        raise ValueError("weights_pitch must be 0 or >= n_inner")
+    row_pitch = weights_pitch if weights_pitch else n_inner
     plans: List[List[TileDescriptor]] = []
     for rows in np.array_split(np.arange(n_rows), n_pes):
         descriptors: List[TileDescriptor] = []
@@ -92,13 +103,14 @@ def plan_shards(
                 first_row = int(chunk[0])
                 descriptors.append(
                     TileDescriptor(
-                        weights_addr=a_addr + first_row * n_inner * WORD_BYTES,
+                        weights_addr=a_addr + first_row * row_pitch * WORD_BYTES,
                         input_addr=b_addr,
                         output_addr=c_addr + first_row * n_cols * WORD_BYTES,
                         rows=int(chunk.size),
                         inner=n_inner,
                         cols=n_cols,
                         load_input=start == 0,
+                        weights_pitch=weights_pitch,
                     )
                 )
         plans.append(descriptors)
@@ -113,11 +125,13 @@ K_STAGING_ADDR = 0x0004_0000
 class KShardSlice:
     """One K-slice of a K-sharded (M, K, N) GeMM.
 
-    The slice owns staged contiguous copies of its operands —
-    ``A[:, k_start:k_stop]`` at ``a_addr`` and ``B[k_start:k_stop, :]`` at
-    ``b_addr`` — and writes its (M, N) partial product to ``partial_addr``.
-    ``descriptors`` is the slice's row-tiled stream for one PE's
-    double-buffered pipeline.
+    The slice's operands are ``A[:, k_start:k_stop]`` at ``a_addr`` and
+    ``B[k_start:k_stop, :]`` at ``b_addr``; its (M, N) partial product goes
+    to ``partial_addr``.  On the default in-place plan the operand
+    addresses point straight into the original matrices (the weight slice
+    is a strided view fetched by descriptor); on a staged plan they point
+    at contiguous staged copies.  ``descriptors`` is the slice's row-tiled
+    stream for one PE's double-buffered pipeline.
     """
 
     index: int
@@ -140,16 +154,24 @@ def plan_k_shards(
     k_shards: int,
     staging_addr: int = K_STAGING_ADDR,
     tile_rows: Optional[int] = None,
+    a_addr: Optional[int] = None,
+    b_addr: Optional[int] = None,
 ) -> List[KShardSlice]:
     """Split the K (inner) dimension of an (M, K, N) GeMM into PE slices.
 
     Closes the rows-only gap of :func:`plan_shards`: each slice is a full
     (M, K_s, N) sub-GeMM whose (M, N) partial product accumulates into the
-    final result.  Operand slices are staged as contiguous copies (the DMA
-    engines move contiguous word blocks; a strided gather DMA remains an
-    open roadmap item), laid out back-to-back from ``staging_addr``:
+    final result.  Two operand layouts are supported:
 
-    ``[A_0 | B_0 | C_0 | A_1 | B_1 | C_1 | ...]``
+    * **Staged** (``a_addr``/``b_addr`` omitted — the historical layout):
+      operand slices live as contiguous copies laid out back-to-back from
+      ``staging_addr`` as ``[A_0 | B_0 | C_0 | A_1 | B_1 | C_1 | ...]``;
+      the caller must copy them there before launch.
+    * **In place** (``a_addr`` and ``b_addr`` given): operand slices are
+      read straight from the original matrices — ``A[:, k_start:k_stop]``
+      becomes a strided DMA descriptor (``weights_pitch = n_inner``) and
+      ``B[k_start:k_stop, :]`` a contiguous row range — so only the (M, N)
+      partial-product buffers are allocated from ``staging_addr``.
 
     Every slice's stream starts with ``load_input=True`` (each slice has
     its own ``B`` operand) and row-tiles the slice exactly like
@@ -166,25 +188,37 @@ def plan_k_shards(
         raise ValueError(
             f"cannot split K={n_inner} into {k_shards} shards (need k_shards <= K)"
         )
+    if (a_addr is None) != (b_addr is None):
+        raise ValueError("in-place planning needs both a_addr and b_addr")
+    in_place = a_addr is not None
     slices: List[KShardSlice] = []
     cursor = int(staging_addr)
     for index, columns in enumerate(np.array_split(np.arange(n_inner), k_shards)):
         k_start, k_stop = int(columns[0]), int(columns[-1]) + 1
         k_size = k_stop - k_start
-        a_addr = cursor
-        b_addr = a_addr + n_rows * k_size * WORD_BYTES
-        partial_addr = b_addr + k_size * n_cols * WORD_BYTES
-        cursor = partial_addr + n_rows * n_cols * WORD_BYTES
+        if in_place:
+            slice_a = a_addr + k_start * WORD_BYTES
+            slice_b = b_addr + k_start * n_cols * WORD_BYTES
+            partial_addr = cursor
+            cursor = partial_addr + n_rows * n_cols * WORD_BYTES
+            weights_pitch = n_inner
+        else:
+            slice_a = cursor
+            slice_b = slice_a + n_rows * k_size * WORD_BYTES
+            partial_addr = slice_b + k_size * n_cols * WORD_BYTES
+            cursor = partial_addr + n_rows * n_cols * WORD_BYTES
+            weights_pitch = 0
         descriptors = plan_shards(
-            n_rows, k_size, n_cols, 1, a_addr, b_addr, partial_addr, tile_rows=tile_rows
+            n_rows, k_size, n_cols, 1, slice_a, slice_b, partial_addr,
+            tile_rows=tile_rows, weights_pitch=weights_pitch,
         )[0]
         slices.append(
             KShardSlice(
                 index=index,
                 k_start=k_start,
                 k_stop=k_stop,
-                a_addr=a_addr,
-                b_addr=b_addr,
+                a_addr=slice_a,
+                b_addr=slice_b,
                 partial_addr=partial_addr,
                 descriptors=tuple(descriptors),
             )
@@ -221,6 +255,11 @@ class WorkloadReport:
     #: with no intra-PE overlap), pipelined_cycles, overlap_cycles and
     #: intra_pe_overlap_cycles (what double buffering alone saved).
     pipeline: Dict[str, int] = field(default_factory=dict)
+    #: per-DMA-channel traffic of this run (delta-based, like the pipeline
+    #: phases): ``{engine_name: {transfers, words_moved, bytes_moved,
+    #: busy_cycles}}`` — the observable before/after of any data-movement
+    #: change, in every report rather than only in the benchmarks.
+    dma: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def energy_per_cycle(self) -> float:
@@ -429,10 +468,13 @@ class PhotonicSoC:
             n_cols,
             use_interrupt=use_interrupt,
         )
+        dma_snapshot = self._dma_snapshot()
         cycles = self.run_program(source)
         result = self.read_matrix(c_addr, n_rows, n_cols)
         label = f"offload-{accelerator.device_type}" + ("-irq" if use_interrupt else "")
-        return self._report(label, cycles, result)
+        report = self._report(label, cycles, result)
+        self._dma_accounting(report, dma_snapshot)
+        return report
 
     def _enqueue_streams(self, plans: List[List[TileDescriptor]], irq_per_tile: bool):
         """Program every PE's tile stream through its MMR block.
@@ -446,6 +488,10 @@ class PhotonicSoC:
         host_cycles = 0
         n_tiles = 0
         for accelerator, descriptors in zip(self.accelerators, plans):
+            # Only strided streams program the pitch register, so the host
+            # driver cost (and the register traffic) of the classic dense
+            # row-path streams is unchanged.
+            stream_uses_pitch = any(d.weights_pitch for d in descriptors)
             for descriptor in descriptors:
                 registers = {
                     REG_WEIGHTS_ADDR: descriptor.weights_addr,
@@ -457,6 +503,8 @@ class PhotonicSoC:
                     REG_SCALE_SHIFT: descriptor.scale_shift,
                     REG_FLAGS: 0 if descriptor.load_input else FLAG_SKIP_INPUT_LOAD,
                 }
+                if stream_uses_pitch:
+                    registers[REG_WEIGHTS_PITCH] = descriptor.weights_pitch
                 for index, value in registers.items():
                     host_cycles += self.bus.write_word(
                         accelerator.mmr_base + 0x08 + index * WORD_BYTES, value
@@ -464,11 +512,15 @@ class PhotonicSoC:
                 host_cycles += self.bus.write_word(accelerator.mmr_base, CTRL_ENQUEUE)
                 n_tiles += 1
             if descriptors:
-                # restore the protocol default (load-input) so a later
-                # single-shot offload does not latch a stale skip flag
+                # restore the protocol defaults (load-input, dense pitch) so
+                # a later single-shot offload does not latch stale state
                 host_cycles += self.bus.write_word(
                     accelerator.mmr_base + 0x08 + REG_FLAGS * WORD_BYTES, 0
                 )
+                if stream_uses_pitch:
+                    host_cycles += self.bus.write_word(
+                        accelerator.mmr_base + 0x08 + REG_WEIGHTS_PITCH * WORD_BYTES, 0
+                    )
                 host_cycles += self.bus.write_word(accelerator.mmr_base, start_bits)
         return host_cycles, n_tiles
 
@@ -493,6 +545,33 @@ class PhotonicSoC:
                 f"(STATUS_ERROR: tile invalid or larger than the scratchpad)"
             )
         return final_cycle - start_cycle
+
+    def _dma_snapshot(self) -> Dict[str, tuple]:
+        """Per-engine DMA counter snapshot (for delta-based reporting)."""
+        snapshot: Dict[str, tuple] = {}
+        for accelerator in self.accelerators:
+            for engine in (accelerator.dma, accelerator.dma_wb):
+                snapshot[engine.name] = (
+                    engine.stats.transfers,
+                    engine.stats.words_moved,
+                    engine.stats.busy_cycles,
+                )
+        return snapshot
+
+    def _dma_accounting(self, report: WorkloadReport, snapshot: Dict[str, tuple]) -> None:
+        """Fill ``report.dma`` with per-channel traffic deltas of this run."""
+        traffic: Dict[str, Dict[str, int]] = {}
+        for accelerator in self.accelerators:
+            for engine in (accelerator.dma, accelerator.dma_wb):
+                before = snapshot.get(engine.name, (0, 0, 0))
+                words = engine.stats.words_moved - before[1]
+                traffic[engine.name] = {
+                    "transfers": engine.stats.transfers - before[0],
+                    "words_moved": words,
+                    "bytes_moved": words * WORD_BYTES,
+                    "busy_cycles": engine.stats.busy_cycles - before[2],
+                }
+        report.dma = traffic
 
     def _pipeline_accounting(
         self,
@@ -544,6 +623,7 @@ class PhotonicSoC:
         tile_rows: Optional[int] = None,
         irq_per_tile: bool = False,
         k_shards: Optional[int] = None,
+        k_staging: str = "in-place",
     ) -> WorkloadReport:
         """Shard the GeMM across every attached accelerator (PE cluster).
 
@@ -569,9 +649,17 @@ class PhotonicSoC:
                 unsharded product for deterministic backends (integer
                 partial sums are exact; results must fit 32-bit words, the
                 same constraint the row-sharded path has).
+            k_staging: K-shard operand layout.  ``"in-place"`` (default)
+                streams each slice's operands straight from the original
+                matrices — the weight slice via a strided DMA descriptor —
+                with zero host staging copies; ``"staged"`` keeps the
+                historical contiguous staging copies, now charged as real
+                bus traffic so the two layouts compare apples to apples.
         """
         if not self.accelerators:
             raise RuntimeError("no accelerator attached")
+        if k_staging not in ("in-place", "staged"):
+            raise ValueError(f"unknown k_staging mode {k_staging!r}")
         weights = np.asarray(weights, dtype=np.int64)
         inputs = np.asarray(inputs, dtype=np.int64)
         n_rows, n_inner = weights.shape
@@ -579,7 +667,8 @@ class PhotonicSoC:
         n_pes = len(self.accelerators)
         if k_shards is not None and int(k_shards) > 1:
             return self._run_k_sharded_gemm(
-                weights, inputs, c_addr, tile_rows, irq_per_tile, int(k_shards)
+                weights, inputs, c_addr, tile_rows, irq_per_tile, int(k_shards),
+                a_addr=a_addr, b_addr=b_addr, staged=k_staging == "staged",
             )
         plans = plan_shards(
             n_rows, n_inner, n_cols, n_pes, a_addr, b_addr, c_addr, tile_rows=tile_rows
@@ -590,6 +679,7 @@ class PhotonicSoC:
         phase_snapshot = [
             (pe.stats.dma_cycles, pe.stats.compute_cycles) for pe in self.accelerators
         ]
+        dma_snapshot = self._dma_snapshot()
         energy_before = self._energy_breakdown()
         instructions_before = self.cpu.stats.instructions
         host_cycles, n_tiles = self._enqueue_streams(plans, irq_per_tile)
@@ -603,6 +693,7 @@ class PhotonicSoC:
             instructions_before,
         )
         self._pipeline_accounting(report, phase_snapshot, host_cycles, n_tiles)
+        self._dma_accounting(report, dma_snapshot)
         return report
 
     def _run_k_sharded_gemm(
@@ -614,6 +705,9 @@ class PhotonicSoC:
         irq_per_tile: bool,
         k_shards: int,
         staging_addr: int = K_STAGING_ADDR,
+        a_addr: int = 0x1000,
+        b_addr: int = 0x4000,
+        staged: bool = False,
     ) -> WorkloadReport:
         """K-dimension sharding: per-slice partial products + accumulation.
 
@@ -624,38 +718,45 @@ class PhotonicSoC:
         one bulk write — the accumulation cost appears on both sides of the
         pipelined-vs-serial comparison so the reported overlap is still the
         pipeline's own win.
+
+        By default the operand slices are read **in place**: the weight
+        slice ``A[:, k_start:k_stop]`` is a strided view of the row-major
+        matrix at ``a_addr``, so each tile programs ``REG_WEIGHTS_PITCH``
+        and its DMA fetch becomes one strided descriptor
+        (``system/dma.py:DMADescriptor``) streaming the slice straight from
+        its original bus addresses; ``B[k_start:k_stop, :]`` is a
+        contiguous row range of the matrix at ``b_addr`` and needs no
+        descriptor at all.  Only the (M, N) partial-product buffers are
+        allocated from ``staging_addr``, and the host copies nothing.
+
+        ``staged=True`` keeps the historical layout — contiguous operand
+        copies per slice — as a measurable comparison point: the staging
+        copies are charged as real bus traffic (strided read of each weight
+        slice, bulk read of each input range, bulk writes into the staging
+        region, plus the partial-buffer zeroing the in-place path does not
+        need), using the same first-word-per-block burst accounting as the
+        accumulation phase.  Both modes are bitwise identical.
         """
         n_rows, n_inner = weights.shape
         n_cols = inputs.shape[1]
         n_pes = len(self.accelerators)
+        n_words = n_rows * n_cols
         slices = plan_k_shards(
             n_rows, n_inner, n_cols, k_shards, staging_addr=staging_addr,
             tile_rows=tile_rows,
+            a_addr=None if staged else a_addr,
+            b_addr=None if staged else b_addr,
         )
-        needed = slices[-1].partial_addr + n_rows * n_cols * WORD_BYTES
+        needed = slices[-1].partial_addr + n_words * WORD_BYTES
         if needed > self.main_memory.size_bytes:
             raise ValueError(
                 f"K-shard staging region [{staging_addr:#x}, {needed:#x}) exceeds "
                 f"main memory ({self.main_memory.size_bytes:#x} bytes)"
             )
-        # Stage contiguous operand slices (host setup, unaccounted — the
-        # same convention as the row path's write_matrix operand loads).
-        #
-        # LIMITATION (strided DMA): A[:, k_start:k_stop] is a *strided*
-        # view of the row-major weight matrix, and B[k_start:k_stop, :] a
-        # row range of the input, so each K-slice's operands are copied
-        # into a fresh contiguous staging region before launch because the
-        # DMA engines (system/dma.py) move contiguous word blocks only.  A
-        # gather/strided DMA descriptor would let tile streams read the
-        # original operands in place and remove this host-side copy — the
-        # open ROADMAP item points here.
-        for piece in slices:
-            self.write_matrix(piece.a_addr, weights[:, piece.k_start : piece.k_stop])
-            self.write_matrix(piece.b_addr, inputs[piece.k_start : piece.k_stop, :])
-            # zero the partial region so a stale buffer can never alias
-            self.write_matrix(
-                piece.partial_addr, np.zeros((n_rows, n_cols), dtype=np.int64)
-            )
+        # Operand load: host setup, unaccounted — the same convention as
+        # the row path's write_matrix operand loads.
+        self.write_matrix(a_addr, weights)
+        self.write_matrix(b_addr, inputs)
         plans: List[List[TileDescriptor]] = [[] for _ in range(n_pes)]
         for piece in slices:
             plans[piece.index % n_pes].extend(piece.descriptors)
@@ -663,15 +764,51 @@ class PhotonicSoC:
         phase_snapshot = [
             (pe.stats.dma_cycles, pe.stats.compute_cycles) for pe in self.accelerators
         ]
+        dma_snapshot = self._dma_snapshot()
         energy_before = self._energy_breakdown()
         instructions_before = self.cpu.stats.instructions
+
+        staging_cycles = 0
+        staging_words = 0
+        if staged:
+            # Host-side staging copies, charged with the same burst model
+            # as the accumulation phase: the first word of each block pays
+            # the access latency, the rest stream one word per cycle.  Each
+            # word crosses the bus twice (read from the original matrix,
+            # write into the staging region), and both crossings count.
+            for piece in slices:
+                n_a = n_rows * piece.k_size
+                values, per_word = self.bus.read_strided(
+                    a_addr + piece.k_start * WORD_BYTES,
+                    piece.k_size, n_rows, n_inner,
+                )
+                staging_cycles += per_word + (n_a - 1)
+                per_word = self.bus.write_block(piece.a_addr, values)
+                staging_cycles += per_word + (n_a - 1)
+                n_b = piece.k_size * n_cols
+                values, per_word = self.bus.read_block(
+                    b_addr + piece.k_start * n_cols * WORD_BYTES, n_b
+                )
+                staging_cycles += per_word + (n_b - 1)
+                per_word = self.bus.write_block(piece.b_addr, values)
+                staging_cycles += per_word + (n_b - 1)
+                # zero the partial region so a stale buffer can never alias
+                per_word = self.bus.write_block(
+                    piece.partial_addr, np.zeros(n_words, dtype=np.int64)
+                )
+                staging_cycles += per_word + (n_words - 1)
+                staging_words += 2 * (n_a + n_b) + n_words
+        # In-place mode writes no partial zeros either: every partial word
+        # is overwritten by a tile's DMA write-back before the accumulation
+        # reads it (the slice streams cover all M rows, and stream errors
+        # raise before any partial is read).
+
         host_cycles, n_tiles = self._enqueue_streams(plans, irq_per_tile)
         final_cycle = self._run_streams(plans)
 
         # partial-product accumulation: bulk bus reads of every partial,
         # one bulk write of the reduced result (burst model: first word of
         # each block pays the access latency, the rest stream 1 word/cycle)
-        n_words = n_rows * n_cols
         accumulated = np.zeros((n_rows, n_cols), dtype=np.int64)
         accumulate_cycles = 0
         for piece in slices:
@@ -682,19 +819,23 @@ class PhotonicSoC:
         accumulate_cycles += per_word + (n_words - 1)
 
         result = self.read_matrix(c_addr, n_rows, n_cols)
+        label = f"tiled-gemm-{n_pes}pe-k{k_shards}" + ("-staged" if staged else "")
         report = self._delta_report(
-            f"tiled-gemm-{n_pes}pe-k{k_shards}",
-            final_cycle + host_cycles + accumulate_cycles,
+            label,
+            final_cycle + host_cycles + staging_cycles + accumulate_cycles,
             result,
             energy_before,
             instructions_before,
         )
         self._pipeline_accounting(
             report, phase_snapshot, host_cycles, n_tiles,
-            extra_serial_cycles=accumulate_cycles,
+            extra_serial_cycles=staging_cycles + accumulate_cycles,
         )
         report.pipeline["k_shards"] = k_shards
         report.pipeline["accumulate_cycles"] = accumulate_cycles
+        report.pipeline["staging_cycles"] = staging_cycles
+        report.pipeline["staging_words"] = staging_words
+        self._dma_accounting(report, dma_snapshot)
         return report
 
     def accelerator_status(self, accelerator_index: int = 0) -> int:

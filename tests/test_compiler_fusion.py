@@ -1,0 +1,241 @@
+"""Branch-fused SoC lowering: same-input dense fan-outs as one offload.
+
+Covers the fusion pass of ``compile_for_soc`` — plain fan-outs stacking
+their weights vertically, multi-head groups embedding split heads
+block-diagonally — plus the cost-model decision (`choose_fusion` /
+`predict_fanout`), the plan-cache fingerprint separation and the buffer
+liveness rewrite.  The bitwise oracles are the acceptance gate: a fused
+plan must return exactly what per-branch execution returns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    FUSION_MODES,
+    FusionDecision,
+    ModelGraph,
+    PlanCache,
+    SoCCostModel,
+    choose_fusion,
+    compile_for_soc,
+    soc_fingerprint,
+)
+from repro.compiler.ops import ConcatOp, DenseOp, SplitOp
+from repro.eval import (
+    make_diamond_graph,
+    make_fanout_graph,
+    make_multi_head_graph,
+)
+from repro.system import PhotonicSoC
+
+
+def make_soc(n_pes=2, **kwargs):
+    soc = PhotonicSoC(**kwargs)
+    for _ in range(n_pes):
+        soc.add_photonic_accelerator()
+    return soc
+
+
+#: Multi-head shape where the calibrated model predicts fusion wins on
+#: both cluster sizes (many small heads, so per-offload overhead dominates
+#: the block-diagonal zero padding).
+MULTI_HEAD = dict(n_features=12, head_sizes=(3, 3, 3, 3), rng=2)
+
+
+def fused_steps(plan):
+    return [step for step in plan.steps if step.kind == "fused-dense"]
+
+
+# --------------------------------------------------------------------- #
+# decision layer
+# --------------------------------------------------------------------- #
+class TestChooseFusion:
+    def test_without_model_never_fuses(self):
+        decision = choose_fusion([(4, 8), (4, 8)], 8, 1, 2)
+        assert decision == FusionDecision(fuse=False)
+
+    def test_with_model_reports_both_predictions(self):
+        soc = make_soc(2)
+        model = SoCCostModel.calibrate(soc)
+        decision = choose_fusion(
+            [(3, 3), (3, 3), (3, 3), (3, 3)], 12, 2, 2,
+            cost_model=model, padded=True,
+        )
+        assert decision.predicted_fused_cycles is not None
+        assert decision.predicted_serial_cycles is not None
+        assert decision.fuse == (
+            decision.predicted_fused_cycles < decision.predicted_serial_cycles
+        )
+
+    def test_model_declines_padding_heavy_stacks(self):
+        # wide source, few large heads: the block-diagonal zeros multiply
+        # the streamed weight words, so a measured decision must say no
+        model = SoCCostModel.calibrate(make_soc(2))
+        decision = choose_fusion(
+            [(4, 4), (4, 4)] * 4, 32, 8, 2, cost_model=model, padded=True
+        )
+        assert not decision.fuse
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_fusion([(4, 8)], 8, 1, 2)  # one branch is not a fan-out
+        with pytest.raises(ValueError):
+            choose_fusion([(4, 8), (0, 8)], 8, 1, 2)
+        with pytest.raises(ValueError):
+            choose_fusion([(4, 8), (4, 8)], 0, 1, 2)
+        with pytest.raises(ValueError):
+            choose_fusion([(4, 8), (4, 8)], 8, 1, 0)
+
+    def test_predict_fanout_matches_best_gemm_argmin(self):
+        model = SoCCostModel.calibrate(make_soc(2))
+        prediction = model.predict_fanout([(3, 3), (5, 3)], 12, 2)
+        assert prediction.fused_cycles == model.best_gemm_cycles(8, 12, 2)
+        assert prediction.serial_cycles == (
+            model.best_gemm_cycles(3, 3, 2) + model.best_gemm_cycles(5, 3, 2)
+        )
+
+
+# --------------------------------------------------------------------- #
+# plan-level oracles
+# --------------------------------------------------------------------- #
+class TestFusedPlans:
+    @pytest.mark.parametrize("n_pes", [2, 4])
+    def test_multi_head_fuses_bitwise_and_faster(self, n_pes):
+        graph = make_multi_head_graph(**MULTI_HEAD)
+        columns = np.arange(12 * 2).reshape(12, 2) % 7 - 3
+        reference = graph.reference_forward(columns).astype(np.int64)
+        model = SoCCostModel.calibrate(make_soc(n_pes))
+        fused = compile_for_soc(
+            graph, make_soc(n_pes), cost_model=model, n_columns=2, cache=None
+        )
+        plain = compile_for_soc(
+            graph, make_soc(n_pes), cost_model=model, n_columns=2,
+            fuse="never", cache=None,
+        )
+        # the calibrated model fuses the four heads into one stacked
+        # offload (trunk + fused heads = two offloads total)...
+        assert len(fused_steps(fused)) == 1
+        assert np.array_equal(fused.run(columns), reference)
+        assert np.array_equal(plain.run(columns), reference)
+        assert len(fused.reports) == 2
+        assert len(plain.reports) == 5
+        # ...and the measured simulation agrees with the prediction
+        assert fused.total_cycles < plain.total_cycles
+        step = fused_steps(fused)[0]
+        assert step.predicted_fused_cycles < step.predicted_serial_cycles
+
+    def test_fused_step_embeds_heads_block_diagonally(self):
+        graph = make_multi_head_graph(**MULTI_HEAD)
+        model = SoCCostModel.calibrate(make_soc(2))
+        plan = compile_for_soc(
+            graph, make_soc(2), cost_model=model, n_columns=2, cache=None
+        )
+        step = fused_steps(plan)[0]
+        assert step.weights.shape == (12, 12)  # sum(head rows) x trunk width
+        assert step.inputs == ("trunk",)  # reads the split source directly
+        assert [branch[0] for branch in step.branches] == [
+            "head0", "head1", "head2", "head3"
+        ]
+        # pruned split views never appear as steps
+        assert not any(step.op_name.startswith("slice") for step in plan.steps)
+        # each head occupies its slice columns, zeros elsewhere
+        for index, (name, rows, _, _) in enumerate(step.branches):
+            block = step.weights[3 * index : 3 * index + rows]
+            inside = block[:, 3 * index : 3 * index + 3]
+            assert np.any(inside)
+            outside = np.delete(block, np.s_[3 * index : 3 * index + 3], axis=1)
+            assert not np.any(outside)
+
+    def test_diamond_fuses_plain_stack_under_auto(self):
+        graph = make_diamond_graph(8, n_outputs=4, rng=3)
+        model = SoCCostModel.calibrate(make_soc(2))
+        plan = compile_for_soc(
+            graph, make_soc(2), cost_model=model, n_columns=3, cache=None
+        )
+        assert [step.kind for step in plan.steps] == ["fused-dense", "add", "dense"]
+        columns = np.arange(8 * 3).reshape(8, 3) % 5 - 2
+        assert np.array_equal(
+            plan.run(columns), graph.reference_forward(columns).astype(np.int64)
+        )
+
+    def test_fanout_roots_fuse_reading_the_graph_input(self):
+        graph = make_fanout_graph(n_features=6, n_branches=3, rng=1)
+        plan = compile_for_soc(graph, make_soc(2), fuse="always", cache=None)
+        step = fused_steps(plan)[0]
+        assert step.inputs == ()  # the fused stack reads the graph input
+        assert step.weights.shape == (18, 6)
+        columns = np.arange(6)[:, None] % 4 - 1
+        assert np.array_equal(
+            plan.run(columns), graph.reference_forward(columns).astype(np.int64)
+        )
+
+    def test_auto_without_model_keeps_per_op_lowering(self):
+        graph = make_fanout_graph(n_features=6, n_branches=3, rng=1)
+        plan = compile_for_soc(graph, make_soc(2), cache=None)
+        assert not fused_steps(plan)
+
+    def test_split_with_external_consumer_is_kept(self):
+        # slice0 feeds head0 AND the concat directly: fusing the heads must
+        # keep the split step alive for its non-fused consumer
+        rng = np.random.default_rng(0)
+        graph = ModelGraph(name="split-escape")
+        graph.add_op(DenseOp("trunk", rng.integers(-3, 4, size=(8, 8))))
+        graph.add_op(SplitOp("slice0", 8, 0, 4), inputs=["trunk"])
+        graph.add_op(SplitOp("slice1", 8, 4, 8), inputs=["trunk"])
+        graph.add_op(DenseOp("head0", rng.integers(-3, 4, size=(2, 4))), inputs=["slice0"])
+        graph.add_op(DenseOp("head1", rng.integers(-3, 4, size=(2, 4))), inputs=["slice1"])
+        graph.add_op(ConcatOp("readout", (2, 2, 4)), inputs=["head0", "head1", "slice0"])
+        plan = compile_for_soc(graph, make_soc(2), fuse="always", cache=None)
+        names = [step.op_name for step in plan.steps]
+        assert "slice0" in names and "slice1" not in names
+        columns = np.arange(8 * 2).reshape(8, 2) % 5 - 2
+        assert np.array_equal(
+            plan.run(columns), graph.reference_forward(columns).astype(np.int64)
+        )
+
+    def test_relu_split_views_fall_back_to_plain_stacking_keys(self):
+        # a non-identity split cannot be embedded (the fused offload would
+        # skip its activation); heads reading the same relu split still
+        # fuse as a plain stack OF that split's buffer
+        rng = np.random.default_rng(3)
+        graph = ModelGraph(name="relu-split")
+        graph.add_op(DenseOp("trunk", rng.integers(-3, 4, size=(8, 8))))
+        graph.add_op(SplitOp("view", 8, 0, 4, activation="relu"), inputs=["trunk"])
+        graph.add_op(DenseOp("a", rng.integers(-3, 4, size=(3, 4))), inputs=["view"])
+        graph.add_op(DenseOp("b", rng.integers(-3, 4, size=(3, 4))), inputs=["view"])
+        graph.add_op(ConcatOp("out", (3, 3)), inputs=["a", "b"])
+        plan = compile_for_soc(graph, make_soc(2), fuse="always", cache=None)
+        step = fused_steps(plan)[0]
+        assert step.inputs == ("view",)  # stacked on the split's output
+        assert step.weights.shape == (6, 4)  # no block-diagonal embedding
+        columns = np.arange(8)[:, None] % 5 - 2
+        assert np.array_equal(
+            plan.run(columns), graph.reference_forward(columns).astype(np.int64)
+        )
+
+    def test_unknown_fusion_mode_rejected(self):
+        graph = make_fanout_graph(n_features=6, n_branches=2, rng=0)
+        with pytest.raises(ValueError, match="fusion mode"):
+            compile_for_soc(graph, make_soc(1), fuse="sometimes", cache=None)
+
+
+# --------------------------------------------------------------------- #
+# caching
+# --------------------------------------------------------------------- #
+class TestFusionCaching:
+    def test_fusion_mode_separates_fingerprints(self):
+        soc = make_soc(2)
+        prints = {soc_fingerprint(soc, fuse=mode) for mode in FUSION_MODES}
+        assert len(prints) == len(FUSION_MODES)
+
+    def test_modes_cache_as_distinct_plans(self):
+        cache = PlanCache(max_plans=8)
+        graph = make_fanout_graph(n_features=6, n_branches=3, rng=1)
+        soc = make_soc(2)
+        always = compile_for_soc(graph, soc, fuse="always", cache=cache)
+        never = compile_for_soc(graph, soc, fuse="never", cache=cache)
+        assert always is not never
+        assert compile_for_soc(graph, soc, fuse="always", cache=cache) is always
+        assert compile_for_soc(graph, soc, fuse="never", cache=cache) is never
+        assert cache.hits == 2 and cache.misses == 2

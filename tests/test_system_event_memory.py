@@ -126,6 +126,77 @@ class TestMainMemoryAndScratchpad:
             MainMemory(10)
 
 
+class TestStridedAndGatherReads:
+    @staticmethod
+    def _matrix_memory(n_rows=4, n_cols=6):
+        memory = MainMemory(1024)
+        matrix = [[10 * r + c for c in range(n_cols)] for r in range(n_rows)]
+        memory.load_words(0, [v for row in matrix for v in row])
+        return memory, matrix
+
+    def test_read_strided_extracts_a_column_slice(self):
+        memory, matrix = self._matrix_memory()
+        values = memory.read_strided(2 * 4, block_words=2, n_blocks=4, stride_words=6)
+        assert values.tolist() == [v for row in matrix for v in row[2:4]]
+        assert memory.stats.reads == 8  # every streamed word is counted
+
+    def test_read_strided_contiguous_matches_read_block(self):
+        memory, _ = self._matrix_memory()
+        strided = memory.read_strided(0, block_words=6, n_blocks=4, stride_words=6)
+        block = memory.read_block(0, 24)
+        assert np.array_equal(strided, block)
+
+    def test_read_strided_bounds_checked(self):
+        memory, _ = self._matrix_memory()
+        with pytest.raises(MemoryAccessError):
+            memory.read_strided(1020, block_words=2, n_blocks=2, stride_words=4)
+        with pytest.raises(MemoryAccessError):
+            memory.read_strided(0, block_words=2, n_blocks=-1, stride_words=4)
+        with pytest.raises(MemoryAccessError):
+            memory.read_strided(0, block_words=2, n_blocks=2, stride_words=-4)
+        assert memory.read_strided(0, 0, 4, 4).size == 0
+
+    def test_read_gather_collects_arbitrary_blocks(self):
+        memory, matrix = self._matrix_memory()
+        values = memory.read_gather([6 * 4, 0, 18 * 4], block_words=2)
+        assert values.tolist() == [10, 11, 0, 1, 30, 31]
+        with pytest.raises(MemoryAccessError):
+            memory.read_gather([1022], block_words=2)
+        assert memory.read_gather([], block_words=2).size == 0
+
+    def test_bus_read_strided_single_decode_fast_path(self):
+        bus = SystemBus()
+        memory, matrix = self._matrix_memory()
+        bus.attach(0, 1024, memory, "mem")
+        values, latency = bus.read_strided(2 * 4, 2, 4, 6)
+        assert values.tolist() == [v for row in matrix for v in row[2:4]]
+        assert latency == bus.traversal_latency + memory.read_latency
+        assert bus.transfers == 8  # accounting-equivalent of 8 word reads
+
+    def test_bus_read_strided_falls_back_across_mappings(self):
+        bus = SystemBus()
+        low, high = MainMemory(256), MainMemory(256)
+        bus.attach(0, 256, low, "low")
+        bus.attach(256, 256, high, "high")
+        low.load_words(0, [1, 2])
+        high.load_words(0, [3, 4])
+        values, _ = bus.read_strided(0, block_words=2, n_blocks=2, stride_words=64)
+        assert values.tolist() == [1, 2, 3, 4]
+
+    def test_bus_read_gather_fast_path_and_fallback(self):
+        bus = SystemBus()
+        memory, matrix = self._matrix_memory()
+        bus.attach(0, 1024, memory, "mem")
+        values, latency = bus.read_gather([0, 12 * 4], block_words=3)
+        assert values.tolist() == [0, 1, 2, 20, 21, 22]
+        assert latency == bus.traversal_latency + memory.read_latency
+        other = MainMemory(256)
+        bus.attach(0x1000, 256, other, "other")
+        other.load_words(0, [7])
+        values, _ = bus.read_gather([0, 0x1000], block_words=1)
+        assert values.tolist() == [0, 7]
+
+
 class TestRegisterBank:
     def test_named_access(self):
         bank = RegisterBank(["ctrl", "status"])

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.system.bus import SystemBus
-from repro.system.dma import DMAEngine
+from repro.system.dma import DMADescriptor, DMAEngine, GatherDescriptor
 from repro.system.event import EventScheduler
 from repro.system.interrupt import InterruptController
 from repro.system.memory import MainMemory, MemoryAccessError, Scratchpad
@@ -154,3 +154,150 @@ class TestDMAEngine:
         scheduler, bus, _, _ = self._setup()
         with pytest.raises(ValueError):
             DMAEngine(scheduler, bus, words_per_burst=0)
+
+
+class TestDMABusyWindow:
+    """Busy-window semantics must not depend on whether a completion
+    callback was supplied — the historical asymmetry set ``busy`` only on
+    callback transfers, so callback-less back-to-back issues never tripped
+    the guard."""
+
+    def _setup(self):
+        scheduler = EventScheduler()
+        bus = SystemBus()
+        memory = MainMemory(4096)
+        bus.attach(0, 4096, memory, "mem")
+        scratchpad = Scratchpad(1024)
+        return scheduler, bus, memory, scratchpad
+
+    def test_callbackless_transfer_opens_the_same_busy_window(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(0, [1, 2, 3, 4])
+        dma = DMAEngine(scheduler, bus)
+        latency = dma.copy_to_scratchpad(0, scratchpad, 0, 4)
+        assert dma.busy  # no on_complete, still busy for the window
+        observed = []
+        scheduler.schedule(latency - 1, lambda: observed.append(dma.busy))
+        scheduler.schedule(latency, lambda: observed.append(dma.busy))
+        scheduler.run()
+        assert observed == [True, False]
+
+    def test_same_cycle_issues_chain_and_extend_the_window(self):
+        # an accelerator queues weights + input fetches back to back in
+        # the same cycle: that is descriptor chaining, not a bug
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(0, list(range(8)))
+        dma = DMAEngine(scheduler, bus)
+        first = dma.copy_to_scratchpad(0, scratchpad, 0, 4)
+        second = dma.copy_to_scratchpad(16, scratchpad, 16, 4)
+        assert dma.busy
+        observed = []
+        scheduler.schedule(first + second - 1, lambda: observed.append(dma.busy))
+        scheduler.schedule(first + second, lambda: observed.append(dma.busy))
+        scheduler.run()
+        assert observed == [True, False]
+
+    def test_issue_inside_open_window_raises(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(0, list(range(8)))
+        dma = DMAEngine(scheduler, bus)
+        dma.copy_to_scratchpad(0, scratchpad, 0, 4)
+        caught = []
+
+        def reissue():
+            assert dma.busy
+            with pytest.raises(RuntimeError, match="busy"):
+                dma.copy_to_scratchpad(16, scratchpad, 16, 4)
+            with pytest.raises(RuntimeError, match="busy"):
+                dma.copy_from_scratchpad(scratchpad, 0, 64, 4)
+            caught.append(True)
+
+        scheduler.schedule(1, reissue)  # strictly later, window still open
+        scheduler.run()
+        assert caught == [True]
+
+    def test_issue_after_window_closes_is_fine_both_paths(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(0, list(range(8)))
+        dma = DMAEngine(scheduler, bus)
+        with_callback = []
+        dma.copy_to_scratchpad(
+            0, scratchpad, 0, 4, on_complete=lambda: with_callback.append(True)
+        )
+        scheduler.run()  # completion lands exactly at the window end
+        assert not dma.busy and with_callback == [True]
+        dma.copy_from_scratchpad(scratchpad, 0, 64, 4)  # must not raise
+        assert dma.busy
+
+
+class TestDMADescriptors:
+    def _setup(self):
+        scheduler = EventScheduler()
+        bus = SystemBus()
+        memory = MainMemory(4096)
+        bus.attach(0, 4096, memory, "mem")
+        scratchpad = Scratchpad(1024)
+        return scheduler, bus, memory, scratchpad
+
+    def test_strided_descriptor_streams_a_column_slice_in_place(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        # a 4x6 row-major matrix; descriptor reads columns [2, 4) of every row
+        matrix = [[10 * r + c for c in range(6)] for r in range(4)]
+        memory.load_words(0, [v for row in matrix for v in row])
+        dma = DMAEngine(scheduler, bus)
+        descriptor = DMADescriptor(base=2 * 4, block_words=2, n_blocks=4, stride_words=6)
+        dma.copy_to_scratchpad(descriptor, scratchpad, 0, 8)
+        got = [scratchpad.read_word(i * 4) for i in range(8)]
+        assert got == [v for row in matrix for v in row[2:4]]
+
+    def test_strided_latency_equals_contiguous_of_same_word_count(self):
+        # the burst model charges the whole descriptor as one transfer, so
+        # in-place strided reads cost exactly what the staged copy's
+        # contiguous read of the same words cost
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(0, list(range(64)))
+        dma = DMAEngine(scheduler, bus)
+        strided = dma.copy_to_scratchpad(
+            DMADescriptor(base=0, block_words=4, n_blocks=4, stride_words=8),
+            scratchpad, 0, 16,
+        )
+        contiguous = dma.copy_to_scratchpad(0, scratchpad, 64, 16)
+        assert strided == contiguous
+
+    def test_gather_descriptor_collects_blocks(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        memory.load_words(0, list(range(32)))
+        dma = DMAEngine(scheduler, bus)
+        gather = GatherDescriptor(addresses=(96, 0, 48), block_words=2)
+        dma.copy_to_scratchpad(gather, scratchpad, 0, 6)
+        assert [scratchpad.read_word(i * 4) for i in range(6)] == [
+            24, 25, 0, 1, 12, 13
+        ]
+
+    def test_word_count_mismatch_rejected(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        dma = DMAEngine(scheduler, bus)
+        with pytest.raises(ValueError, match="descriptor moves"):
+            dma.copy_to_scratchpad(
+                DMADescriptor(base=0, block_words=4, n_blocks=2), scratchpad, 0, 4
+            )
+
+    def test_descriptor_validation(self):
+        with pytest.raises(ValueError):
+            DMADescriptor(base=-4, block_words=2)
+        with pytest.raises(ValueError):
+            DMADescriptor(base=0, block_words=-1)
+        with pytest.raises(ValueError):
+            DMADescriptor(base=0, block_words=4, n_blocks=2, stride_words=2)
+        with pytest.raises(ValueError):
+            GatherDescriptor(addresses=(0, -4), block_words=2)
+        assert DMADescriptor(base=0, block_words=4, n_blocks=2, stride_words=4).contiguous
+        assert not DMADescriptor(base=0, block_words=4, n_blocks=2, stride_words=8).contiguous
+
+    def test_faulted_strided_transfer_counts_nothing(self):
+        scheduler, bus, memory, scratchpad = self._setup()
+        dma = DMAEngine(scheduler, bus)
+        out_of_range = DMADescriptor(base=4000, block_words=8, n_blocks=4, stride_words=16)
+        with pytest.raises(MemoryAccessError):
+            dma.copy_to_scratchpad(out_of_range, scratchpad, 0, 32)
+        assert dma.stats.transfers == 0 and not dma.busy
