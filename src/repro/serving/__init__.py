@@ -24,6 +24,16 @@ from repro.serving.errors import (
     DeadlineExceededError,
     ServerClosedError,
     ServingError,
+    WorkerCrashedError,
+)
+from repro.serving.fabric import (
+    ComputeHeavyBackend,
+    FabricClient,
+    FabricGateway,
+    WorkerSpec,
+    make_compute_heavy_engine,
+    make_gemm_engine,
+    make_worker_specs,
 )
 from repro.serving.loadgen import (
     LoadReport,
@@ -35,12 +45,15 @@ from repro.serving.loadgen import (
 )
 from repro.serving.scheduler import POLICIES, Replica, ReplicaScheduler
 from repro.serving.server import InferenceServer
-from repro.serving.telemetry import LatencySeries, ServingTelemetry
+from repro.serving.telemetry import LatencySeries, ServingTelemetry, TelemetryLog
 
 __all__ = [
     "BackpressureError",
     "CompiledModel",
+    "ComputeHeavyBackend",
     "DeadlineExceededError",
+    "FabricClient",
+    "FabricGateway",
     "GemmEngine",
     "InferenceEngine",
     "InferenceRequest",
@@ -56,8 +69,14 @@ __all__ = [
     "ServingError",
     "ServingTelemetry",
     "SoCGemmEngine",
+    "TelemetryLog",
+    "WorkerCrashedError",
+    "WorkerSpec",
     "bursty_arrival_times",
     "make_column_workload",
+    "make_compute_heavy_engine",
+    "make_gemm_engine",
+    "make_worker_specs",
     "poisson_arrival_times",
     "run_closed_loop",
     "run_open_loop",

@@ -70,6 +70,7 @@ class BatcherStats:
 
     @property
     def mean_batch(self) -> float:
+        """Mean requests coalesced per engine call."""
         return self.requests / self.batches if self.batches else 0.0
 
 

@@ -82,6 +82,7 @@ class EngineStats:
 
     @property
     def mean_batch(self) -> float:
+        """Mean columns executed per engine batch."""
         return self.columns / self.batches if self.batches else 0.0
 
 
@@ -236,6 +237,7 @@ class GemmEngine(InferenceEngine):
         return CompiledModel(key=key, n_inputs=n_in, n_outputs=n_out, runner=runner)
 
     def latency_hint_s(self, n_columns: int) -> float:
+        """The backend's modelled service time for ``n_columns`` columns."""
         return self.backend.schedule_latency_s(n_columns)
 
 
@@ -262,6 +264,7 @@ class MLPEngine(InferenceEngine):
         self.photonic_kwargs = photonic_kwargs
 
     def model_key(self, weights: Optional[np.ndarray]) -> str:
+        """The bound model's key; rejects requests carrying explicit weights."""
         if weights is not None:
             raise ServingError(
                 f"MLP engine {self.name!r} serves its bound model; "

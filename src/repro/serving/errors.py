@@ -50,3 +50,22 @@ class DeadlineExceededError(ServingError, TimeoutError):
 
 class ServerClosedError(ServingError):
     """The server is not accepting requests (not started, draining, or shut down)."""
+
+
+class WorkerCrashedError(ServingError):
+    """A fabric worker process exited while requests were outstanding.
+
+    Raised for every request that was queued for — or in flight on — the
+    crashed worker, and for new submissions when no live worker remains.
+    The gateway detects the crash from the worker pipe's EOF, so a killed
+    process surfaces as this typed error rather than a hung future.
+
+    Attributes:
+        worker: name of the crashed worker replica.
+        detail: human-readable context (exit code, phase).
+    """
+
+    def __init__(self, worker: str, detail: str = "worker process exited"):
+        self.worker = str(worker)
+        self.detail = str(detail)
+        super().__init__(f"worker {worker!r} crashed: {detail}")

@@ -1,0 +1,122 @@
+"""Picklable engine factories for worker processes.
+
+A spawned worker cannot receive a live engine — meshes, SoCs and backend
+caches do not pickle — so a :class:`~repro.serving.fabric.worker.WorkerSpec`
+carries a *factory* (a module-level callable, or its ``"module:attr"``
+dotted name) plus picklable kwargs, and the engine is built inside the
+worker process.  This mirrors the :mod:`repro.eval.sweeps` contract for
+process-pool experiments: module-level callables, picklable arguments,
+backend *names* rather than instances.
+
+The module also defines :class:`ComputeHeavyBackend`, the benchmark
+backend for the fabric-vs-single-process comparison: its ``matmul`` holds
+the interpreter for a configurable amount of host-side work
+(``spin_iters`` GIL-held Python iterations per column) and blocks for a
+configurable simulated accelerator service time (``service_s_per_column``,
+the modulator-schedule analogue of
+``AnalogPhotonicBackend.schedule_latency_s``).  Inside one asyncio server
+every engine call executes inline on the event loop, so both components
+serialize; across worker processes both overlap — which is exactly the
+ceiling the fabric removes.
+"""
+
+from __future__ import annotations
+
+import importlib
+import math
+import time
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.core.backends import IdealDigitalBackend
+from repro.serving.engine import GemmEngine, InferenceEngine
+
+
+class ComputeHeavyBackend(IdealDigitalBackend):
+    """Exact digital product plus deterministic host work and service time.
+
+    Results are bitwise-identical to :class:`IdealDigitalBackend` — the
+    extra work only costs time, so equivalence oracles hold while the
+    backend saturates a serving layer the way a real compute-dense
+    workload would.
+
+    Attributes:
+        spin_iters: GIL-held Python-loop iterations per input column
+            (host-side driver work; parallelises across worker processes
+            on multi-core hosts).
+        service_s_per_column: blocking wall-time per input column (the
+            simulated accelerator occupancy; overlaps across worker
+            processes on any host, exactly like waiting on real hardware).
+    """
+
+    name = "compute-heavy"
+
+    def __init__(self, spin_iters: int = 0, service_s_per_column: float = 0.0):
+        if spin_iters < 0 or service_s_per_column < 0:
+            raise ValueError("spin_iters and service_s_per_column must be >= 0")
+        self.spin_iters = int(spin_iters)
+        self.service_s_per_column = float(service_s_per_column)
+
+    def matmul(self, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """``weights @ inputs`` after charging the configured work."""
+        result = super().matmul(weights, inputs)
+        n_columns = inputs.shape[1] if np.ndim(inputs) == 2 else 1
+        checksum = 0.0
+        for index in range(self.spin_iters * n_columns):
+            checksum += math.sqrt(index + 1.0)
+        self._checksum = checksum  # keep the loop un-optimisable
+        if self.service_s_per_column > 0:
+            time.sleep(self.service_s_per_column * n_columns)
+        return result
+
+    def schedule_latency_s(self, n_columns: int) -> float:
+        """The blocking service-time component (the routable cost hint)."""
+        return self.service_s_per_column * n_columns
+
+
+def resolve_factory(factory: Union[str, Callable]) -> Callable:
+    """Resolve an engine factory spec: callable pass-through or ``"module:attr"``."""
+    if callable(factory):
+        return factory
+    if isinstance(factory, str):
+        module_name, _, attr = factory.partition(":")
+        if not module_name or not attr:
+            raise ValueError(
+                f"factory string must look like 'package.module:callable', "
+                f"got {factory!r}"
+            )
+        resolved = getattr(importlib.import_module(module_name), attr)
+        if not callable(resolved):
+            raise TypeError(f"{factory!r} resolved to non-callable {resolved!r}")
+        return resolved
+    raise TypeError(f"cannot resolve engine factory from {type(factory).__name__}")
+
+
+def make_gemm_engine(
+    backend=None,
+    weights: Optional[np.ndarray] = None,
+    name: str = "gemm",
+    **backend_kwargs,
+) -> InferenceEngine:
+    """Build a :class:`GemmEngine` on a named registry backend.
+
+    The default worker engine factory: ``backend`` is a registry name (or
+    an :class:`~repro.core.backends.ExecutionBackend` instance picklable by
+    value), ``backend_kwargs`` go to the backend factory — this is where a
+    derived per-worker seed arrives as ``rng=`` for the analog backend.
+    """
+    return GemmEngine(backend=backend, weights=weights, name=name, **backend_kwargs)
+
+
+def make_compute_heavy_engine(
+    weights: Optional[np.ndarray] = None,
+    spin_iters: int = 0,
+    service_s_per_column: float = 0.0,
+    name: str = "compute-heavy",
+) -> InferenceEngine:
+    """Build a :class:`GemmEngine` on a :class:`ComputeHeavyBackend`."""
+    backend = ComputeHeavyBackend(
+        spin_iters=spin_iters, service_s_per_column=service_s_per_column
+    )
+    return GemmEngine(backend=backend, weights=weights, name=name)

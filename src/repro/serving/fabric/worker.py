@@ -1,0 +1,299 @@
+"""Worker-process replica: an engine + micro-batcher event loop per process.
+
+A :class:`WorkerReplica` is the process-level unit of the serving fabric:
+:func:`worker_main` runs in a spawned process, builds its engine from the
+picklable :class:`WorkerSpec`, and serves a standard in-process
+:class:`~repro.serving.scheduler.Replica` (bounded queue + dynamic
+micro-batcher) whose requests arrive over a pickle-framed duplex pipe from
+the gateway.  Every request outcome — result, deadline expiry, engine
+failure, admission rejection — is reported back over the pipe with its
+typed error encoded by :mod:`repro.serving.fabric.wire`, so the process
+boundary never downgrades an exception to a string.
+
+Determinism: each worker's engine is seeded with
+:func:`repro.utils.rng.derive_worker_seed` (root seed + worker index), so a
+multi-process load test replays the exact RNG streams of its in-process
+twin — the fabric's bitwise-equivalence oracle depends on this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.serving.batching import InferenceRequest
+from repro.serving.engine import DEFAULT_MODEL_KEY
+from repro.serving.errors import BackpressureError, ServerClosedError
+from repro.serving.fabric.engines import resolve_factory
+from repro.serving.fabric.wire import encode_exception
+from repro.serving.scheduler import Replica
+from repro.utils.rng import derive_worker_seed
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a spawned worker needs to build and run its replica.
+
+    The spec must stay picklable end-to-end (it is the spawn argument):
+    the engine is described by a factory reference plus kwargs, never by a
+    live instance.
+
+    Attributes:
+        name: replica label (unique within a gateway).
+        engine_factory: module-level callable building the engine, or its
+            ``"package.module:callable"`` dotted name.
+        engine_kwargs: picklable kwargs for the factory (a derived
+            per-worker seed is injected here by :func:`make_worker_specs`).
+        seed: the derived per-worker seed (informational; already present
+            in ``engine_kwargs`` when seeding is enabled).
+        max_batch / max_wait_s: micro-batcher fusing bounds.
+        max_queue_depth: worker-side admission bound; 0 rejects every
+            submit (useful for backpressure fault injection).
+        warm_start: compile the engine's bound default model before
+            serving, so mesh programming happens outside the traffic
+            window (ignored for engines without a default model).
+    """
+
+    name: str
+    engine_factory: Union[str, Callable]
+    engine_kwargs: Dict = field(default_factory=dict)
+    seed: Optional[int] = None
+    max_batch: int = 32
+    max_wait_s: float = 0.0
+    max_queue_depth: int = 256
+    warm_start: bool = True
+
+    def build_engine(self):
+        """Instantiate the engine inside the worker process."""
+        return resolve_factory(self.engine_factory)(**self.engine_kwargs)
+
+
+def make_worker_specs(
+    n_workers: int,
+    engine_factory: Union[str, Callable],
+    engine_kwargs: Optional[Dict] = None,
+    root_seed: Optional[int] = None,
+    seed_kwarg: str = "rng",
+    name_prefix: str = "w",
+    **replica_options,
+) -> list:
+    """Build one :class:`WorkerSpec` per worker with derived per-worker seeds.
+
+    When ``root_seed`` is given, worker ``i`` receives
+    ``derive_worker_seed(root_seed, i)`` under ``seed_kwarg`` in its engine
+    kwargs — the deterministic stream-per-worker contract.  Pass
+    ``root_seed=None`` for unseeded (digital) engines whose factories take
+    no RNG argument.  ``replica_options`` forward to every spec
+    (``max_batch``, ``max_wait_s``, ``max_queue_depth``, ``warm_start``).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    specs = []
+    for index in range(n_workers):
+        kwargs = dict(engine_kwargs or {})
+        seed = None
+        if root_seed is not None:
+            seed = derive_worker_seed(root_seed, index)
+            kwargs[seed_kwarg] = seed
+        specs.append(
+            WorkerSpec(
+                name=f"{name_prefix}{index}",
+                engine_factory=engine_factory,
+                engine_kwargs=kwargs,
+                seed=seed,
+                **replica_options,
+            )
+        )
+    return specs
+
+
+class WorkerReplica:
+    """The in-process half of one worker: replica, pipe I/O, lifecycle.
+
+    Instantiated inside the spawned process by :func:`worker_main`; the
+    gateway only ever sees the pipe.  Separated from the entry point so
+    tests can drive a worker replica in-process against a fake pipe.
+    """
+
+    def __init__(self, conn, spec: WorkerSpec):
+        self.conn = conn
+        self.spec = spec
+        self.engine = spec.build_engine()
+        if spec.warm_start:
+            try:
+                self.engine.compile(None)
+            except Exception:  # noqa: BLE001 - engines without a default model
+                pass
+        self.replica = Replica(
+            spec.name,
+            self.engine,
+            max_batch=spec.max_batch,
+            max_wait_s=spec.max_wait_s,
+            max_queue_depth=max(int(spec.max_queue_depth), 1),
+        )
+        self.replica.add_observer(self._on_outcome)
+        self._inbox: "asyncio.Queue" = asyncio.Queue()
+        self._loop = asyncio.get_running_loop()
+
+    # ------------------------------------------------------------------ #
+    # pipe -> loop
+    # ------------------------------------------------------------------ #
+    def start_reader(self) -> threading.Thread:
+        """Start the daemon thread pumping pipe messages onto the loop."""
+
+        def pump() -> None:
+            try:
+                while True:
+                    message = self.conn.recv()
+                    self._loop.call_soon_threadsafe(self._inbox.put_nowait, message)
+                    if message[0] == "shutdown":
+                        return
+            except (EOFError, OSError):
+                self._loop.call_soon_threadsafe(self._inbox.put_nowait, ("__eof__",))
+
+        thread = threading.Thread(
+            target=pump, name=f"worker-{self.spec.name}-reader", daemon=True
+        )
+        thread.start()
+        return thread
+
+    # ------------------------------------------------------------------ #
+    # outcomes -> pipe
+    # ------------------------------------------------------------------ #
+    def _on_outcome(
+        self,
+        replica_name: str,
+        request: InferenceRequest,
+        latency_s: float,
+        batch_size: int,
+        outcome: str,
+    ) -> None:
+        future = request.future
+        if outcome == "ok":
+            self.conn.send(
+                (
+                    "result",
+                    request.request_id,
+                    np.asarray(future.result()),
+                    batch_size,
+                    latency_s,
+                )
+            )
+            return
+        if future.cancelled():
+            error = ServerClosedError("request cancelled inside the worker")
+        else:
+            error = future.exception()
+            if error is None:  # notified as expired/error but resolved: defensive
+                error = ServerClosedError(f"request finished with outcome {outcome!r}")
+        self.conn.send(
+            (
+                "error",
+                request.request_id,
+                encode_exception(error),
+                batch_size,
+                latency_s,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # message handling
+    # ------------------------------------------------------------------ #
+    def _handle_submit(self, message) -> None:
+        _, request_id, inputs, weights, model_key, deadline_s = message
+        if self.replica.depth >= self.spec.max_queue_depth:
+            # worker-side admission: the typed rejection crosses the pipe
+            self.conn.send(
+                (
+                    "error",
+                    request_id,
+                    encode_exception(
+                        BackpressureError(
+                            replica=self.spec.name,
+                            depth=self.replica.depth,
+                            limit=self.spec.max_queue_depth,
+                        )
+                    ),
+                    0,
+                    0.0,
+                )
+            )
+            return
+        now = self.replica.clock()
+        request = InferenceRequest(
+            inputs=np.asarray(inputs),
+            weights=weights,
+            model_key=model_key if model_key is not None else DEFAULT_MODEL_KEY,
+            future=self._loop.create_future(),
+            submitted_at=now,
+            # the gateway ships the *remaining* budget; re-anchor it on this
+            # process's clock (absolute deadlines do not cross clocks)
+            deadline_at=now + deadline_s if deadline_s is not None else None,
+            request_id=request_id,
+        )
+        self.replica.queue.put_nowait(request)
+
+    def stats(self) -> Dict:
+        """Worker-lifetime counters shipped back in the ``bye`` message."""
+        engine_stats = self.engine.stats
+        batcher_stats = self.replica.batcher.stats
+        return {
+            "engine": {
+                "batches": engine_stats.batches,
+                "columns": engine_stats.columns,
+                "busy_s": engine_stats.busy_s,
+                "compiles": engine_stats.compiles,
+                "cache_hits": engine_stats.cache_hits,
+            },
+            "batcher": {
+                "batches": batcher_stats.batches,
+                "requests": batcher_stats.requests,
+                "expired": batcher_stats.expired,
+                "cancelled": batcher_stats.cancelled,
+                "failed": batcher_stats.failed,
+                "mean_batch": batcher_stats.mean_batch,
+            },
+        }
+
+    async def serve(self) -> None:
+        """Serve pipe messages until shutdown or gateway EOF."""
+        self.replica.start()
+        self.start_reader()
+        # readiness handshake: engine built (and warm-started) — the
+        # gateway holds traffic until every worker has reported in, so
+        # spawn/import time never lands inside a measured traffic window
+        self.conn.send(("ready", self.spec.name))
+        while True:
+            message = await self._inbox.get()
+            kind = message[0]
+            if kind == "submit":
+                self._handle_submit(message)
+            elif kind == "shutdown":
+                drain = bool(message[1])
+                if drain:
+                    await self.replica.stop()
+                else:
+                    await self.replica.abort()
+                self.conn.send(("bye", self.stats()))
+                return
+            elif kind == "__eof__":
+                # gateway died: nothing to report results to
+                await self.replica.abort()
+                return
+
+
+async def _serve_worker(conn, spec: WorkerSpec) -> None:
+    worker = WorkerReplica(conn, spec)
+    await worker.serve()
+
+
+def worker_main(conn, spec: WorkerSpec) -> None:
+    """Spawned-process entry point: build the replica and serve the pipe."""
+    try:
+        asyncio.run(_serve_worker(conn, spec))
+    finally:
+        conn.close()

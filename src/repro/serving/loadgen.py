@@ -122,6 +122,7 @@ class LoadReport:
 
     @property
     def achieved_hz(self) -> float:
+        """Completed requests per second of wall-clock run duration."""
         return self.completed / self.duration_s if self.duration_s > 0 else 0.0
 
     @property

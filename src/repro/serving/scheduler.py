@@ -180,6 +180,7 @@ class Replica:
 
     @property
     def running(self) -> bool:
+        """Whether the replica's batcher task is live."""
         return self._task is not None and not self._task.done()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

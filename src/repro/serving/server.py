@@ -122,6 +122,7 @@ class InferenceServer:
 
     @property
     def running(self) -> bool:
+        """Whether the server is started and accepting submissions."""
         return self._started and not self._closed
 
     # ------------------------------------------------------------------ #

@@ -11,13 +11,32 @@ the paper-experiment tables.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.eval.reporting import format_dict, format_table
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays into plain JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
 
 
 class BoundedSeries:
@@ -37,6 +56,7 @@ class BoundedSeries:
         self._cursor = 0
 
     def add(self, value: float) -> None:
+        """Record one value, evicting the oldest once the ring is full."""
         self.total += 1
         if len(self._values) < self.max_samples:
             self._values.append(float(value))
@@ -49,12 +69,15 @@ class BoundedSeries:
 
     @property
     def values(self) -> np.ndarray:
+        """The retained window as a float array (oldest eviction order)."""
         return np.asarray(self._values, dtype=float)
 
     def max(self) -> float:
+        """Maximum over the retained window; 0.0 when empty."""
         return float(np.max(self.values)) if self._values else 0.0
 
     def mean(self) -> float:
+        """Mean over the retained window; 0.0 when empty."""
         return float(np.mean(self.values)) if self._values else 0.0
 
 
@@ -75,18 +98,22 @@ class LatencySeries(BoundedSeries):
 
     @property
     def mean_s(self) -> float:
+        """Mean latency in seconds over the retained window."""
         return float(np.mean(self.values)) if self._values else 0.0
 
     @property
     def p50_s(self) -> float:
+        """Median latency in seconds."""
         return self.percentile_s(50)
 
     @property
     def p95_s(self) -> float:
+        """95th-percentile latency in seconds."""
         return self.percentile_s(95)
 
     @property
     def p99_s(self) -> float:
+        """99th-percentile latency in seconds."""
         return self.percentile_s(99)
 
     def percentiles_s(self, percentiles) -> List[float]:
@@ -131,6 +158,7 @@ class ReplicaTelemetry:
 
     @property
     def mean_batch(self) -> float:
+        """Mean requests fused per engine batch on this replica."""
         return self.fused_requests / self.batches if self.batches else 0.0
 
 
@@ -164,6 +192,7 @@ class ServingTelemetry:
     # event hooks (wired by the server)
     # ------------------------------------------------------------------ #
     def start(self) -> None:
+        """Open (or resume) the lifetime window rates are computed over."""
         if self.started_at is None:
             self.started_at = self.clock()
         # a restart after shutdown resumes the lifetime window; a frozen
@@ -171,9 +200,11 @@ class ServingTelemetry:
         self.stopped_at = None
 
     def stop(self) -> None:
+        """Freeze the lifetime window at the current clock reading."""
         self.stopped_at = self.clock()
 
     def on_admit(self, replica_name: str, pool_depth: int) -> None:
+        """Count an admitted request and sample the pool queue depth."""
         self.submitted += 1
         self.queue_depth_samples.add(int(pool_depth))
         if pool_depth > self._max_queue_depth:
@@ -181,6 +212,7 @@ class ServingTelemetry:
         self.replicas.setdefault(replica_name, ReplicaTelemetry())
 
     def on_reject(self) -> None:
+        """Count a request refused by admission control."""
         self.rejected += 1
 
     def on_result(
@@ -203,6 +235,7 @@ class ServingTelemetry:
             slice_.failed += 1
 
     def on_batch(self, replica_name: str, batch_size: int) -> None:
+        """Record one fused engine batch of ``batch_size`` requests."""
         slice_ = self.replicas.setdefault(replica_name, ReplicaTelemetry())
         slice_.batches += 1
         slice_.fused_requests += int(batch_size)
@@ -213,13 +246,16 @@ class ServingTelemetry:
     # ------------------------------------------------------------------ #
     @property
     def completed(self) -> int:
+        """Total requests completed successfully, across all replicas."""
         return sum(slice_.completed for slice_ in self.replicas.values())
 
     @property
     def expired(self) -> int:
+        """Total requests expired past their deadline, across all replicas."""
         return sum(slice_.expired for slice_ in self.replicas.values())
 
     def elapsed_s(self) -> float:
+        """Seconds of server lifetime (live-reading until stopped)."""
         if self.started_at is None:
             return 0.0
         end = self.stopped_at if self.stopped_at is not None else self.clock()
@@ -287,6 +323,23 @@ class ServingTelemetry:
             "p99_ms": p99_s * 1e3,
         }
 
+    def to_snapshot(self, label: Optional[str] = None) -> Dict:
+        """One queryable point of a telemetry trajectory (plain JSON types).
+
+        The snapshot is the full :meth:`summary` dictionary stamped with
+        the capture time (``captured_at``, on the telemetry clock) and an
+        optional ``label`` (e.g. the offered load of the sweep point that
+        produced it).  Everything is coerced to plain JSON scalars, so
+        snapshots round-trip through :class:`TelemetryLog` unchanged —
+        load tests persist one snapshot per measurement and become
+        queryable trajectories instead of one-shot reports.
+        """
+        snapshot = _jsonable(self.summary())
+        snapshot["captured_at"] = float(self.clock())
+        if label is not None:
+            snapshot["label"] = str(label)
+        return snapshot
+
     def report(self, title: str = "serving telemetry") -> str:
         """Render the summary through the shared eval reporting helpers."""
         summary = self.summary()
@@ -318,3 +371,42 @@ class ServingTelemetry:
             ]
             blocks.append(format_table(headers, rows))
         return "\n\n".join(blocks)
+
+
+class TelemetryLog:
+    """Append-only JSONL persistence for telemetry snapshots.
+
+    One snapshot per line, so long load tests stream their trajectory to
+    disk without rewriting the file, and analysis tooling reads it back
+    with one ``json.loads`` per line.  The log is deliberately dumb —
+    no rotation, no schema — matching how the benchmark trajectories in
+    ``BENCH_throughput.json`` are consumed.
+
+    Attributes:
+        path: the JSONL file (parent directories are created on first
+            append).
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def append(self, snapshot: Dict) -> None:
+        """Append one snapshot (anything JSON-serializable) as a line."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as stream:
+            stream.write(json.dumps(_jsonable(snapshot), sort_keys=True) + "\n")
+
+    def read(self) -> List[Dict]:
+        """All snapshots in append order ([] for a missing/empty file)."""
+        if not self.path.exists():
+            return []
+        snapshots = []
+        with self.path.open("r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    snapshots.append(json.loads(line))
+        return snapshots
+
+    def __len__(self) -> int:
+        return len(self.read())

@@ -17,7 +17,7 @@ from repro.utils.linalg import (
     normalized_frobenius_error,
     condition_phases,
 )
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import derive_worker_seed, ensure_rng
 
 __all__ = [
     "db_to_linear",
@@ -34,4 +34,5 @@ __all__ = [
     "normalized_frobenius_error",
     "condition_phases",
     "ensure_rng",
+    "derive_worker_seed",
 ]
