@@ -20,6 +20,8 @@ repository root:
       "soc_datapath": {"k_sharding": {...}, "branch_fusion": {...}},
       "serving_fabric": {"single_process": {...}, "fabric": {...},
                          "saturated_speedup_fabric_vs_single_process": ...},
+      "snn_serving": {"batched_vs_serial": {...}, "served": {...},
+                      "online_stdp": {...}, "fault_campaign": {...}},
       "history": [{"machine": ..., "results": {...}, "soc_offload": {...}}, ...]
     }
 
@@ -50,6 +52,12 @@ staged vs descriptor-based in-place K-shard operand streaming (cycles,
 staging traffic, per-engine DMA bytes) and sequential vs branch-fused
 multi-head lowering at 2 and 4 PEs (measured and cost-model-predicted
 cycles), both with bitwise oracles.
+
+The ``snn_serving`` section holds the spiking serving benchmark: the fused
+multi-pattern run vs per-request serial runs (bitwise oracle, spikes/s),
+the served batch1-vs-dynamic sweep, online STDP reproducibility and
+updates/s, and the stuck-synapse fault-degradation curve (p99 latency and
+spike-count accuracy vs fault count) measured under live load.
 
 Future performance PRs compare their run against ``latest`` (and the
 trajectory in ``history``) to prove a speedup or catch a regression.
@@ -885,9 +893,222 @@ def collect_compiler_dag(quick: bool = False) -> dict:
     }
 
 
+def collect_snn_serving(quick: bool = False) -> dict:
+    """Spiking serving benchmark: fused batching, online STDP, fault curve.
+
+    Side-effect-free (fresh networks per measurement, campaign telemetry in
+    a temporary directory, no trajectory mutation), so ``--quick`` runs it
+    as the CI smoke for the SNN serving subsystem.  Four legs:
+
+    * ``batched_vs_serial``: the same seeded spike workload answered by one
+      fused :meth:`~repro.snn.network.PhotonicSNN.run_patterns` call vs
+      per-request serial :meth:`~repro.snn.network.PhotonicSNN.run` calls,
+      with a bitwise oracle — the speedup floor must hold (batched at
+      least matches serial even in quick mode) because the fused path is
+      exact, not approximate.  Also records spikes/s through the fused
+      datapath.
+    * ``served``: the workload through a real replica (batch1 vs dynamic
+      micro-batching) with a bitwise oracle between the modes.
+    * ``online_stdp``: learning mode served twice with pre-queued
+      submission; outputs and final crossbar state must be bitwise
+      reproducible, and STDP updates/s is recorded.
+    * ``fault_campaign``: a :class:`~repro.serving.resilience.FaultCampaignDriver`
+      sweep of stuck-PCM-synapse faults under load — the joint
+      p99/accuracy degradation curve, with accuracy 1.0 required at zero
+      faults and no better than that at the heaviest point.
+    """
+    import asyncio
+    import time as time_mod
+
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy as np
+
+    from repro.serving import (
+        FaultCampaignDriver,
+        InferenceServer,
+        Replica,
+        SNNEngine,
+        TelemetryLog,
+        run_patterns_serial,
+        spike_pattern_workload,
+        synapse_fault_armer,
+    )
+    from repro.snn import PhotonicSNN, STDPRule
+
+    n_inputs, n_outputs = (12, 5) if quick else (24, 8)
+    n_requests = 24 if quick else 96
+    max_batch = 8 if quick else 16
+
+    def make_engine(learning=False):
+        network = PhotonicSNN(
+            n_inputs,
+            n_outputs,
+            stdp=STDPRule() if learning else None,
+            inhibition=0.3,
+            rng=7,
+        )
+        return SNNEngine(network, learning=learning, max_spikes=6)
+
+    workload = spike_pattern_workload(n_inputs, n_requests, rng=11)
+    columns = np.stack([workload(index) for index in range(n_requests)], axis=1)
+
+    # -- fused batched run vs per-request serial runs (bitwise oracle) ---- #
+    engine = make_engine()
+    fused = engine.run_batch(None, columns)
+    assert np.array_equal(fused, run_patterns_serial(engine, columns)), (
+        "fused multi-pattern run diverged from serial per-request runs"
+    )
+    # wall-clock comparison on a possibly noisy machine: retries, then
+    # assert — the fused path is exact, so batched >= serial must hold
+    for attempt in range(3):
+        started = time_mod.perf_counter()
+        engine.run_batch(None, columns)
+        batched_s = time_mod.perf_counter() - started
+        started = time_mod.perf_counter()
+        run_patterns_serial(engine, columns)
+        serial_s = time_mod.perf_counter() - started
+        speedup = serial_s / batched_s if batched_s > 0 else 0.0
+        if speedup >= 1.0:
+            break
+    assert speedup >= 1.0, (
+        f"fused batching achieved {speedup:.2f}x serial (required >= 1.0x)"
+    )
+    probe = make_engine()
+    probe_batch = probe.network.run_patterns(
+        [probe.encode(columns[:, index]) for index in range(n_requests)]
+    )
+    batched_vs_serial = {
+        "n_requests": n_requests,
+        "batched_s": batched_s,
+        "serial_s": serial_s,
+        "speedup": speedup,
+        "exact": True,
+        "spikes_in": probe_batch.total_input_spikes,
+        "spikes_out": probe_batch.total_output_spikes,
+        "spikes_per_s": probe_batch.total_input_spikes / batched_s,
+    }
+
+    # -- served through a replica: batch1 vs dynamic micro-batching ------- #
+    async def measure_served(mode):
+        served_engine = make_engine()
+        served_engine.compile(None)  # compile outside the timed window
+        replica = Replica(
+            "snn",
+            served_engine,
+            max_batch=1 if mode == "batch1" else max_batch,
+            max_wait_s=0.0,
+            max_queue_depth=4 * n_requests,
+        )
+        async with InferenceServer([replica]) as server:
+            started = time_mod.perf_counter()
+            futures = [
+                server.submit_nowait(workload(index)) for index in range(n_requests)
+            ]
+            outputs = await asyncio.gather(*futures)
+            wall_s = time_mod.perf_counter() - started
+            telemetry = server.stats()
+        return {
+            "achieved_hz": n_requests / wall_s,
+            "p50_ms": telemetry["latency"]["p50_ms"],
+            "p99_ms": telemetry["latency"]["p99_ms"],
+            "mean_batch": telemetry["replicas"]["snn"]["mean_batch"],
+        }, np.stack(outputs, axis=1)
+
+    served = {}
+    served_outputs = {}
+    for mode in ("batch1", "dynamic"):
+        served[mode], served_outputs[mode] = asyncio.run(measure_served(mode))
+    assert np.array_equal(served_outputs["batch1"], served_outputs["dynamic"]), (
+        "dynamic micro-batching changed served spike counts"
+    )
+    served["bitwise_identical"] = True
+    served["speedup_dynamic_vs_batch1"] = (
+        served["dynamic"]["achieved_hz"] / served["batch1"]["achieved_hz"]
+        if served["batch1"]["achieved_hz"] > 0
+        else None
+    )
+
+    # -- online STDP under traffic: bitwise reproducibility --------------- #
+    async def serve_learning():
+        learning_engine = make_engine(learning=True)
+        replica = Replica(
+            "snn",
+            learning_engine,
+            max_batch=max_batch,
+            max_wait_s=0.0,
+            max_queue_depth=4 * n_requests,
+        )
+        async with InferenceServer([replica]) as server:
+            started = time_mod.perf_counter()
+            # pre-queued submission: deterministic batch composition, so
+            # the STDP update order is the request order
+            futures = [
+                server.submit_nowait(workload(index)) for index in range(n_requests)
+            ]
+            outputs = await asyncio.gather(*futures)
+            wall_s = time_mod.perf_counter() - started
+        return (
+            np.stack(outputs, axis=1),
+            learning_engine.network.synapse_array.fractions.copy(),
+            learning_engine,
+            wall_s,
+        )
+
+    out_a, fractions_a, engine_a, wall_a = asyncio.run(serve_learning())
+    out_b, fractions_b, engine_b, _ = asyncio.run(serve_learning())
+    assert np.array_equal(out_a, out_b), "online STDP outputs are not reproducible"
+    assert np.array_equal(fractions_a, fractions_b), (
+        "online STDP weight trajectory is not reproducible"
+    )
+    online_stdp = {
+        "n_requests": n_requests,
+        "bitwise_reproducible": True,
+        "stdp_updates": engine_a.stdp_updates,
+        "stdp_updates_per_s": engine_a.stdp_updates / wall_a if wall_a > 0 else None,
+        "recompiles": engine_a.stats.compiles,
+        "learning_energy_j": engine_a.learning_energy_j,
+    }
+
+    # -- fault campaign under load: joint p99/accuracy degradation -------- #
+    fault_counts = (0, 2, 8) if quick else (0, 1, 2, 4, 8, 16)
+    with tempfile.TemporaryDirectory() as tmp:
+        driver = FaultCampaignDriver(
+            engine_factory=make_engine,
+            fault_armer=synapse_fault_armer,
+            make_request=workload,
+            n_requests=min(n_requests, 32),
+            fault_counts=fault_counts,
+            root_seed=3,
+            max_batch=max_batch,
+            telemetry_log=TelemetryLog(Path(tmp) / "campaign.jsonl"),
+        )
+        curve = driver.run()
+    assert curve.accuracies[0] == 1.0, "zero-fault campaign point must be golden"
+    assert curve.accuracies[-1] <= curve.accuracies[0], (
+        "accuracy did not degrade (or held) under the heaviest fault load"
+    )
+    fault_campaign = {
+        "fault_model": "stuck PCM crystalline fractions",
+        "n_requests": min(n_requests, 32),
+        **curve.to_dict(),
+    }
+
+    return {
+        "n_inputs": n_inputs,
+        "n_outputs": n_outputs,
+        "max_batch": max_batch,
+        "batched_vs_serial": batched_vs_serial,
+        "served": served,
+        "online_stdp": online_stdp,
+        "fault_campaign": fault_campaign,
+    }
+
+
 def update_trajectory(
     output: Path, results: dict, soc_offload: dict, serving: dict, compiler: dict,
     compiler_dag: dict, soc_datapath: dict, serving_fabric: dict,
+    snn_serving: dict,
 ) -> dict:
     """Write the condensed results, appending to any existing history."""
     record = {
@@ -900,6 +1121,7 @@ def update_trajectory(
         "compiler_dag": compiler_dag,
         "soc_datapath": soc_datapath,
         "serving_fabric": serving_fabric,
+        "snn_serving": snn_serving,
     }
     payload = {
         "latest": results,
@@ -909,6 +1131,7 @@ def update_trajectory(
         "compiler_dag": compiler_dag,
         "soc_datapath": soc_datapath,
         "serving_fabric": serving_fabric,
+        "snn_serving": snn_serving,
         "history": [],
     }
     if output.exists():
@@ -959,13 +1182,14 @@ def main() -> int:
     compiler_dag = collect_compiler_dag(quick=args.quick)
     soc_datapath = collect_soc_datapath(quick=args.quick)
     serving_fabric = collect_serving_fabric(quick=args.quick)
+    snn_serving = collect_snn_serving(quick=args.quick)
 
     if args.quick:
         print("quick mode: trajectory file not updated")
     else:
         update_trajectory(
             args.output, results, soc_offload, serving, compiler, compiler_dag,
-            soc_datapath, serving_fabric,
+            soc_datapath, serving_fabric, snn_serving,
         )
         print(f"wrote {args.output} ({len(results)} benchmarks)")
     for name, stats in sorted(results.items()):
@@ -1040,6 +1264,26 @@ def main() -> int:
         f"p99 {serving_fabric['single_process']['p99_ms']:.0f} -> "
         f"{serving_fabric['fabric']['p99_ms']:.0f} ms, bitwise "
         f"{serving_fabric['bitwise_identical']})"
+    )
+    snn_batch = snn_serving["batched_vs_serial"]
+    snn_stdp = snn_serving["online_stdp"]
+    snn_faults = snn_serving["fault_campaign"]
+    print(
+        f"  snn_serving/batched_vs_serial: {snn_batch['serial_s'] * 1e3:.1f} ms "
+        f"serial -> {snn_batch['batched_s'] * 1e3:.1f} ms fused "
+        f"({snn_batch['speedup']:.1f}x, {snn_batch['spikes_per_s']:.0f} spikes/s, "
+        f"exact)"
+    )
+    print(
+        f"  snn_serving/online_stdp: {snn_stdp['stdp_updates']} pulse updates "
+        f"({snn_stdp['stdp_updates_per_s']:.0f}/s, bitwise reproducible "
+        f"{snn_stdp['bitwise_reproducible']})"
+    )
+    print(
+        f"  snn_serving/fault_campaign: accuracy "
+        f"{snn_faults['accuracy'][0]:.2f} -> {snn_faults['accuracy'][-1]:.2f} "
+        f"over {snn_faults['fault_counts'][0]} -> "
+        f"{snn_faults['fault_counts'][-1]} stuck synapses"
     )
     return exit_code
 

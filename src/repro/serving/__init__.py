@@ -5,9 +5,13 @@ service model: an asyncio front-end admits requests into bounded queues, a
 dynamic micro-batcher fuses them into single ``apply_batch`` /
 ``backend.matmul`` calls (the vectorized hot paths), and a multi-replica
 scheduler spreads traffic across engines — pure-backend GeMM, photonic MLP
-forward passes, or full cycle-accurate SoC offloads.  Telemetry reports the
-SLO metrics (p50/p95/p99 latency, throughput, queue depth, utilization) and
-the load generators replay seeded Poisson or bursty arrival traces.
+forward passes, full cycle-accurate SoC offloads, or the event-driven
+spiking network (:class:`~repro.serving.snn.SNNEngine`, with optional
+online STDP between micro-batches).  Telemetry reports the SLO metrics
+(p50/p95/p99 latency, throughput, queue depth, utilization), the load
+generators replay seeded Poisson or bursty arrival traces, and
+:class:`~repro.serving.resilience.FaultCampaignDriver` measures joint
+latency/accuracy degradation under armed faults while traffic runs.
 """
 
 from repro.serving.batching import InferenceRequest, MicroBatcher
@@ -42,18 +46,30 @@ from repro.serving.loadgen import (
     poisson_arrival_times,
     run_closed_loop,
     run_open_loop,
+    spike_pattern_workload,
+)
+from repro.serving.resilience import (
+    CampaignPoint,
+    FaultCampaignCurve,
+    FaultCampaignDriver,
+    soc_fault_armer,
+    synapse_fault_armer,
 )
 from repro.serving.scheduler import POLICIES, Replica, ReplicaScheduler
 from repro.serving.server import InferenceServer
+from repro.serving.snn import SNNEngine, run_patterns_serial
 from repro.serving.telemetry import LatencySeries, ServingTelemetry, TelemetryLog
 
 __all__ = [
     "BackpressureError",
+    "CampaignPoint",
     "CompiledModel",
     "ComputeHeavyBackend",
     "DeadlineExceededError",
     "FabricClient",
     "FabricGateway",
+    "FaultCampaignCurve",
+    "FaultCampaignDriver",
     "GemmEngine",
     "InferenceEngine",
     "InferenceRequest",
@@ -65,6 +81,7 @@ __all__ = [
     "POLICIES",
     "Replica",
     "ReplicaScheduler",
+    "SNNEngine",
     "ServerClosedError",
     "ServingError",
     "ServingTelemetry",
@@ -80,5 +97,9 @@ __all__ = [
     "poisson_arrival_times",
     "run_closed_loop",
     "run_open_loop",
+    "run_patterns_serial",
+    "soc_fault_armer",
+    "spike_pattern_workload",
+    "synapse_fault_armer",
     "weight_hash",
 ]

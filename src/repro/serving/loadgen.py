@@ -94,6 +94,37 @@ def make_column_workload(
     return factory
 
 
+def spike_pattern_workload(
+    n_inputs: int,
+    n_requests: int,
+    active_fraction: float = 0.4,
+    rng: RngLike = 0,
+) -> Callable[[int], np.ndarray]:
+    """Seeded spike-pattern request factory for the SNN serving path.
+
+    ``factory(i)`` is the i-th normalised ``(n_inputs,)`` value vector in
+    [0, 1]: roughly ``active_fraction`` of the channels are active with a
+    strong (0.6-1.0) drive, the rest carry weak (0-0.15) background — the
+    sparse binary-ish patterns STDP experiments train on, as request
+    traffic.  The same seed pins the same patterns, mirroring
+    :func:`make_column_workload` for the dense engines.
+    """
+    if not 0.0 < active_fraction <= 1.0:
+        raise ValueError("active_fraction must be in (0, 1]")
+    generator = ensure_rng(rng)
+    n_requests = int(n_requests)
+    n_inputs = int(n_inputs)
+    active = generator.random(size=(n_requests, n_inputs)) < active_fraction
+    strong = generator.uniform(0.6, 1.0, size=(n_requests, n_inputs))
+    weak = generator.uniform(0.0, 0.15, size=(n_requests, n_inputs))
+    patterns = np.where(active, strong, weak)
+
+    def factory(index: int) -> np.ndarray:
+        return patterns[index % len(patterns)]
+
+    return factory
+
+
 @dataclass
 class LoadReport:
     """Outcome of one load-generation run.

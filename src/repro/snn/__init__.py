@@ -15,9 +15,10 @@ from repro.snn.encoding import (
     merge_spike_trains,
     spike_count_decode,
 )
-from repro.snn.network import PhotonicSNN, SNNResult
+from repro.snn.network import BatchedSNNResult, PhotonicSNN, SNNResult
 
 __all__ = [
+    "BatchedSNNResult",
     "PhotonicLIFNeuron",
     "ExcitableLaserNeuron",
     "PhotonicSynapse",

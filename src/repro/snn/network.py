@@ -32,6 +32,35 @@ from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass
+class BatchedSNNResult:
+    """Outcome of one fused multi-pattern SNN run (:meth:`PhotonicSNN.run_patterns`).
+
+    Attributes:
+        spike_counts: (n_patterns, n_outputs) output spike counts — the
+            rate-decoded responses, one row per input pattern.
+        last_pre: (n_patterns, n_inputs) most recent presynaptic spike time
+            per channel within each pattern (NaN = channel never spiked).
+        last_post: (n_patterns, n_outputs) most recent output spike time per
+            neuron within each pattern (NaN = neuron never fired).
+        total_input_spikes: input events processed across the batch.
+        total_output_spikes: output spikes emitted across the batch.
+        energy_j: optical spike energy consumed across the batch.
+    """
+
+    spike_counts: np.ndarray
+    last_pre: np.ndarray
+    last_post: np.ndarray
+    total_input_spikes: int
+    total_output_spikes: int
+    energy_j: float
+
+    @property
+    def n_patterns(self) -> int:
+        """Number of patterns served by the fused run."""
+        return self.spike_counts.shape[0]
+
+
+@dataclass
 class SNNResult:
     """Outcome of one SNN simulation run.
 
@@ -220,6 +249,168 @@ class PhotonicSNN:
             plasticity_events=plasticity_events,
             energy_j=energy,
         )
+
+    # ------------------------------------------------------------------ #
+    # fused multi-pattern simulation (the serving datapath)
+    # ------------------------------------------------------------------ #
+    def run_patterns(
+        self,
+        patterns: Sequence[Sequence[SpikeTrain]],
+        input_amplitude: float = 0.6,
+    ) -> BatchedSNNResult:
+        """Simulate the inference response to a batch of patterns in one pass.
+
+        This is the spiking analogue of ``apply_batch``: the synaptic weight
+        matrix is evaluated **once** for the whole batch (serial :meth:`run`
+        re-evaluates one weight row per input event) and the event loop is
+        vectorised across patterns — step ``i`` advances every pattern's
+        ``i``-th event simultaneously, so the Python-level work scales with
+        the *longest* pattern instead of the batch's total event count.
+
+        Patterns are independent (each gets fresh neuron state, exactly as
+        serial ``run`` resets the neurons), so per-pattern results are
+        bitwise-identical to ``run(pattern, learning=False)``, including the
+        sequential lateral-inhibition scan within each event fan-out.  The
+        network's persistent pre/post spike bookkeeping and synaptic weights
+        are left untouched; plasticity is applied explicitly *between* fused
+        runs via :meth:`apply_stdp_batch`.
+        """
+        patterns = list(patterns)
+        for pattern in patterns:
+            if len(pattern) > self.n_inputs:
+                raise ValueError("more input trains than input channels")
+        n_patterns = len(patterns)
+        n_out = self.n_outputs
+        counts = np.zeros((n_patterns, n_out), dtype=int)
+        last_pre = np.full((n_patterns, self.n_inputs), np.nan)
+        last_post = np.full((n_patterns, n_out), np.nan)
+        if n_patterns == 0:
+            return BatchedSNNResult(
+                spike_counts=counts, last_pre=last_pre, last_post=last_post,
+                total_input_spikes=0, total_output_spikes=0, energy_j=0.0,
+            )
+
+        events = [merge_spike_trains(list(pattern)) for pattern in patterns]
+        total_input_spikes = sum(len(sequence) for sequence in events)
+        max_events = max(len(sequence) for sequence in events)
+        # Padded event tables: one fused step advances every pattern's i-th
+        # event.  Padding times are +inf so masked lanes neither spike nor
+        # emit overflow warnings in the leak factor.
+        times = np.full((n_patterns, max_events), np.inf)
+        channels = np.zeros((n_patterns, max_events), dtype=int)
+        valid = np.zeros((n_patterns, max_events), dtype=bool)
+        for index, sequence in enumerate(events):
+            for order, (time, neuron_index) in enumerate(sequence):
+                times[index, order] = time
+                channels[index, order] = neuron_index
+                valid[index, order] = True
+
+        # one weight-matrix evaluation per fused batch (the serving invariant)
+        amplitudes_all = input_amplitude * self.synapse_array.weights()
+        delay = self.synapse_array.delay
+        thresholds = np.array([neuron.threshold for neuron in self.neurons])
+        leak_tau = np.array([neuron.leak_time_constant for neuron in self.neurons])
+        refractory = np.array([neuron.refractory_period for neuron in self.neurons])
+        spike_energy = self.neurons[0].spike_energy if self.neurons else 0.0
+
+        membrane = np.zeros((n_patterns, n_out))
+        last_update = np.zeros((n_patterns, n_out))
+        last_spike = np.full((n_patterns, n_out), np.nan)
+
+        for step in range(max_events):
+            active = valid[:, step]
+            if not np.any(active):
+                break
+            time = times[:, step]
+            arrival = time + delay
+            pre = channels[:, step]
+            rows = np.flatnonzero(active)
+            last_pre[rows, pre[rows]] = time[rows]
+            amplitudes = amplitudes_all[pre, :]
+            # The fan-out scan stays sequential over output neurons (it is
+            # sequential in serial run: a neuron firing mid-scan inhibits
+            # neurons processed later in the same event) but vectorises over
+            # the batch dimension.
+            for post in range(n_out):
+                column = membrane[:, post]
+                elapsed = arrival - last_update[:, post]
+                leaking = active & (elapsed > 0)
+                column = np.where(
+                    leaking, column * np.exp(-elapsed / leak_tau[post]), column
+                )
+                last_update[:, post] = np.where(
+                    leaking, arrival, last_update[:, post]
+                )
+                refractory_mask = (
+                    active
+                    & np.isfinite(last_spike[:, post])
+                    & (arrival - last_spike[:, post] < refractory[post])
+                )
+                receiving = active & ~refractory_mask
+                column = np.where(receiving, column + amplitudes[:, post], column)
+                fired = receiving & (column >= thresholds[post])
+                column = np.where(fired, 0.0, column)
+                membrane[:, post] = column
+                if np.any(fired):
+                    counts[fired, post] += 1
+                    last_spike[fired, post] = arrival[fired]
+                    last_post[fired, post] = arrival[fired]
+                    if self.inhibition > 0:
+                        # decrement every *other* neuron of the fired
+                        # patterns; (x - i) + i == x restores column post
+                        # exactly, so one broadcast subtraction suffices
+                        membrane[fired, :] -= self.inhibition
+                        membrane[fired, post] += self.inhibition
+
+        total_output_spikes = int(counts.sum())
+        return BatchedSNNResult(
+            spike_counts=counts,
+            last_pre=last_pre,
+            last_post=last_post,
+            total_input_spikes=total_input_spikes,
+            total_output_spikes=total_output_spikes,
+            energy_j=total_output_spikes * spike_energy,
+        )
+
+    def apply_stdp_batch(self, batch: BatchedSNNResult) -> Tuple[int, float]:
+        """Apply STDP updates recorded by a fused run, between micro-batches.
+
+        The online-learning contract of the serving path: responses in a
+        micro-batch are computed against the weights as of batch start (one
+        fused :meth:`run_patterns` step), then plasticity is applied here —
+        pattern by pattern in batch order, so a fixed request order yields a
+        bitwise-reproducible weight trajectory.  Per pattern, every output
+        neuron that fired contributes one column update (``delta_t`` =
+        last post spike − last pre spike per channel, exactly the pairing
+        serial :meth:`run` applies on an output spike), and all fired
+        columns are applied as **one** vectorised pulse-quantised
+        :meth:`~repro.snn.synapse.SynapseArray.adjust` per pattern.
+
+        Returns ``(plasticity_events, programming_energy_j)``.
+        """
+        if self.stdp is None:
+            raise ValueError("apply_stdp_batch requires an STDP rule")
+        pulse_energy = self.synapse_array.programming_energy_per_pulse()
+        plasticity_events = 0
+        energy = 0.0
+        for index in range(batch.n_patterns):
+            fired = np.isfinite(batch.last_post[index])
+            if not np.any(fired):
+                continue
+            seen = np.isfinite(batch.last_pre[index])
+            pairs = seen[:, None] & fired[None, :]
+            delta_t = np.where(
+                pairs,
+                batch.last_post[index][None, :] - batch.last_pre[index][:, None],
+                0.0,
+            )
+            weights = self.synapse_array.weights()
+            deltas = self.stdp.bounded_deltas(weights, delta_t, valid=pairs)
+            self.synapse_array.adjust(deltas, current_weights=weights)
+            n_updates = int(np.count_nonzero(fired)) * self.n_inputs
+            plasticity_events += n_updates
+            energy += n_updates * pulse_energy
+        return plasticity_events, energy
 
     def train(
         self,

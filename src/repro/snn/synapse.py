@@ -119,6 +119,7 @@ class SynapseArray:
 
     @property
     def shape(self) -> tuple:
+        """Crossbar dimensions ``(n_pre, n_post)``."""
         return self.fractions.shape
 
     def _transmission_of(self, fractions: np.ndarray) -> np.ndarray:
@@ -181,6 +182,27 @@ class SynapseArray:
         """Apply weight deltas to all synapses of postsynaptic neuron ``post``."""
         self.fractions[:, post] = self._adjusted_fractions(
             self.fractions[:, post], delta_weights, current_weights
+        )
+
+    def adjust(
+        self, delta_weights: np.ndarray, current_weights: np.ndarray = None
+    ) -> None:
+        """Apply an (n_pre, n_post) matrix of weight deltas in one pulse pass.
+
+        The full-crossbar analogue of :meth:`adjust_row` /
+        :meth:`adjust_column`: every cell receives its pulse-granular update
+        from the same elementwise kernel, so one matrix call is equivalent
+        to (and cheaper than) a column-by-column sweep.  Used by the fused
+        serving path to apply a whole micro-batch STDP update at once.
+        """
+        delta_weights = np.asarray(delta_weights, dtype=float)
+        if delta_weights.shape != self.fractions.shape:
+            raise ValueError(
+                f"delta_weights shape {delta_weights.shape} does not match "
+                f"crossbar shape {self.fractions.shape}"
+            )
+        self.fractions = self._adjusted_fractions(
+            self.fractions, delta_weights, current_weights
         )
 
     def programming_energy_per_pulse(self) -> float:

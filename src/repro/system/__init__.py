@@ -60,6 +60,7 @@ from repro.system.faults import (
     FaultSpec,
     FaultInjector,
     CampaignResult,
+    EmptyCampaignError,
     random_fault_spec,
     run_fault_campaign,
     FAULT_TARGETS,
@@ -126,6 +127,7 @@ __all__ = [
     "FaultSpec",
     "FaultInjector",
     "CampaignResult",
+    "EmptyCampaignError",
     "random_fault_spec",
     "run_fault_campaign",
     "FAULT_TARGETS",

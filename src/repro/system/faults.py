@@ -35,6 +35,15 @@ FAULT_TYPES = ("transient", "permanent")
 OUTCOMES = ("masked", "sdc", "crash", "hang")
 
 
+class EmptyCampaignError(ValueError):
+    """Raised when a rate is requested from a campaign with zero runs.
+
+    Outcome rates of an empty campaign are undefined; silently answering
+    0.0 would read as "this outcome never happened" in reliability
+    summaries, so the contract is a typed error instead.
+    """
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One fault to inject.
@@ -170,11 +179,17 @@ class CampaignResult:
     specs: List[FaultSpec] = field(default_factory=list)
 
     def rate(self, outcome: str) -> float:
-        """Fraction of runs with the given outcome."""
+        """Fraction of runs with the given outcome.
+
+        Raises :class:`EmptyCampaignError` on a zero-run campaign — an
+        outcome rate over no runs is undefined, not 0.0.
+        """
         if outcome not in OUTCOMES:
             raise ValueError(f"unknown outcome {outcome!r}")
         if not self.outcomes:
-            return 0.0
+            raise EmptyCampaignError(
+                f"cannot compute {outcome!r} rate of a campaign with zero runs"
+            )
         return float(np.mean([o == outcome for o in self.outcomes]))
 
     def counts(self) -> Dict[str, int]:

@@ -1,0 +1,377 @@
+"""Tests for the spiking serving runtime (repro.serving.snn / .resilience)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    FaultCampaignDriver,
+    InferenceServer,
+    Replica,
+    SNNEngine,
+    TelemetryLog,
+    run_patterns_serial,
+    soc_fault_armer,
+    spike_pattern_workload,
+    synapse_fault_armer,
+)
+from repro.serving.engine import DEFAULT_MODEL_KEY
+from repro.serving.errors import ServingError
+from repro.serving.resilience import FaultCampaignCurve
+from repro.snn import PhotonicSNN, STDPRule
+from repro.system.faults import OUTCOMES
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_network(n_inputs=12, n_outputs=5, stdp=None, inhibition=0.3, seed=5):
+    return PhotonicSNN(
+        n_inputs, n_outputs, stdp=stdp, inhibition=inhibition, rng=seed
+    )
+
+
+def make_engine(learning=False, encoding="rate", seed=5, **kwargs):
+    network = make_network(
+        stdp=STDPRule() if learning else None, seed=seed
+    )
+    return SNNEngine(network, learning=learning, encoding=encoding, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# the fused multi-pattern network path
+# --------------------------------------------------------------------- #
+class TestRunPatterns:
+    def test_fused_matches_serial_bitwise(self):
+        engine = make_engine()
+        workload = spike_pattern_workload(12, 10, rng=3)
+        columns = np.stack([workload(i) for i in range(10)], axis=1)
+        assert np.array_equal(
+            engine.run_batch(None, columns), run_patterns_serial(engine, columns)
+        )
+
+    def test_fused_matches_serial_with_inhibition_and_latency(self):
+        # lateral inhibition couples output neurons mid-event; latency
+        # encoding exercises single-spike and empty channels
+        engine = make_engine(encoding="latency")
+        workload = spike_pattern_workload(12, 8, rng=9)
+        columns = np.stack([workload(i) for i in range(8)], axis=1)
+        assert np.array_equal(
+            engine.run_batch(None, columns), run_patterns_serial(engine, columns)
+        )
+
+    def test_empty_batch_and_empty_patterns(self):
+        network = make_network()
+        result = network.run_patterns([])
+        assert result.n_patterns == 0
+        assert result.total_input_spikes == 0
+        # an all-silent pattern produces a zero row, not an error
+        silent = network.run_patterns([[], []])
+        assert silent.spike_counts.shape == (2, network.n_outputs)
+        assert silent.total_output_spikes == 0
+        assert np.all(np.isnan(silent.last_pre))
+
+    def test_fused_run_does_not_mutate_weights_or_history(self):
+        network = make_network(stdp=STDPRule())
+        before = network.synapse_array.fractions.copy()
+        pre_history = network._last_pre.copy()
+        workload = spike_pattern_workload(12, 4, rng=1)
+        network.run_patterns([_encode(network, workload(i)) for i in range(4)])
+        assert np.array_equal(network.synapse_array.fractions, before)
+        assert np.array_equal(
+            network._last_pre, pre_history, equal_nan=True
+        )
+
+    def test_apply_stdp_batch_requires_rule_and_is_deterministic(self):
+        network = make_network()
+        batch = network.run_patterns([_encode(network, np.ones(12))])
+        with pytest.raises(ValueError):
+            network.apply_stdp_batch(batch)
+        learner = make_network(stdp=STDPRule())
+        batch = learner.run_patterns([_encode(learner, np.ones(12))])
+        baseline = learner.synapse_array.fractions.copy()
+        events, energy = learner.apply_stdp_batch(batch)
+        first = learner.synapse_array.fractions.copy()
+        assert events > 0 and energy > 0
+        learner.synapse_array.fractions = baseline
+        learner.apply_stdp_batch(batch)
+        assert np.array_equal(learner.synapse_array.fractions, first)
+
+
+def _encode(network, values):
+    from repro.snn import rate_encode
+
+    return rate_encode(values, max_spikes=6)
+
+
+# --------------------------------------------------------------------- #
+# the engine contract
+# --------------------------------------------------------------------- #
+class TestSNNEngine:
+    def test_rejects_explicit_weights(self, rng):
+        engine = make_engine()
+        with pytest.raises(ServingError):
+            engine.model_key(rng.normal(size=(3, 3)))
+        with pytest.raises(ServingError):
+            engine.run_batch(rng.normal(size=(3, 3)), np.zeros((12, 1)))
+
+    def test_rejects_unknown_encoding_and_learning_without_stdp(self):
+        with pytest.raises(ValueError):
+            SNNEngine(make_network(), encoding="phase")
+        with pytest.raises(ServingError):
+            SNNEngine(make_network(), learning=True)
+
+    def test_default_key_remaps_to_learning_hash(self):
+        engine = make_engine()
+        compiled = engine.compile(None, key=DEFAULT_MODEL_KEY)
+        assert compiled.key == f"snn:{engine.learning_hash}"
+        assert engine.model_key(None) == compiled.key
+
+    def test_cache_hits_while_weights_unchanged(self):
+        engine = make_engine()
+        columns = np.tile(np.linspace(0, 1, 12)[:, None], (1, 3))
+        engine.run_batch(None, columns)
+        engine.run_batch(None, columns)
+        assert engine.stats.compiles == 1
+        assert engine.stats.cache_hits == 1
+
+    def test_learning_versions_the_cache_key(self):
+        engine = make_engine(learning=True)
+        columns = np.tile(np.ones(12)[:, None], (1, 4))
+        before = engine.learning_hash
+        engine.run_batch(None, columns)
+        assert engine.learning_hash != before
+        engine.run_batch(None, columns)
+        # every batch mutated the crossbar, so every batch recompiled:
+        # a cache hit never serves re-programmed (stale) weights
+        assert engine.stats.compiles == 2
+        assert engine.stats.cache_hits == 0
+        assert engine.stdp_updates > 0
+
+    def test_refresh_learning_hash_tracks_external_mutation(self):
+        engine = make_engine()
+        stale = engine.learning_hash
+        engine.network.synapse_array.fractions[0, 0] = 1.0
+        assert engine.refresh_learning_hash() != stale
+
+    def test_counters_accumulate(self):
+        engine = make_engine()
+        workload = spike_pattern_workload(12, 6, rng=2)
+        columns = np.stack([workload(i) for i in range(6)], axis=1)
+        engine.run_batch(None, columns)
+        snapshot = engine.snapshot()
+        assert snapshot["spikes_in"] > 0
+        assert snapshot["spikes_out"] > 0
+        assert snapshot["spike_energy_j"] > 0
+        assert snapshot["stdp_updates"] == 0  # learning off
+
+
+# --------------------------------------------------------------------- #
+# serving through the micro-batcher
+# --------------------------------------------------------------------- #
+class TestServedSNN:
+    def test_batched_serving_matches_serial_serving(self):
+        workload = spike_pattern_workload(12, 16, rng=7)
+
+        async def serve(max_batch):
+            engine = make_engine()
+            replica = Replica(
+                "snn", engine, max_batch=max_batch, max_wait_s=0.0,
+                max_queue_depth=64,
+            )
+            async with InferenceServer([replica]) as server:
+                futures = [server.submit_nowait(workload(i)) for i in range(16)]
+                outputs = await asyncio.gather(*futures)
+            return np.stack(outputs, axis=1), engine
+
+        fused_out, fused_engine = run_async(serve(max_batch=8))
+        serial_out, serial_engine = run_async(serve(max_batch=1))
+        assert np.array_equal(fused_out, serial_out)
+        # one fused network step per micro-batch: far fewer engine batches
+        assert fused_engine.stats.batches < serial_engine.stats.batches
+        assert serial_engine.stats.batches == 16
+
+    def test_online_stdp_is_bitwise_reproducible(self):
+        workload = spike_pattern_workload(12, 20, rng=4)
+
+        async def serve():
+            engine = make_engine(learning=True)
+            replica = Replica(
+                "snn", engine, max_batch=8, max_wait_s=0.0, max_queue_depth=64
+            )
+            async with InferenceServer([replica]) as server:
+                # pre-queued submission pins the batch composition, and with
+                # it the STDP update order
+                futures = [server.submit_nowait(workload(i)) for i in range(20)]
+                outputs = await asyncio.gather(*futures)
+            return (
+                np.stack(outputs, axis=1),
+                engine.network.synapse_array.fractions.copy(),
+                engine.stdp_updates,
+            )
+
+        out_a, fractions_a, updates_a = run_async(serve())
+        out_b, fractions_b, updates_b = run_async(serve())
+        assert np.array_equal(out_a, out_b)
+        assert np.array_equal(fractions_a, fractions_b)
+        assert updates_a == updates_b > 0
+
+    def test_learning_actually_moves_weights_under_traffic(self):
+        workload = spike_pattern_workload(12, 12, rng=8)
+
+        async def serve():
+            engine = make_engine(learning=True)
+            before = engine.network.synapse_array.fractions.copy()
+            replica = Replica(
+                "snn", engine, max_batch=4, max_wait_s=0.0, max_queue_depth=64
+            )
+            async with InferenceServer([replica]) as server:
+                futures = [server.submit_nowait(workload(i)) for i in range(12)]
+                await asyncio.gather(*futures)
+            return before, engine.network.synapse_array.fractions
+
+        before, after = run_async(serve())
+        assert not np.array_equal(before, after)
+
+
+# --------------------------------------------------------------------- #
+# seeded spike workloads
+# --------------------------------------------------------------------- #
+class TestSpikeWorkload:
+    def test_same_seed_same_patterns(self):
+        a = spike_pattern_workload(10, 6, rng=3)
+        b = spike_pattern_workload(10, 6, rng=3)
+        assert all(np.array_equal(a(i), b(i)) for i in range(6))
+        c = spike_pattern_workload(10, 6, rng=4)
+        assert any(not np.array_equal(a(i), c(i)) for i in range(6))
+
+    def test_patterns_are_normalised_and_wrap(self):
+        factory = spike_pattern_workload(8, 4, rng=0)
+        for index in range(8):
+            pattern = factory(index)
+            assert pattern.shape == (8,)
+            assert np.all(pattern >= 0.0) and np.all(pattern <= 1.0)
+        assert np.array_equal(factory(0), factory(4))
+
+    def test_rejects_bad_active_fraction(self):
+        with pytest.raises(ValueError):
+            spike_pattern_workload(8, 4, active_fraction=0.0)
+
+
+# --------------------------------------------------------------------- #
+# fault campaigns under live load
+# --------------------------------------------------------------------- #
+class TestFaultCampaigns:
+    def test_synapse_campaign_degrades_and_persists(self, tmp_path):
+        workload = spike_pattern_workload(12, 12, rng=11)
+        log = TelemetryLog(tmp_path / "campaign.jsonl")
+        driver = FaultCampaignDriver(
+            engine_factory=make_engine,
+            fault_armer=synapse_fault_armer,
+            make_request=workload,
+            n_requests=12,
+            fault_counts=(0, 4, 16),
+            root_seed=2,
+            telemetry_log=log,
+        )
+        curve = driver.run()
+        assert curve.fault_counts == [0, 4, 16]
+        assert curve.accuracies[0] == 1.0
+        assert curve.accuracies[-1] <= curve.accuracies[0]
+        assert all(p99 >= 0.0 for p99 in curve.p99_ms)
+        for point in curve.points:
+            assert sum(point.outcomes.values()) == 12
+            assert set(point.outcomes) == set(OUTCOMES)
+        # one labelled telemetry snapshot per sweep point, with the joint
+        # latency/accuracy payload round-tripping through the JSONL log
+        snapshots = log.read()
+        assert len(snapshots) == 3
+        assert snapshots[0]["label"] == "faults=0"
+        assert snapshots[0]["fault_campaign"]["accuracy"] == 1.0
+        assert snapshots[-1]["fault_campaign"]["n_faults"] == 16
+        assert "latency" in snapshots[0] and "snn" in snapshots[0]
+
+    def test_campaign_is_seed_reproducible(self):
+        workload = spike_pattern_workload(12, 8, rng=5)
+
+        def build():
+            return FaultCampaignDriver(
+                engine_factory=make_engine,
+                fault_armer=synapse_fault_armer,
+                make_request=workload,
+                n_requests=8,
+                fault_counts=(0, 3, 9),
+                root_seed=7,
+            )
+
+        first = build().run()
+        second = build().run()
+        assert first.accuracies == second.accuracies
+        assert [p.outcomes for p in first.points] == [
+            p.outcomes for p in second.points
+        ]
+        assert [p.seed for p in first.points] == [p.seed for p in second.points]
+
+    def test_curve_to_dict_is_json_plain(self):
+        curve = FaultCampaignCurve()
+        driver = FaultCampaignDriver(
+            engine_factory=make_engine,
+            fault_armer=synapse_fault_armer,
+            make_request=spike_pattern_workload(12, 4, rng=0),
+            n_requests=4,
+            fault_counts=(0,),
+        )
+        curve = driver.run()
+        payload = curve.to_dict()
+        import json
+
+        json.dumps(payload)  # must not raise
+        assert payload["fault_counts"] == [0]
+        assert payload["accuracy"] == [1.0]
+
+    def test_soc_fault_armer_under_load(self, tmp_path):
+        from repro.serving import SoCGemmEngine
+        from repro.system import PhotonicSoC
+        from repro.utils.rng import ensure_rng
+
+        weights = ensure_rng(0).integers(-3, 4, size=(6, 6))
+
+        def engine_factory():
+            soc = PhotonicSoC()
+            soc.add_photonic_accelerator()
+            return SoCGemmEngine(soc, weights=weights)
+
+        columns = ensure_rng(1).integers(-3, 4, size=(8, 6)).astype(float)
+        driver = FaultCampaignDriver(
+            engine_factory=engine_factory,
+            fault_armer=soc_fault_armer(target="scratchpad", max_cycle=64),
+            make_request=lambda index: columns[index % len(columns)],
+            n_requests=8,
+            fault_counts=(0, 4),
+            root_seed=1,
+        )
+        curve = driver.run()
+        assert curve.accuracies[0] == 1.0
+        assert sum(curve.points[1].outcomes.values()) == 8
+
+    def test_soc_armer_rejects_engines_without_soc(self):
+        armer = soc_fault_armer()
+        from repro.utils.rng import ensure_rng
+
+        with pytest.raises(ValueError):
+            armer(make_engine(), 1, ensure_rng(0))
+
+    def test_driver_validates_arguments(self):
+        workload = spike_pattern_workload(12, 4, rng=0)
+        with pytest.raises(ValueError):
+            FaultCampaignDriver(
+                engine_factory=make_engine, fault_armer=synapse_fault_armer,
+                make_request=workload, n_requests=0,
+            )
+        with pytest.raises(ValueError):
+            FaultCampaignDriver(
+                engine_factory=make_engine, fault_armer=synapse_fault_armer,
+                make_request=workload, fault_counts=(),
+            )

@@ -183,3 +183,42 @@ class TestEncodings:
     def test_spike_count_decode(self):
         counts = spike_count_decode([np.array([1.0, 2.0]), np.array([])])
         assert np.array_equal(counts, np.array([2.0, 0.0]))
+
+    def test_empty_spike_train_is_sorted_empty_and_mergeable(self):
+        train = SpikeTrain(neuron=3, times=np.empty(0))
+        assert train.times.size == 0
+        assert merge_spike_trains([train]) == []
+        # an all-zero rate encode is a list of empty trains, not an error
+        trains = rate_encode(np.zeros(4))
+        assert all(t.times.size == 0 for t in trains)
+        assert merge_spike_trains(trains) == []
+
+    def test_merge_tie_breaking_is_deterministic(self):
+        # simultaneous spikes must keep the train-list order (stable sort),
+        # so the fused batched path replays events identically run-to-run
+        trains = [
+            SpikeTrain(2, np.array([1.0, 5.0])),
+            SpikeTrain(0, np.array([1.0])),
+            SpikeTrain(1, np.array([1.0, 5.0])),
+        ]
+        merged = merge_spike_trains(trains)
+        assert merged == [(1.0, 2), (1.0, 0), (1.0, 1), (5.0, 2), (5.0, 1)]
+        assert merged == merge_spike_trains(trains)
+
+    def test_rate_encode_round_trip_under_pinned_rng(self, rng):
+        values = np.round(rng.random(16) * 10.0) / 10.0
+        trains = rate_encode(values, max_spikes=10)
+        decoded = spike_count_decode([train.times for train in trains]) / 10.0
+        assert np.allclose(decoded, values)
+        # re-encoding the same values is bitwise identical
+        again = rate_encode(values, max_spikes=10)
+        assert all(
+            np.array_equal(a.times, b.times) for a, b in zip(trains, again)
+        )
+
+    def test_latency_encode_round_trip_under_pinned_rng(self, rng):
+        window = 10e-9
+        values = 0.05 + rng.random(16) * 0.95
+        trains = latency_encode(values, window=window, threshold=0.05)
+        decoded = np.array([1.0 - train.times[0] / window for train in trains])
+        assert np.allclose(decoded, values)

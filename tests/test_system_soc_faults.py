@@ -6,6 +6,7 @@ import pytest
 from repro.eval.workloads import make_gemm_workload
 from repro.system.faults import (
     CampaignResult,
+    EmptyCampaignError,
     FaultInjector,
     FaultSpec,
     random_fault_spec,
@@ -184,6 +185,17 @@ class TestFaultCampaign:
     def test_rate_rejects_unknown_outcome(self):
         with pytest.raises(ValueError):
             CampaignResult(outcomes=["masked"]).rate("meltdown")
+
+    def test_rate_of_empty_campaign_raises_typed_error(self):
+        # Regression: this used to answer 0.0, which reads as "the outcome
+        # never happened" in reliability summaries.
+        with pytest.raises(EmptyCampaignError):
+            CampaignResult().rate("masked")
+        # the unknown-outcome check still wins on an empty campaign
+        with pytest.raises(ValueError, match="unknown outcome"):
+            CampaignResult().rate("meltdown")
+        # typed as a ValueError subclass so existing callers keep working
+        assert issubclass(EmptyCampaignError, ValueError)
 
     def test_memory_faults_can_cause_sdc(self):
         weights, inputs = make_gemm_workload(3, 3, 2, rng=3)
