@@ -22,6 +22,8 @@ repository root:
                          "saturated_speedup_fabric_vs_single_process": ...},
       "snn_serving": {"batched_vs_serial": {...}, "served": {...},
                       "online_stdp": {...}, "fault_campaign": {...}},
+      "observability": {"untraced_hz": ..., "traced_hz": ...,
+                        "overhead_frac": ..., "bitwise_parity": ...},
       "history": [{"machine": ..., "results": {...}, "soc_offload": {...}}, ...]
     }
 
@@ -58,6 +60,12 @@ multi-pattern run vs per-request serial runs (bitwise oracle, spikes/s),
 the served batch1-vs-dynamic sweep, online STDP reproducibility and
 updates/s, and the stuck-synapse fault-degradation curve (p99 latency and
 spike-count accuracy vs fault count) measured under live load.
+
+The ``observability`` section holds the tracing-plane benchmark: traced vs
+untraced closed-loop throughput on the compute-heavy engine (quick mode
+asserts at most 5% overhead), the bitwise served-output/cycle-count parity
+oracle with tracing on vs off, the Chrome-trace export validation count,
+and a drift-monitor smoke (a miscalibrated cost model must be flagged).
 
 Future performance PRs compare their run against ``latest`` (and the
 trajectory in ``history``) to prove a speedup or catch a regression.
@@ -1105,10 +1113,149 @@ def collect_snn_serving(quick: bool = False) -> dict:
     }
 
 
+def collect_observability(quick: bool = False) -> dict:
+    """Tracing-overhead benchmark: traced vs untraced saturation throughput.
+
+    The same compute-heavy engine (service-time dominated, so the μs-scale
+    cost of span bookkeeping is measured against a realistic request cost)
+    is driven closed-loop twice — once with a live
+    :class:`~repro.obs.trace.Tracer` + metrics registry on the server,
+    once untraced — and the achieved throughputs are compared.  A third,
+    seeded analog run checks the *bitwise parity* contract: outputs and
+    SoC cycle accounting must be identical with tracing on or off.  The
+    quick contract (CI-asserted): tracing overhead at most 5% and exact
+    output parity, plus the exported Chrome trace validating and the
+    drift monitor flagging a miscalibrated cost model.
+    """
+    import asyncio
+
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy as np
+
+    from repro.compiler import SoCCostModel
+    from repro.obs import (
+        DriftMonitor,
+        MetricsRegistry,
+        Tracer,
+        chrome_trace,
+        validate_chrome_trace,
+    )
+    from repro.serving import (
+        GemmEngine,
+        InferenceServer,
+        Replica,
+        SoCGemmEngine,
+        run_closed_loop,
+    )
+    from repro.serving.fabric import ComputeHeavyBackend
+    from repro.system import PhotonicSoC
+    from repro.utils.rng import ensure_rng
+
+    shape = (12, 12)
+    n_clients = 4
+    requests_per_client = 12 if quick else 40
+    service_s = 0.002
+    weights = ensure_rng(0).normal(size=shape)
+    workload = ensure_rng(1).normal(size=(256, shape[1]))
+
+    def measure_throughput(tracer, metrics):
+        async def drive():
+            backend = ComputeHeavyBackend(service_s_per_column=service_s)
+            engine = GemmEngine(backend=backend, weights=weights)
+            engine.compile(None)
+            replica = Replica("r0", engine, max_batch=8, max_queue_depth=64)
+            server = InferenceServer([replica], tracer=tracer, metrics=metrics)
+            async with server:
+                report = await run_closed_loop(
+                    server,
+                    n_clients,
+                    requests_per_client,
+                    lambda index: workload[index % len(workload)],
+                )
+            return report.achieved_hz
+
+        return asyncio.run(drive())
+
+    untraced_hz = measure_throughput(None, None)
+    tracer = Tracer(process="server")
+    traced_hz = measure_throughput(tracer, MetricsRegistry())
+    overhead_frac = 1.0 - traced_hz / untraced_hz if untraced_hz > 0 else 0.0
+
+    def serve_outputs(tracer):
+        async def drive():
+            soc = PhotonicSoC()
+            soc.add_photonic_accelerator()
+            engine = SoCGemmEngine(
+                soc, weights=ensure_rng(2).integers(-5, 6, size=(8, 6))
+            )
+            server = InferenceServer([Replica("r0", engine)], tracer=tracer)
+            columns = ensure_rng(3).integers(-5, 6, size=(16, 6)).astype(float)
+            async with server:
+                outputs = await asyncio.gather(
+                    *(server.submit(column) for column in columns)
+                )
+            return np.stack(outputs), engine.offload_cycles
+
+        return asyncio.run(drive())
+
+    baseline_outputs, baseline_cycles = serve_outputs(None)
+    parity_tracer = Tracer(process="server")
+    traced_outputs, traced_cycles = serve_outputs(parity_tracer)
+    parity = bool(
+        np.array_equal(baseline_outputs, traced_outputs)
+        and baseline_cycles == traced_cycles
+    )
+
+    trace_obj = chrome_trace(tracer.finished + parity_tracer.finished)
+    trace_events = validate_chrome_trace(trace_obj)
+
+    # drift smoke: a cost model calibrated on a 2-PE cluster mispredicts a
+    # 1-PE cluster's serial tile stream, so the monitor must flag it
+    def calibrated_soc(n_pes):
+        soc = PhotonicSoC()
+        for _ in range(n_pes):
+            soc.add_photonic_accelerator()
+        return soc
+
+    model = SoCCostModel.calibrate(calibrated_soc(2))
+    monitor = DriftMonitor(threshold=0.10, min_samples=1)
+    drift_soc = calibrated_soc(1)
+    drift_engine = SoCGemmEngine(
+        drift_soc,
+        weights=ensure_rng(2).integers(-5, 6, size=(8, 6)),
+        cost_model=model,
+        drift_monitor=monitor,
+    )
+    drift_engine.run_batch(
+        None, ensure_rng(3).integers(-5, 6, size=(6, 4)).astype(float)
+    )
+    drift_flags = len(monitor.flags())
+
+    section = {
+        "shape": list(shape),
+        "n_requests": n_clients * requests_per_client,
+        "untraced_hz": untraced_hz,
+        "traced_hz": traced_hz,
+        "overhead_frac": overhead_frac,
+        "bitwise_parity": parity,
+        "trace_events": trace_events,
+        "drift_flags": drift_flags,
+    }
+    if quick:
+        assert traced_hz >= 0.95 * untraced_hz, (
+            f"tracing overhead exceeded 5%: traced {traced_hz:.1f} req/s vs "
+            f"untraced {untraced_hz:.1f} req/s"
+        )
+        assert parity, "tracing perturbed served outputs or cycle accounting"
+        assert drift_flags >= 1, "drift monitor failed to flag a miscalibrated model"
+    return section
+
+
 def update_trajectory(
     output: Path, results: dict, soc_offload: dict, serving: dict, compiler: dict,
     compiler_dag: dict, soc_datapath: dict, serving_fabric: dict,
-    snn_serving: dict,
+    snn_serving: dict, observability: dict,
 ) -> dict:
     """Write the condensed results, appending to any existing history."""
     record = {
@@ -1122,6 +1269,7 @@ def update_trajectory(
         "soc_datapath": soc_datapath,
         "serving_fabric": serving_fabric,
         "snn_serving": snn_serving,
+        "observability": observability,
     }
     payload = {
         "latest": results,
@@ -1132,6 +1280,7 @@ def update_trajectory(
         "soc_datapath": soc_datapath,
         "serving_fabric": serving_fabric,
         "snn_serving": snn_serving,
+        "observability": observability,
         "history": [],
     }
     if output.exists():
@@ -1183,13 +1332,14 @@ def main() -> int:
     soc_datapath = collect_soc_datapath(quick=args.quick)
     serving_fabric = collect_serving_fabric(quick=args.quick)
     snn_serving = collect_snn_serving(quick=args.quick)
+    observability = collect_observability(quick=args.quick)
 
     if args.quick:
         print("quick mode: trajectory file not updated")
     else:
         update_trajectory(
             args.output, results, soc_offload, serving, compiler, compiler_dag,
-            soc_datapath, serving_fabric, snn_serving,
+            soc_datapath, serving_fabric, snn_serving, observability,
         )
         print(f"wrote {args.output} ({len(results)} benchmarks)")
     for name, stats in sorted(results.items()):
@@ -1284,6 +1434,13 @@ def main() -> int:
         f"{snn_faults['accuracy'][0]:.2f} -> {snn_faults['accuracy'][-1]:.2f} "
         f"over {snn_faults['fault_counts'][0]} -> "
         f"{snn_faults['fault_counts'][-1]} stuck synapses"
+    )
+    print(
+        f"  observability: {observability['untraced_hz']:.0f} req/s untraced -> "
+        f"{observability['traced_hz']:.0f} req/s traced "
+        f"({observability['overhead_frac'] * 100:.1f}% overhead, bitwise "
+        f"{observability['bitwise_parity']}, {observability['trace_events']} "
+        f"trace events, {observability['drift_flags']} drift flag(s))"
     )
     return exit_code
 

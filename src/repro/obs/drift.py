@@ -1,0 +1,150 @@
+"""Prediction-drift monitor: cost-model cycles vs measured spans.
+
+:class:`DriftMonitor` accumulates (predicted, measured) cycle pairs per
+``(shape, backend)`` key — typically ``SoCCostModel.predict_gemm(...)``
+against the ``WorkloadReport.cycles`` a traced offload actually took —
+and flags keys whose mean relative error exceeds a threshold.  This is
+the ground-truth stream the online cost-model recalibration roadmap item
+consumes: a flagged key is exactly a shape/backend pair whose calibration
+constants no longer describe the hardware being served.
+
+The monitor is pure bookkeeping (no RNG, no clocks), so recording is safe
+inside the bitwise-parity tracing envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+
+@dataclass(frozen=True)
+class DriftFlag:
+    """One flagged (shape, backend) key whose predictions drifted.
+
+    Attributes:
+        key: the ``(shape, backend)`` pair being tracked.
+        samples: number of (predicted, measured) pairs seen.
+        predicted_mean: mean predicted cycles.
+        measured_mean: mean measured cycles.
+        rel_error: ``(measured - predicted) / predicted`` of the means —
+            positive when the model under-predicts.
+    """
+
+    key: Tuple
+    samples: int
+    predicted_mean: float
+    measured_mean: float
+    rel_error: float
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form for ``TelemetryLog`` snapshots."""
+        return {
+            "key": list(self.key),
+            "samples": self.samples,
+            "predicted_mean": self.predicted_mean,
+            "measured_mean": self.measured_mean,
+            "rel_error": self.rel_error,
+        }
+
+
+class _KeyStats:
+    __slots__ = ("samples", "predicted_sum", "measured_sum")
+
+    def __init__(self):
+        self.samples = 0
+        self.predicted_sum = 0.0
+        self.measured_sum = 0.0
+
+
+class DriftMonitor:
+    """Accumulates predicted-vs-measured samples and flags drifted keys.
+
+    Args:
+        threshold: relative error above which a key is flagged
+            (default 10%).
+        min_samples: keys with fewer samples are never flagged — guards
+            against one-shot noise.
+    """
+
+    def __init__(self, threshold: float = 0.10, min_samples: int = 1):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self._stats: Dict[Tuple, _KeyStats] = {}
+
+    def record(
+        self,
+        shape: Tuple[int, ...],
+        backend: Hashable,
+        predicted: float,
+        measured: float,
+    ) -> None:
+        """Add one (predicted, measured) cycle pair for ``(shape, backend)``."""
+        key = (tuple(int(dim) for dim in shape), str(backend))
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._stats[key] = _KeyStats()
+        stats.samples += 1
+        stats.predicted_sum += float(predicted)
+        stats.measured_sum += float(measured)
+
+    def __len__(self) -> int:
+        """Number of distinct (shape, backend) keys tracked."""
+        return len(self._stats)
+
+    def _rel_error(self, stats: _KeyStats) -> float:
+        predicted_mean = stats.predicted_sum / stats.samples
+        measured_mean = stats.measured_sum / stats.samples
+        if predicted_mean == 0:
+            return float("inf") if measured_mean else 0.0
+        return (measured_mean - predicted_mean) / predicted_mean
+
+    def flags(self) -> List[DriftFlag]:
+        """Keys whose |mean relative error| exceeds the threshold, sorted."""
+        flagged = []
+        for key in sorted(self._stats):
+            stats = self._stats[key]
+            if stats.samples < self.min_samples:
+                continue
+            rel_error = self._rel_error(stats)
+            if abs(rel_error) > self.threshold:
+                flagged.append(
+                    DriftFlag(
+                        key=key,
+                        samples=stats.samples,
+                        predicted_mean=stats.predicted_sum / stats.samples,
+                        measured_mean=stats.measured_sum / stats.samples,
+                        rel_error=rel_error,
+                    )
+                )
+        return flagged
+
+    def summary(self) -> Dict:
+        """Aggregate view: per-key means/errors plus the flagged subset."""
+        keys = {}
+        for key in sorted(self._stats):
+            stats = self._stats[key]
+            keys["|".join(map(str, key))] = {
+                "samples": stats.samples,
+                "predicted_mean": stats.predicted_sum / stats.samples,
+                "measured_mean": stats.measured_sum / stats.samples,
+                "rel_error": self._rel_error(stats),
+            }
+        return {
+            "threshold": self.threshold,
+            "min_samples": self.min_samples,
+            "n_keys": len(self._stats),
+            "n_flagged": len(self.flags()),
+            "keys": keys,
+        }
+
+    def snapshot(self) -> Dict:
+        """Plain-JSON snapshot (``summary`` + flag list) for ``TelemetryLog``."""
+        return {
+            "summary": self.summary(),
+            "flags": [flag.to_dict() for flag in self.flags()],
+        }

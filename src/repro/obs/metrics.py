@@ -1,0 +1,188 @@
+"""Metrics registry: deterministic counters, gauges and histograms.
+
+Instruments are process-local and cheap (a dict lookup plus an integer
+add); process safety comes from the snapshot/merge protocol rather than
+shared memory — each fabric worker snapshots its own
+:class:`MetricsRegistry`, ships the plain-JSON snapshot over the pipe
+with its ``bye`` stats, and the gateway folds them together with
+:meth:`MetricsRegistry.merge`.  Histogram buckets are fixed at
+construction (never adapted to data), so merged snapshots and replayed
+runs are bitwise comparable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default latency-style bucket upper bounds, in seconds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self) -> Dict:
+        """Plain-JSON state."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, inflight count)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def snapshot(self) -> Dict:
+        """Plain-JSON state."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with deterministic upper bounds.
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything above the last bound.  Bounds are frozen at
+    construction so snapshots from different processes merge exactly.
+    """
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} bounds must be sorted")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(bound) for bound in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def snapshot(self) -> Dict:
+        """Plain-JSON state (bounds + bucket counts + sum/count)."""
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named instrument registry with get-or-create semantics.
+
+    One registry per process; cross-process aggregation goes through
+    :meth:`snapshot` on the worker side and :meth:`merge` on the gateway
+    side.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the histogram ``name`` (bounds fixed on first call)."""
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def _get(self, name, kind, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    def names(self) -> List[str]:
+        """Registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[object]:
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-JSON snapshot of every instrument, keyed by name."""
+        return {
+            name: self._instruments[name].snapshot() for name in sorted(self._instruments)
+        }
+
+    def merge(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold another process's :meth:`snapshot` into this registry.
+
+        Counters and histograms sum; gauges take the incoming value (last
+        writer wins — fabric workers report disjoint gauges in practice).
+        Histogram bounds must match exactly or ``ValueError`` is raised.
+        """
+        for name, state in snapshot.items():
+            kind = state.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(state["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(state["value"]))
+            elif kind == "histogram":
+                histogram = self.histogram(name, state["bounds"])
+                if list(histogram.bounds) != [float(b) for b in state["bounds"]]:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ between processes"
+                    )
+                for i, count in enumerate(state["counts"]):
+                    histogram.counts[i] += int(count)
+                histogram.sum += float(state["sum"])
+                histogram.count += int(state["count"])
+            else:
+                raise ValueError(f"unknown instrument type {kind!r} for metric {name!r}")
+
+    def merge_all(self, snapshots: Iterable[Dict[str, Dict]]) -> None:
+        """Merge a sequence of per-process snapshots."""
+        for snapshot in snapshots:
+            self.merge(snapshot)

@@ -37,6 +37,7 @@ from repro.serving.fabric import (
     WorkerSpec,
     make_compute_heavy_engine,
     make_gemm_engine,
+    make_soc_gemm_engine,
     make_worker_specs,
 )
 from repro.serving.loadgen import (
@@ -58,7 +59,12 @@ from repro.serving.resilience import (
 from repro.serving.scheduler import POLICIES, Replica, ReplicaScheduler
 from repro.serving.server import InferenceServer
 from repro.serving.snn import SNNEngine, run_patterns_serial
-from repro.serving.telemetry import LatencySeries, ServingTelemetry, TelemetryLog
+from repro.serving.telemetry import (
+    LatencySeries,
+    ServingTelemetry,
+    TelemetryLog,
+    merge_snapshots,
+)
 
 __all__ = [
     "BackpressureError",
@@ -93,7 +99,9 @@ __all__ = [
     "make_column_workload",
     "make_compute_heavy_engine",
     "make_gemm_engine",
+    "make_soc_gemm_engine",
     "make_worker_specs",
+    "merge_snapshots",
     "poisson_arrival_times",
     "run_closed_loop",
     "run_open_loop",

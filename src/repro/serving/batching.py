@@ -47,6 +47,8 @@ class InferenceRequest:
         submitted_at: clock timestamp at admission.
         deadline_at: absolute clock deadline, or ``None``.
         request_id: monotonically increasing id assigned by the server.
+        trace: the request span (:class:`~repro.obs.trace.Span`) or wire
+            context, ``None`` when tracing is off.
     """
 
     inputs: np.ndarray
@@ -56,6 +58,7 @@ class InferenceRequest:
     weights: Optional[np.ndarray] = None
     deadline_at: Optional[float] = None
     request_id: int = 0
+    trace: Optional[object] = None
 
 
 @dataclass
@@ -92,6 +95,12 @@ class MicroBatcher:
             requests held in an open batching window.
         on_batch: optional callback ``(n_dispatched)`` fired when a fused
             batch is dispatched (batch-size telemetry).
+        tracer: optional :class:`~repro.obs.trace.Tracer`; when set, each
+            fuse event records a ``batch`` span linking every traced
+            request it coalesced, plus an ``engine`` span per model-key
+            engine call.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry` for
+            batch-size / latency instruments.
 
     The straggler window (``max_wait_s``) is timed on the event loop's
     clock (``loop.time()``), matching ``asyncio.wait_for``; the injectable
@@ -107,6 +116,8 @@ class MicroBatcher:
         on_result: Optional[Callable[[InferenceRequest, float, int, str], None]] = None,
         on_pull: Optional[Callable[[int], None]] = None,
         on_batch: Optional[Callable[[int], None]] = None,
+        tracer=None,
+        metrics=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -119,6 +130,8 @@ class MicroBatcher:
         self.on_result = on_result
         self.on_pull = on_pull
         self.on_batch = on_batch
+        self.tracer = tracer
+        self.metrics = metrics
         self.stats = BatcherStats()
 
     def _take(self, batch: list, item: InferenceRequest) -> None:
@@ -215,6 +228,10 @@ class MicroBatcher:
     def _execute(self, batch: List[InferenceRequest]) -> None:
         """Fuse a batch into per-model engine calls and resolve futures."""
         now = self.clock()
+        if self.metrics:
+            self.metrics.histogram(
+                "batcher.batch_size", bounds=(1, 2, 4, 8, 16, 32, 64, 128)
+            ).observe(len(batch))
         groups: "Dict[str, List[InferenceRequest]]" = {}
         for request in batch:
             if request.future.cancelled():
@@ -234,7 +251,27 @@ class MicroBatcher:
                 continue
             groups.setdefault(request.model_key, []).append(request)
 
+        batch_span = None
+        if self.tracer:
+            traced = [request.trace for request in batch if request.trace is not None]
+            if traced:
+                batch_span = self.tracer.start_span(
+                    "batch",
+                    trace_id=traced[0].trace_id,
+                    links=tuple(ctx.span_id for ctx in traced),
+                    track="batcher",
+                    attrs={"batch_size": len(batch), "groups": len(groups)},
+                )
         for model_key, requests in groups.items():
+            engine_span = None
+            if batch_span is not None:
+                engine_span = self.tracer.start_span(
+                    "engine",
+                    parent=batch_span,
+                    track="engine",
+                    attrs={"model_key": model_key, "n_requests": len(requests)},
+                )
+                self.tracer.push(engine_span)
             try:
                 # stacking stays inside the guard: a single mismatched-length
                 # request must fail its batch, not kill the batcher task
@@ -250,6 +287,10 @@ class MicroBatcher:
                     self.stats.failed += 1
                     self._notify(request, done, len(requests), "error")
                 continue
+            finally:
+                if engine_span is not None:
+                    self.tracer.pop()
+                    self.tracer.end_span(engine_span)
             done = self.clock()
             self.stats.batches += 1
             self.stats.requests += len(requests)
@@ -258,9 +299,17 @@ class MicroBatcher:
                 if not request.future.done():
                     request.future.set_result(outputs[:, index])
                 self._notify(request, done, len(requests), "ok")
+        if batch_span is not None:
+            self.tracer.end_span(batch_span)
 
     def _notify(
         self, request: InferenceRequest, now: float, batch_size: int, outcome: str
     ) -> None:
+        if self.metrics:
+            self.metrics.counter(f"batcher.requests.{outcome}").inc()
+            if outcome == "ok":
+                self.metrics.histogram("batcher.latency_s").observe(
+                    now - request.submitted_at
+                )
         if self.on_result is not None:
             self.on_result(request, now - request.submitted_at, batch_size, outcome)

@@ -309,6 +309,16 @@ class SoCGemmEngine(InferenceEngine):
         soc: the configured SoC (accelerators already attached).
         last_report: the most recent :class:`~repro.system.soc.WorkloadReport`.
         offload_cycles: cumulative simulated cycles across served batches.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; when set, each
+            offload's :class:`~repro.system.soc.WorkloadReport` pipeline
+            phases and DMA deltas attach as cycle-domain child spans under
+            the currently active (engine) span.
+        cost_model: optional calibrated
+            :class:`~repro.compiler.costmodel.SoCCostModel` used to predict
+            cycles per offload.
+        drift_monitor: optional :class:`~repro.obs.drift.DriftMonitor` fed
+            one (predicted, measured) cycle pair per offload, keyed by
+            ``(n_out, n_in, batch)`` shape and the engine name.
     """
 
     def __init__(
@@ -319,6 +329,9 @@ class SoCGemmEngine(InferenceEngine):
         name: str = "soc",
         max_models: int = 8,
         clock: Callable[[], float] = time.perf_counter,
+        tracer=None,
+        cost_model=None,
+        drift_monitor=None,
     ):
         super().__init__(name=name, max_models=max_models, clock=clock)
         if not getattr(soc, "accelerators", None):
@@ -330,6 +343,9 @@ class SoCGemmEngine(InferenceEngine):
         )
         self.last_report = None
         self.offload_cycles = 0
+        self.tracer = tracer
+        self.cost_model = cost_model
+        self.drift_monitor = drift_monitor
 
     def _compile(self, key: str, weights: Optional[np.ndarray]) -> CompiledModel:
         if weights is None:
@@ -349,6 +365,21 @@ class SoCGemmEngine(InferenceEngine):
             report = self.soc.run_tiled_gemm(weights, columns, tile_rows=self.tile_rows)
             self.last_report = report
             self.offload_cycles += report.cycles
+            if self.tracer:
+                from repro.obs.trace import attach_soc_report
+
+                attach_soc_report(
+                    self.tracer,
+                    report,
+                    parent=self.tracer.current,
+                    end_cycle=self.offload_cycles,
+                )
+            if self.drift_monitor is not None and self.cost_model is not None:
+                shape = (n_out, n_in, columns.shape[1])
+                predicted = self.cost_model.predict_gemm(
+                    n_out, n_in, columns.shape[1], tile_rows=self.tile_rows
+                ).pipelined_cycles
+                self.drift_monitor.record(shape, self.name, predicted, report.cycles)
             return report.result
 
         return CompiledModel(key=key, n_inputs=n_in, n_outputs=n_out, runner=runner)

@@ -17,6 +17,7 @@ from repro.serving.fabric.engines import (
     ComputeHeavyBackend,
     make_compute_heavy_engine,
     make_gemm_engine,
+    make_soc_gemm_engine,
     resolve_factory,
 )
 from repro.serving.fabric.gateway import FabricGateway, FabricRequest, WorkerHandle
@@ -25,8 +26,10 @@ from repro.serving.fabric.wire import (
     encode_exception,
     pack_arrays,
     pack_frame,
+    pack_trace,
     read_frame,
     unpack_arrays,
+    unpack_trace,
 )
 from repro.serving.fabric.worker import WorkerReplica, WorkerSpec, make_worker_specs
 
@@ -42,10 +45,13 @@ __all__ = [
     "encode_exception",
     "make_compute_heavy_engine",
     "make_gemm_engine",
+    "make_soc_gemm_engine",
     "make_worker_specs",
     "pack_arrays",
     "pack_frame",
+    "pack_trace",
     "read_frame",
     "resolve_factory",
     "unpack_arrays",
+    "unpack_trace",
 ]

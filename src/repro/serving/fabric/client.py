@@ -88,6 +88,7 @@ class FabricClient:
         worker: Optional[str] = None,
         priority: int = 0,
         tenant: Optional[str] = None,
+        trace=None,
     ) -> asyncio.Future:
         """Ship one request; returns the future resolving to the output column.
 
@@ -95,6 +96,11 @@ class FabricClient:
         locally — admission rejections (quota/backpressure) arrive through
         the future rather than from this call, because they happen on the
         far side of the socket.
+
+        ``trace`` ships a client-side trace context (a
+        :class:`~repro.obs.trace.Span`/:class:`~repro.obs.trace.TraceContext`
+        or its wire dictionary) in the submit header, so a tracing gateway
+        parents its request span on the caller's.
         """
         client_id = self._next_id
         self._next_id += 1
@@ -113,6 +119,8 @@ class FabricClient:
             header["priority"] = int(priority)
         if tenant is not None:
             header["tenant"] = tenant
+        if trace is not None:
+            header["trace"] = wire.pack_trace(trace)
         try:
             await self._send(header, payload)
         except Exception:
@@ -128,6 +136,7 @@ class FabricClient:
         worker: Optional[str] = None,
         priority: int = 0,
         tenant: Optional[str] = None,
+        trace=None,
     ) -> np.ndarray:
         """Ship one request and await its output column."""
         future = await self.submit_nowait(
@@ -137,6 +146,7 @@ class FabricClient:
             worker=worker,
             priority=priority,
             tenant=tenant,
+            trace=trace,
         )
         return await future
 

@@ -120,3 +120,26 @@ def make_compute_heavy_engine(
         spin_iters=spin_iters, service_s_per_column=service_s_per_column
     )
     return GemmEngine(backend=backend, weights=weights, name=name)
+
+
+def make_soc_gemm_engine(
+    weights: Optional[np.ndarray] = None,
+    n_pes: int = 1,
+    tile_rows: Optional[int] = None,
+    name: str = "soc",
+) -> InferenceEngine:
+    """Build an :class:`~repro.serving.engine.SoCGemmEngine` inside a worker.
+
+    A live :class:`~repro.system.soc.PhotonicSoC` does not pickle, so the
+    worker constructs the whole cluster (``n_pes`` photonic accelerators)
+    from scratch — this factory is how the fabric serves cycle-accurate
+    tiled offloads, and (with ``WorkerSpec.tracing``) how SoC pipeline
+    phases show up in cross-process traces.
+    """
+    from repro.serving.engine import SoCGemmEngine
+    from repro.system import PhotonicSoC
+
+    soc = PhotonicSoC()
+    for _ in range(max(int(n_pes), 1)):
+        soc.add_photonic_accelerator()
+    return SoCGemmEngine(soc, weights=weights, tile_rows=tile_rows, name=name)

@@ -74,6 +74,7 @@ class FabricRequest:
         priority: larger is more urgent; reorders *queued* work only.
         tenant: quota-accounting key, or ``None`` for unmetered traffic.
         seq: admission sequence number (FIFO tie-break within a priority).
+        trace: the gateway-side request span, or ``None`` (tracing off).
     """
 
     request_id: int
@@ -86,6 +87,7 @@ class FabricRequest:
     priority: int = 0
     tenant: Optional[str] = None
     seq: int = 0
+    trace: Optional[object] = None
 
 
 class _HandleQueue:
@@ -216,6 +218,11 @@ class FabricGateway:
         default_tenant_quota: bound for tenants not listed explicitly
             (``None`` = unmetered); requests without a tenant are never
             metered.
+        tracer: optional :class:`~repro.obs.trace.Tracer` (gateway
+            process).  When set, every admitted request gets a gateway
+            span whose context crosses the worker pipes; worker specs are
+            switched to ``tracing=True`` so worker-side span trees ship
+            back and stitch under it.
     """
 
     def __init__(
@@ -230,10 +237,17 @@ class FabricGateway:
         mp_context: str = "spawn",
         clock: Callable[[], float] = time.perf_counter,
         telemetry: Optional[ServingTelemetry] = None,
+        tracer=None,
     ):
         if not specs:
             raise ValueError("gateway needs at least one worker spec")
         self.clock = clock
+        self.tracer = tracer
+        if tracer:
+            # tracing gateways need tracing workers, or the cross-process
+            # half of every trace would silently be missing
+            for spec in specs:
+                spec.tracing = True
         self.handles = [WorkerHandle(spec, max_pending, max_inflight) for spec in specs]
         self.scheduler = ReplicaScheduler(self.handles, policy=policy, cost_fn=cost_fn)
         self.telemetry = telemetry if telemetry is not None else ServingTelemetry(clock=clock)
@@ -417,6 +431,7 @@ class FabricGateway:
         replica: Optional[str] = None,
         priority: int = 0,
         tenant: Optional[str] = None,
+        trace=None,
     ) -> asyncio.Future:
         """Admit one request; returns the future resolving to the output column.
 
@@ -427,6 +442,11 @@ class FabricGateway:
         :class:`~repro.serving.errors.WorkerCrashedError` when the pinned
         worker (or the whole pool) is dead.  ``replica`` pins to one named
         worker (no failover), matching the in-process server's surface.
+
+        ``trace`` optionally parents the gateway span on an upstream
+        context (a :class:`~repro.obs.trace.TraceContext` or its wire
+        dictionary, as shipped in a socket client's submit header);
+        ignored when the gateway has no tracer.
         """
         if not self.running:
             raise ServerClosedError(
@@ -470,11 +490,29 @@ class FabricGateway:
         )
         self._next_request_id += 1
         self._next_seq += 1
+        span = None
+        if self.tracer:
+            # the span must exist before routing: enqueueing synchronously
+            # pumps the pipe, and the submit tuple carries the span context
+            parent = wire.unpack_trace(trace) if isinstance(trace, dict) else trace
+            span = self.tracer.start_span(
+                "request",
+                parent=parent,
+                track="request",
+                attrs={"request_id": request.request_id, "model_key": model_key},
+            )
+            request.trace = span
         try:
             routed = self.scheduler.submit(request, replica_name=replica)
         except BackpressureError:
             self.telemetry.on_reject()
+            if span is not None:
+                self.tracer.end_span(span, attrs={"outcome": "rejected"})
             raise
+        if span is not None:
+            span.attrs["worker"] = routed.name
+            tracer = self.tracer
+            request.future.add_done_callback(lambda _future: tracer.end_span(span))
         if tenant is not None:
             self._tenant_outstanding[tenant] = (
                 self._tenant_outstanding.get(tenant, 0) + 1
@@ -527,17 +565,18 @@ class FabricGateway:
                 request.deadline_at - now if request.deadline_at is not None else None
             )
             handle.inflight_requests[request.request_id] = request
+            message = (
+                "submit",
+                request.request_id,
+                request.inputs,
+                request.weights,
+                request.model_key,
+                remaining,
+            )
+            if request.trace is not None:
+                message += (wire.pack_trace(request.trace),)
             try:
-                handle.conn.send(
-                    (
-                        "submit",
-                        request.request_id,
-                        request.inputs,
-                        request.weights,
-                        request.model_key,
-                        remaining,
-                    )
-                )
+                handle.conn.send(message)
             except (OSError, ValueError, BrokenPipeError):
                 handle.inflight_requests.pop(request.request_id, None)
                 self._on_worker_eof(handle)
@@ -572,7 +611,10 @@ class FabricGateway:
     def _on_message(self, handle: WorkerHandle, message) -> None:
         kind = message[0]
         if kind == "result":
-            _, request_id, output, batch_size, _worker_latency = message
+            # tracing workers append their drained span dicts as a 6th field
+            _, request_id, output, batch_size, _worker_latency = message[:5]
+            if self.tracer and len(message) > 5:
+                self.tracer.ingest(message[5])
             request = handle.inflight_requests.pop(request_id, None)
             if request is not None:
                 self._finish(
@@ -582,7 +624,9 @@ class FabricGateway:
                 self.telemetry.on_batch(handle.name, int(batch_size))
             self._pump(handle)
         elif kind == "error":
-            _, request_id, payload, batch_size, _worker_latency = message
+            _, request_id, payload, batch_size, _worker_latency = message[:5]
+            if self.tracer and len(message) > 5:
+                self.tracer.ingest(message[5])
             request = handle.inflight_requests.pop(request_id, None)
             if request is not None:
                 error = wire.decode_exception(payload)
@@ -598,6 +642,8 @@ class FabricGateway:
             handle._ready.set()
         elif kind == "bye":
             handle.worker_stats = message[1]
+            if self.tracer and isinstance(handle.worker_stats, dict):
+                self.tracer.ingest(handle.worker_stats.pop("spans", None))
             handle._bye.set()
 
     def _on_worker_eof(self, handle: WorkerHandle) -> None:
@@ -693,6 +739,7 @@ class FabricGateway:
                             replica=header.get("worker"),
                             priority=int(header.get("priority", 0)),
                             tenant=header.get("tenant"),
+                            trace=header.get("trace"),
                         )
                     except Exception as exc:  # noqa: BLE001 - typed across the wire
                         await send(

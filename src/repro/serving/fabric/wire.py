@@ -118,6 +118,39 @@ async def read_frame(reader: asyncio.StreamReader) -> Tuple[Dict, bytes]:
 
 
 # --------------------------------------------------------------------- #
+# trace context across process boundaries
+# --------------------------------------------------------------------- #
+def pack_trace(trace) -> Optional[Dict]:
+    """Flatten a span/trace context into a JSON-safe wire dictionary.
+
+    Accepts a :class:`~repro.obs.trace.Span`, a
+    :class:`~repro.obs.trace.TraceContext`, an already-flattened
+    dictionary, or ``None`` (tracing off) — whatever the near side holds.
+    The wire form is the two-field context dictionary, which both the
+    socket JSON header and the pickle pipes carry unchanged.
+    """
+    if trace is None:
+        return None
+    if isinstance(trace, dict):
+        return {"trace_id": str(trace["trace_id"]), "span_id": str(trace["span_id"])}
+    context = getattr(trace, "context", trace)
+    return {"trace_id": context.trace_id, "span_id": context.span_id}
+
+
+def unpack_trace(payload: Optional[Dict]):
+    """Rebuild a :class:`~repro.obs.trace.TraceContext` from its wire form.
+
+    ``None`` (or a header with no trace field) passes through as ``None``
+    so untraced requests cost nothing on the far side.
+    """
+    if payload is None:
+        return None
+    from repro.obs.trace import TraceContext
+
+    return TraceContext.from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
 # typed errors across process boundaries
 # --------------------------------------------------------------------- #
 def encode_exception(exc: BaseException) -> Dict:

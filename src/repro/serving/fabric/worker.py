@@ -56,6 +56,10 @@ class WorkerSpec:
         warm_start: compile the engine's bound default model before
             serving, so mesh programming happens outside the traffic
             window (ignored for engines without a default model).
+        tracing: build a process-local :class:`~repro.obs.trace.Tracer`
+            inside the worker so submits carrying gateway trace context
+            get a stitched worker-side span tree (shipped back with each
+            result and the final ``bye``).
     """
 
     name: str
@@ -66,6 +70,7 @@ class WorkerSpec:
     max_wait_s: float = 0.0
     max_queue_depth: int = 256
     warm_start: bool = True
+    tracing: bool = False
 
     def build_engine(self):
         """Instantiate the engine inside the worker process."""
@@ -123,6 +128,13 @@ class WorkerReplica:
         self.conn = conn
         self.spec = spec
         self.engine = spec.build_engine()
+        self.tracer = None
+        if spec.tracing:
+            from repro.obs.trace import Tracer
+
+            self.tracer = Tracer(prefix=spec.name, process=f"worker:{spec.name}")
+            if getattr(self.engine, "tracer", "absent") is None:
+                self.engine.tracer = self.tracer
         if spec.warm_start:
             try:
                 self.engine.compile(None)
@@ -134,8 +146,10 @@ class WorkerReplica:
             max_batch=spec.max_batch,
             max_wait_s=spec.max_wait_s,
             max_queue_depth=max(int(spec.max_queue_depth), 1),
+            tracer=self.tracer,
         )
         self.replica.add_observer(self._on_outcome)
+        self._request_spans: Dict[int, object] = {}
         self._inbox: "asyncio.Queue" = asyncio.Queue()
         self._loop = asyncio.get_running_loop()
 
@@ -173,6 +187,14 @@ class WorkerReplica:
         outcome: str,
     ) -> None:
         future = request.future
+        spans = None
+        if self.tracer:
+            span = self._request_spans.pop(request.request_id, None)
+            if span is not None:
+                self.tracer.end_span(span, attrs={"outcome": outcome})
+            # ship everything finished so far (this request's span tree plus
+            # any batch/engine/SoC spans closed since the last result)
+            spans = self.tracer.drain()
         if outcome == "ok":
             self.conn.send(
                 (
@@ -181,6 +203,7 @@ class WorkerReplica:
                     np.asarray(future.result()),
                     batch_size,
                     latency_s,
+                    spans,
                 )
             )
             return
@@ -197,6 +220,7 @@ class WorkerReplica:
                 encode_exception(error),
                 batch_size,
                 latency_s,
+                spans,
             )
         )
 
@@ -204,7 +228,10 @@ class WorkerReplica:
     # message handling
     # ------------------------------------------------------------------ #
     def _handle_submit(self, message) -> None:
-        _, request_id, inputs, weights, model_key, deadline_s = message
+        # 6-tuple from untraced gateways; a 7th element carries the wire
+        # trace context when the gateway side is tracing
+        _, request_id, inputs, weights, model_key, deadline_s = message[:6]
+        trace_ctx = message[6] if len(message) > 6 else None
         if self.replica.depth >= self.spec.max_queue_depth:
             # worker-side admission: the typed rejection crosses the pipe
             self.conn.send(
@@ -220,6 +247,7 @@ class WorkerReplica:
                     ),
                     0,
                     0.0,
+                    None,
                 )
             )
             return
@@ -235,6 +263,17 @@ class WorkerReplica:
             deadline_at=now + deadline_s if deadline_s is not None else None,
             request_id=request_id,
         )
+        if self.tracer and trace_ctx is not None:
+            from repro.obs.trace import TraceContext
+
+            span = self.tracer.start_span(
+                "worker:request",
+                parent=TraceContext.from_dict(trace_ctx),
+                track="request",
+                attrs={"request_id": request_id, "worker": self.spec.name},
+            )
+            self._request_spans[request_id] = span
+            request.trace = span
         self.replica.queue.put_nowait(request)
 
     def stats(self) -> Dict:
@@ -278,7 +317,12 @@ class WorkerReplica:
                     await self.replica.stop()
                 else:
                     await self.replica.abort()
-                self.conn.send(("bye", self.stats()))
+                stats = self.stats()
+                if self.tracer:
+                    # stragglers: spans finished after their request's
+                    # result shipped (e.g. the fused batch span)
+                    stats["spans"] = self.tracer.drain()
+                self.conn.send(("bye", stats))
                 return
             elif kind == "__eof__":
                 # gateway died: nothing to report results to

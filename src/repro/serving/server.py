@@ -36,6 +36,12 @@ class InferenceServer:
     Attributes:
         scheduler: the routing/admission layer.
         telemetry: the server-lifetime metrics sink.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; when set, each
+            admitted request gets a ``request`` root span that the
+            batchers/engines parent their spans on.  ``None`` (the
+            default) keeps the entire tracing path to one falsy check.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            shared with the batchers.
     """
 
     def __init__(
@@ -45,10 +51,14 @@ class InferenceServer:
         telemetry: Optional[ServingTelemetry] = None,
         clock: Callable[[], float] = time.perf_counter,
         cost_fn: Optional[Callable[[Replica], float]] = None,
+        tracer=None,
+        metrics=None,
     ):
         self.clock = clock
         self.scheduler = ReplicaScheduler(replicas, policy=policy, cost_fn=cost_fn)
         self.telemetry = telemetry if telemetry is not None else ServingTelemetry(clock=clock)
+        self.tracer = tracer
+        self.metrics = metrics
         self._started = False
         self._closed = False
         self._next_request_id = 0
@@ -56,11 +66,20 @@ class InferenceServer:
             # one clock for the whole server: request timestamps/deadlines
             # are stamped here and compared in the batchers.  Replicas still
             # on the default clock adopt the server's; an explicitly
-            # injected replica clock is left alone.
+            # injected replica clock is left alone.  The tracer/metrics
+            # plane is adopted the same way: replicas built without their
+            # own instruments join the server's.
             if replica.clock is time.perf_counter:
                 replica.clock = clock
             if replica.batcher.clock is time.perf_counter:
                 replica.batcher.clock = clock
+            if replica.batcher.tracer is None:
+                replica.batcher.tracer = tracer
+            if replica.batcher.metrics is None:
+                replica.batcher.metrics = metrics
+            # engines that support SoC-phase tracing expose a tracer slot
+            if tracer and getattr(replica.engine, "tracer", "absent") is None:
+                replica.engine.tracer = tracer
             replica.add_observer(self._observe_result)
             replica.add_batch_observer(self.telemetry.on_batch)
 
@@ -169,12 +188,26 @@ class InferenceServer:
             request_id=self._next_request_id,
         )
         self._next_request_id += 1
+        span = None
+        if self.tracer:
+            span = self.tracer.start_span(
+                "request",
+                track="request",
+                attrs={"request_id": request.request_id, "model_key": model_key},
+            )
+            request.trace = span
         try:
             routed = self.scheduler.submit(request, replica_name=replica)
         except BackpressureError:
             self.telemetry.on_reject()
+            if span is not None:
+                self.tracer.end_span(span, attrs={"outcome": "rejected"})
             raise
         self.telemetry.on_admit(routed.name, self.scheduler.total_load())
+        if span is not None:
+            span.attrs["replica"] = routed.name
+            tracer = self.tracer
+            request.future.add_done_callback(lambda _future: tracer.end_span(span))
         return request.future
 
     async def submit(

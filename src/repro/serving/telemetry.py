@@ -12,10 +12,11 @@ the paper-experiment tables.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -373,6 +374,66 @@ class ServingTelemetry:
         return "\n\n".join(blocks)
 
 
+def merge_snapshots(snapshots: Iterable[Dict]) -> Dict:
+    """Fold per-worker :meth:`ServingTelemetry.to_snapshot` dicts into one view.
+
+    The fabric runs one :class:`ServingTelemetry` per worker process; this
+    merges their snapshots into a pool-level summary: counters sum,
+    ``elapsed_s`` takes the longest window (workers run concurrently),
+    throughput is recomputed from the merged totals, latency statistics
+    are completion-weighted means of the per-worker statistics (exact for
+    the mean; an aggregation, not a re-percentile, for p50/p95/p99), and
+    per-replica slices — disjoint across workers by construction — are
+    carried over, erroring on a duplicate replica name.
+    """
+    merged: Dict = {
+        "elapsed_s": 0.0,
+        "submitted": 0,
+        "completed": 0,
+        "rejected": 0,
+        "expired": 0,
+        "throughput_hz": 0.0,
+        "latency": {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0},
+        "queue_depth": {"max": 0, "mean": 0.0},
+        "replicas": {},
+        "workers": 0,
+    }
+    weighted = {"mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    depth_weight = 0
+    for snapshot in snapshots:
+        merged["workers"] += 1
+        merged["elapsed_s"] = max(merged["elapsed_s"], float(snapshot.get("elapsed_s", 0.0)))
+        for counter in ("submitted", "completed", "rejected", "expired"):
+            merged[counter] += int(snapshot.get(counter, 0))
+        latency = snapshot.get("latency", {})
+        count = int(latency.get("count", 0))
+        merged["latency"]["count"] += count
+        for key in weighted:
+            weighted[key] += float(latency.get(key, 0.0)) * count
+        depth = snapshot.get("queue_depth", {})
+        submitted = int(snapshot.get("submitted", 0))
+        merged["queue_depth"]["max"] = max(
+            merged["queue_depth"]["max"], int(depth.get("max", 0))
+        )
+        merged["queue_depth"]["mean"] += float(depth.get("mean", 0.0)) * submitted
+        depth_weight += submitted
+        for name, slice_ in snapshot.get("replicas", {}).items():
+            if name in merged["replicas"]:
+                raise ValueError(
+                    f"replica {name!r} appears in more than one worker snapshot"
+                )
+            merged["replicas"][name] = dict(slice_)
+    total = merged["latency"]["count"]
+    if total > 0:
+        for key in weighted:
+            merged["latency"][key] = weighted[key] / total
+    if depth_weight > 0:
+        merged["queue_depth"]["mean"] /= depth_weight
+    if merged["elapsed_s"] > 0:
+        merged["throughput_hz"] = merged["completed"] / merged["elapsed_s"]
+    return merged
+
+
 class TelemetryLog:
     """Append-only JSONL persistence for telemetry snapshots.
 
@@ -391,13 +452,28 @@ class TelemetryLog:
         self.path = Path(path)
 
     def append(self, snapshot: Dict) -> None:
-        """Append one snapshot (anything JSON-serializable) as a line."""
+        """Append one snapshot (anything JSON-serializable) as a line.
+
+        The encoded line goes to disk in a single ``os.write`` on an
+        ``O_APPEND`` descriptor, so concurrent appenders (fabric worker
+        processes sharing one log) never interleave partial lines — the
+        worst possible corruption is a torn *trailing* line from a killed
+        process, which :meth:`read_all` tolerates.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as stream:
-            stream.write(json.dumps(_jsonable(snapshot), sort_keys=True) + "\n")
+        line = (json.dumps(_jsonable(snapshot), sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
 
     def read(self) -> List[Dict]:
-        """All snapshots in append order ([] for a missing/empty file)."""
+        """All snapshots in append order ([] for a missing/empty file).
+
+        Strict: raises ``json.JSONDecodeError`` on any corrupt line.  Use
+        :meth:`read_all` when analysing logs that may have a torn tail.
+        """
         if not self.path.exists():
             return []
         snapshots = []
@@ -406,6 +482,33 @@ class TelemetryLog:
                 line = line.strip()
                 if line:
                     snapshots.append(json.loads(line))
+        return snapshots
+
+    def read_all(
+        self, return_errors: bool = False
+    ) -> Union[List[Dict], Tuple[List[Dict], List[Tuple[int, str]]]]:
+        """All parseable snapshots, skipping corrupt lines instead of raising.
+
+        A process killed mid-append can leave a torn trailing line; this
+        reader keeps every line that parses and skips the rest.  With
+        ``return_errors=True`` it also returns ``(line_number, message)``
+        pairs (1-based) describing each skipped line, so analysis can
+        report corruption without dying on it.
+        """
+        snapshots: List[Dict] = []
+        errors: List[Tuple[int, str]] = []
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as stream:
+                for number, line in enumerate(stream, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        snapshots.append(json.loads(line))
+                    except json.JSONDecodeError as exc:
+                        errors.append((number, str(exc)))
+        if return_errors:
+            return snapshots, errors
         return snapshots
 
     def __len__(self) -> int:

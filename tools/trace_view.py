@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Validate and summarize Chrome trace-event JSON files.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_view.py trace.json [more.json ...]
+
+For each file: structurally validates it with
+``repro.obs.export.validate_chrome_trace`` (the same invariants
+``chrome://tracing`` / Perfetto rely on) and prints a per-process event
+summary plus the distinct trace ids seen.  Exits non-zero if any file
+fails validation, so CI can gate exported traces on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+from repro.obs.export import validate_chrome_trace
+
+
+def summarize(obj: dict) -> str:
+    """Render a short human summary of a validated trace object."""
+    events = obj["traceEvents"]
+    process_names = {
+        event["pid"]: event["args"]["name"]
+        for event in events
+        if event["ph"] == "M" and event["name"] == "process_name"
+    }
+    by_phase = Counter(event["ph"] for event in events)
+    by_process = Counter(
+        process_names.get(event["pid"], str(event["pid"]))
+        for event in events
+        if event["ph"] != "M"
+    )
+    trace_ids = sorted(
+        {
+            event["args"]["trace_id"]
+            for event in events
+            if isinstance(event.get("args"), dict) and "trace_id" in event["args"]
+        }
+    )
+    lines = [
+        f"  events: {len(events)} "
+        + " ".join(f"{phase}={count}" for phase, count in sorted(by_phase.items())),
+        "  processes: "
+        + (
+            ", ".join(f"{name}={count}" for name, count in sorted(by_process.items()))
+            or "(none)"
+        ),
+        f"  traces: {len(trace_ids)}"
+        + (f" ({', '.join(trace_ids[:8])}{'...' if len(trace_ids) > 8 else ''})" if trace_ids else ""),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="Chrome trace JSON files to check")
+    args = parser.parse_args(argv)
+    failures = 0
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                obj = json.load(stream)
+            count = validate_chrome_trace(obj)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"{path}: INVALID — {exc}")
+            failures += 1
+            continue
+        print(f"{path}: OK ({count} events)")
+        print(summarize(obj))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
