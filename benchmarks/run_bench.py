@@ -24,6 +24,7 @@ repository root:
                       "online_stdp": {...}, "fault_campaign": {...}},
       "observability": {"untraced_hz": ..., "traced_hz": ...,
                         "overhead_frac": ..., "bitwise_parity": ...},
+      "adaptive": {"online_refit": {...}, "flip_point": {...}},
       "history": [{"machine": ..., "results": {...}, "soc_offload": {...}}, ...]
     }
 
@@ -66,6 +67,13 @@ untraced closed-loop throughput on the compute-heavy engine (quick mode
 asserts at most 5% overhead), the bitwise served-output/cycle-count parity
 oracle with tracing on vs off, the Chrome-trace export validation count,
 and a drift-monitor smoke (a miscalibrated cost model must be flagged).
+
+The ``adaptive`` section holds the closed-loop replanning benchmark: the
+predicted-cycle error before vs after an online cost-model refit under
+shifted traffic (post-calibration bus contention), and the p99 latency
+across a batch-width flip-point crossing with automatic replanning on vs
+off — with a bitwise old-plan/new-plan parity oracle and an
+exactly-one-recompile contract.
 
 Future performance PRs compare their run against ``latest`` (and the
 trajectory in ``history``) to prove a speedup or catch a regression.
@@ -1252,10 +1260,172 @@ def collect_observability(quick: bool = False) -> dict:
     return section
 
 
+def collect_adaptive(quick: bool = False) -> dict:
+    """Adaptive-replanning benchmark: online refit and flip-point replans.
+
+    Side-effect-free (fresh SoCs, a private :class:`PlanCache`, no global
+    registry or trajectory mutation), so ``--quick`` runs it as the CI
+    smoke for the adaptive control loop.  Two legs, both fully simulated
+    (cycle-accurate, no wall clocks), so every contract is asserted
+    unconditionally:
+
+    * ``online_refit``: a cost model is calibrated at boot, then the bus
+      develops arbitration contention (``arbitration_penalty``) the boot
+      probes never saw — the shifted-traffic scenario.  Production
+      offloads stream into the :class:`AdaptiveReplanner`; one ``poll``
+      must refit from the windowed samples and the predicted-cycle
+      relative error after the refit must be below the error before it.
+    * ``flip_point``: a managed ``M=2, K=16`` plan compiled at batch
+      width 1 (``rows`` sharding) watches a serving width trace that
+      crosses to 32 (``k2`` territory).  Exactly one recompile may fire,
+      the new plan must be bitwise identical to the old one on the same
+      inputs, and the replan-on p99 latency across the crossing must not
+      exceed replan-off (stale plan served forever).
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy as np
+
+    from repro.compiler import (
+        AdaptiveReplanner,
+        ModelGraph,
+        PlanCache,
+        RefitEvent,
+        ReplanEvent,
+        SoCCostModel,
+    )
+    from repro.eval import make_gemm_workload
+    from repro.system import PhotonicSoC
+
+    def cluster(n_pes):
+        soc = PhotonicSoC()
+        for _ in range(n_pes):
+            soc.add_photonic_accelerator()
+        return soc
+
+    # -- leg 1: online refit under shifted traffic ------------------------ #
+    traffic_shapes = [
+        (4, 8, 2), (8, 8, 4), (6, 12, 2), (12, 8, 6), (8, 16, 4), (16, 8, 2),
+    ]
+    if not quick:
+        traffic_shapes += [
+            (10, 12, 8), (12, 16, 4), (6, 8, 8), (16, 16, 2), (8, 12, 6),
+            (14, 8, 4),
+        ]
+    soc = cluster(2)
+    boot_model = SoCCostModel.calibrate(soc)
+    # traffic shift: post-calibration bus contention charges every
+    # concurrent DMA stream extra arbitration cycles per access
+    soc.bus.arbitration_penalty = 16
+    replanner = AdaptiveReplanner(
+        soc,
+        boot_model,
+        refit_threshold=0.15,
+        min_samples=len(traffic_shapes) // 2,
+        cache=PlanCache(),
+    )
+    for index, shape in enumerate(traffic_shapes):
+        weights, inputs = make_gemm_workload(*shape, rng=index)
+        report = soc.run_tiled_gemm(weights, inputs)
+        replanner.observe_offload(shape, report)
+    error_before = replanner.window_error(boot_model)
+    refit_events = [
+        event for event in replanner.poll() if isinstance(event, RefitEvent)
+    ]
+    error_after = replanner.window_error()
+    assert len(refit_events) == 1, "shifted traffic did not trigger one refit"
+    assert error_after < error_before, (
+        f"online refit failed to reduce predicted-cycle error "
+        f"({error_before:.3f} -> {error_after:.3f})"
+    )
+    assert refit_events[0].fingerprint == replanner.fingerprint(), (
+        "refit event did not carry the bumped hardware fingerprint"
+    )
+    online_refit = {
+        "n_samples": len(traffic_shapes),
+        "arbitration_penalty": 16,
+        "predicted_cycle_rel_error_before": error_before,
+        "predicted_cycle_rel_error_after": error_after,
+        "error_reduction": (
+            1.0 - error_after / error_before if error_before > 0 else None
+        ),
+        "refits": len(refit_events),
+    }
+
+    # -- leg 2: width-flip crossing, replan-on vs replan-off -------------- #
+    n_rows, n_inner = 2, 16
+    n_warm = 4 if quick else 10
+    n_wide = 12 if quick else 40
+    wide_width = 32
+    flip_soc = cluster(2)
+    flip_model = SoCCostModel.calibrate(flip_soc)
+    clock_hz = flip_model.clock_hz
+    weights = np.random.default_rng(0).integers(-3, 4, size=(n_rows, n_inner))
+    graph = ModelGraph.from_matrices([weights], name="adaptive-flip-bench")
+    wide_inputs = np.random.default_rng(2).integers(
+        -3, 4, size=(n_inner, wide_width)
+    )
+    narrow_inputs = wide_inputs[:, :1]
+    golden = (weights @ wide_inputs).astype(np.int64)
+
+    def latencies(adaptive):
+        managed = AdaptiveReplanner(
+            flip_soc, flip_model, width_window=n_wide // 2, cache=PlanCache()
+        )
+        managed.manage(graph, n_columns=1)
+        replans = []
+        points = []
+        for width in [1] * n_warm + [wide_width] * n_wide:
+            if adaptive:
+                managed.observe_batch(width)
+                replans.extend(
+                    event
+                    for event in managed.poll()
+                    if isinstance(event, ReplanEvent)
+                )
+            plan = managed.active_plan(graph)
+            columns = narrow_inputs if width == 1 else wide_inputs
+            output = plan.run(columns)
+            if width == wide_width:
+                assert np.array_equal(output, golden), "served output diverged"
+            points.append(plan.total_cycles / clock_hz)
+        return points, replans, managed
+
+    off_lat, _, _ = latencies(adaptive=False)
+    on_lat, replan_events, managed = latencies(adaptive=True)
+    assert len(replan_events) == 1, (
+        f"width crossing triggered {len(replan_events)} recompiles, expected 1"
+    )
+    event = replan_events[0]
+    assert event.old_signature != event.new_signature, (
+        "replan fired without a sharding-signature change"
+    )
+    p99_on = float(np.percentile(on_lat, 99))
+    p99_off = float(np.percentile(off_lat, 99))
+    assert p99_on <= p99_off, (
+        f"replan-on p99 {p99_on:.2e}s regressed past replan-off {p99_off:.2e}s"
+    )
+    flip_point = {
+        "shape": [n_rows, n_inner],
+        "n_pes": 2,
+        "width_trace": {"warm": [1, n_warm], "wide": [wide_width, n_wide]},
+        "recompiles": len(replan_events),
+        "old_signature": [list(sig) for sig in event.old_signature],
+        "new_signature": [list(sig) for sig in event.new_signature],
+        "bitwise_identical": True,
+        "p99_s_replan_on": p99_on,
+        "p99_s_replan_off": p99_off,
+        "p99_speedup": p99_on and p99_off / p99_on,
+        "wide_latency_s_replan_on": on_lat[-1],
+        "wide_latency_s_replan_off": off_lat[-1],
+    }
+    return {"online_refit": online_refit, "flip_point": flip_point}
+
+
 def update_trajectory(
     output: Path, results: dict, soc_offload: dict, serving: dict, compiler: dict,
     compiler_dag: dict, soc_datapath: dict, serving_fabric: dict,
-    snn_serving: dict, observability: dict,
+    snn_serving: dict, observability: dict, adaptive: dict,
 ) -> dict:
     """Write the condensed results, appending to any existing history."""
     record = {
@@ -1270,6 +1440,7 @@ def update_trajectory(
         "serving_fabric": serving_fabric,
         "snn_serving": snn_serving,
         "observability": observability,
+        "adaptive": adaptive,
     }
     payload = {
         "latest": results,
@@ -1281,6 +1452,7 @@ def update_trajectory(
         "serving_fabric": serving_fabric,
         "snn_serving": snn_serving,
         "observability": observability,
+        "adaptive": adaptive,
         "history": [],
     }
     if output.exists():
@@ -1333,13 +1505,14 @@ def main() -> int:
     serving_fabric = collect_serving_fabric(quick=args.quick)
     snn_serving = collect_snn_serving(quick=args.quick)
     observability = collect_observability(quick=args.quick)
+    adaptive = collect_adaptive(quick=args.quick)
 
     if args.quick:
         print("quick mode: trajectory file not updated")
     else:
         update_trajectory(
             args.output, results, soc_offload, serving, compiler, compiler_dag,
-            soc_datapath, serving_fabric, snn_serving, observability,
+            soc_datapath, serving_fabric, snn_serving, observability, adaptive,
         )
         print(f"wrote {args.output} ({len(results)} benchmarks)")
     for name, stats in sorted(results.items()):
@@ -1441,6 +1614,20 @@ def main() -> int:
         f"({observability['overhead_frac'] * 100:.1f}% overhead, bitwise "
         f"{observability['bitwise_parity']}, {observability['trace_events']} "
         f"trace events, {observability['drift_flags']} drift flag(s))"
+    )
+    refit = adaptive["online_refit"]
+    flip_leg = adaptive["flip_point"]
+    print(
+        f"  adaptive/online_refit: predicted-cycle error "
+        f"{refit['predicted_cycle_rel_error_before']:.3f} -> "
+        f"{refit['predicted_cycle_rel_error_after']:.3f} after "
+        f"{refit['refits']} refit(s) under shifted traffic"
+    )
+    print(
+        f"  adaptive/flip_point: {flip_leg['recompiles']} recompile at the "
+        f"width crossing, p99 {flip_leg['p99_s_replan_off'] * 1e6:.1f} us "
+        f"replan-off -> {flip_leg['p99_s_replan_on'] * 1e6:.1f} us replan-on "
+        f"(bitwise {flip_leg['bitwise_identical']})"
     )
     return exit_code
 

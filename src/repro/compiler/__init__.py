@@ -13,8 +13,15 @@ replica-pinned serving requests dispatched level-parallel — cached by
 ``(graph hash, hardware fingerprint)``.
 """
 
+from repro.compiler.adaptive import (
+    AdaptiveReplanner,
+    ManagedPlan,
+    RefitEvent,
+    ReplanEvent,
+)
 from repro.compiler.costmodel import (
     DEFAULT_PROBE_SHAPES,
+    CalibrationSample,
     FanoutPrediction,
     PlanPrediction,
     ReplicaProfile,
@@ -64,10 +71,13 @@ from repro.compiler.partition import (
     choose_sharding,
     expected_batch_width,
     place_graph,
+    sharding_signature,
 )
 
 __all__ = [
+    "AdaptiveReplanner",
     "AddOp",
+    "CalibrationSample",
     "ConcatOp",
     "DEFAULT_PLAN_CACHE",
     "DEFAULT_PROBE_SHAPES",
@@ -78,6 +88,7 @@ __all__ = [
     "GraphError",
     "GraphOp",
     "INPUT_BUFFER",
+    "ManagedPlan",
     "ModelGraph",
     "PLACEMENT_STRATEGIES",
     "POOL_CONCURRENCY",
@@ -86,6 +97,8 @@ __all__ = [
     "Placement",
     "PoolLayerStep",
     "PoolPlan",
+    "RefitEvent",
+    "ReplanEvent",
     "ReplicaProfile",
     "SOC_ACTIVATIONS",
     "SUPPORTED_ACTIVATIONS",
@@ -108,5 +121,6 @@ __all__ = [
     "profile_engine",
     "profile_replicas",
     "replica_cost_fn",
+    "sharding_signature",
     "soc_fingerprint",
 ]

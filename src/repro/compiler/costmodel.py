@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -67,6 +67,142 @@ def _tile_compute_features(rows: int, inner: int, cols: int) -> np.ndarray:
     in the streamed columns, the MAC array's in the MAC count.
     """
     return np.array([1.0, cols, rows * inner * cols, rows * inner], dtype=float)
+
+
+def _shard_features(
+    shape: Tuple[int, int, int],
+    n_pes: int,
+    device_types: Sequence[str],
+    words_per_burst: int,
+    tile_rows: Optional[int] = None,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray], int]:
+    """Summed regression features of one row-sharded GeMM shape.
+
+    Rebuilds the exact shard streams ``run_tiled_gemm`` would execute (via
+    ``plan_shards``) and sums each tile's DMA and compute features, so a
+    measured ``WorkloadReport.pipeline`` can be regressed against them.
+
+    Returns:
+        ``(dma_feature, per_device_compute_features, n_streams)`` where
+        ``n_streams`` counts the PEs that received at least one tile.
+    """
+    n_rows, n_inner, n_cols = shape
+    plans = plan_shards(n_rows, n_inner, n_cols, n_pes, 0, 0, 0, tile_rows=tile_rows)
+    dma_feature = np.zeros(3)
+    per_device: Dict[str, np.ndarray] = {}
+    for device, descriptors in zip(device_types, plans):
+        for descriptor in descriptors:
+            dma_feature += _tile_dma_features(
+                descriptor.rows,
+                descriptor.inner,
+                descriptor.cols,
+                descriptor.load_input,
+                words_per_burst,
+            )
+            per_device.setdefault(device, np.zeros(4))
+            per_device[device] += _tile_compute_features(
+                descriptor.rows, descriptor.inner, descriptor.cols
+            )
+    n_streams = sum(1 for descriptors in plans if descriptors)
+    return dma_feature, per_device, n_streams
+
+
+def _solve_phase_fits(
+    dma_rows: List[np.ndarray],
+    dma_targets: List[float],
+    host_rows: List[List[float]],
+    host_targets: List[float],
+    compute_rows: Dict[str, List[np.ndarray]],
+    compute_targets: Dict[str, List[float]],
+    device_types: Sequence[str],
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+    """Least-squares solve of the three phase fits (DMA, host, compute).
+
+    Shared by boot-time :meth:`SoCCostModel.calibrate` and online
+    :meth:`SoCCostModel.refit` so the two paths cannot diverge: the same
+    probe set always yields the same coefficients regardless of which
+    entry point fitted them.
+    """
+    dma_coeffs, *_ = np.linalg.lstsq(
+        np.asarray(dma_rows), np.asarray(dma_targets, dtype=float), rcond=None
+    )
+    host_coeffs, *_ = np.linalg.lstsq(
+        np.asarray(host_rows, dtype=float),
+        np.asarray(host_targets, dtype=float),
+        rcond=None,
+    )
+    compute_coeffs: Dict[str, np.ndarray] = {}
+    if "__mixed__" in compute_rows:
+        stacked_coeffs, *_ = np.linalg.lstsq(
+            np.asarray(compute_rows["__mixed__"]),
+            np.asarray(compute_targets["__mixed__"], dtype=float),
+            rcond=None,
+        )
+        for offset, device in enumerate(sorted(set(device_types))):
+            compute_coeffs[device] = stacked_coeffs[offset * 4 : (offset + 1) * 4]
+    else:
+        for device, rows in compute_rows.items():
+            coeffs, *_ = np.linalg.lstsq(
+                np.asarray(rows),
+                np.asarray(compute_targets[device], dtype=float),
+                rcond=None,
+            )
+            compute_coeffs[device] = coeffs
+    return dma_coeffs, host_coeffs, compute_coeffs
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One production offload distilled to its measured pipeline phases.
+
+    The adaptive replanner collects these from live
+    :class:`~repro.system.soc.WorkloadReport` instances (row-sharded runs
+    only — K-sharded reports mix in staging/accumulate phases the
+    calibration features don't model) and feeds them to
+    :meth:`SoCCostModel.refit`.
+
+    Attributes:
+        shape: the offloaded ``(n_rows, n_inner, n_cols)`` GeMM shape.
+        dma_cycles: measured DMA phase cycles.
+        compute_cycles: measured compute phase cycles.
+        serial_cycles: measured back-to-back total (host target source).
+        pipelined_cycles: measured overlapped total (error metric source).
+        n_tiles: tiles the offload was split into.
+        tile_rows: row-tiling override the offload ran with, if any.
+    """
+
+    shape: Tuple[int, int, int]
+    dma_cycles: float
+    compute_cycles: float
+    serial_cycles: float
+    pipelined_cycles: float
+    n_tiles: int
+    tile_rows: Optional[int] = None
+
+    @classmethod
+    def from_report(
+        cls, shape: Tuple[int, int, int], report, tile_rows: Optional[int] = None
+    ) -> "CalibrationSample":
+        """Distill a row-sharded ``WorkloadReport`` into a sample.
+
+        Raises:
+            ValueError: when the report has no pipeline accounting or was
+                K-sharded (its phases don't match row-shard features).
+        """
+        pipeline = getattr(report, "pipeline", None) or {}
+        if not pipeline:
+            raise ValueError("report carries no pipeline accounting")
+        if int(pipeline.get("k_shards", 1)) > 1:
+            raise ValueError("K-sharded reports cannot seed a row-shard refit")
+        return cls(
+            shape=tuple(int(dim) for dim in shape),
+            dma_cycles=float(pipeline["dma_cycles"]),
+            compute_cycles=float(pipeline["compute_cycles"]),
+            serial_cycles=float(pipeline["serial_cycles"]),
+            pipelined_cycles=float(pipeline["pipelined_cycles"]),
+            n_tiles=int(pipeline["n_tiles"]),
+            tile_rows=tile_rows,
+        )
 
 
 @dataclass
@@ -239,26 +375,12 @@ class SoCCostModel:
                 -value_range, value_range + 1, size=(n_inner, n_cols)
             )
             report = soc.run_tiled_gemm(weights, inputs)
-            plans = plan_shards(n_rows, n_inner, n_cols, n_pes, 0, 0, 0)
-            dma_feature = np.zeros(3)
-            per_device_features: Dict[str, np.ndarray] = {}
-            for device, descriptors in zip(device_types, plans):
-                for descriptor in descriptors:
-                    dma_feature += _tile_dma_features(
-                        descriptor.rows,
-                        descriptor.inner,
-                        descriptor.cols,
-                        descriptor.load_input,
-                        words_per_burst,
-                    )
-                    per_device_features.setdefault(device, np.zeros(4))
-                    per_device_features[device] += _tile_compute_features(
-                        descriptor.rows, descriptor.inner, descriptor.cols
-                    )
+            dma_feature, per_device_features, n_streams = _shard_features(
+                shape, n_pes, device_types, words_per_burst
+            )
             dma_rows.append(dma_feature)
             dma_targets.append(report.pipeline["dma_cycles"])
             n_tiles = report.pipeline["n_tiles"]
-            n_streams = sum(1 for descriptors in plans if descriptors)
             host_rows.append([n_tiles, n_streams, 1.0])
             # the host MMR-driver cost is whatever serial_cycles carries
             # beyond the two measured PE phases — exact by construction
@@ -297,37 +419,119 @@ class SoCCostModel:
                     "pipelined_cycles": report.pipeline["pipelined_cycles"],
                 }
             )
-        dma_coeffs, *_ = np.linalg.lstsq(
-            np.asarray(dma_rows), np.asarray(dma_targets, dtype=float), rcond=None
+        dma_coeffs, host_coeffs, compute_coeffs = _solve_phase_fits(
+            dma_rows,
+            dma_targets,
+            host_rows,
+            host_targets,
+            compute_rows,
+            compute_targets,
+            device_types,
         )
-        host_coeffs, *_ = np.linalg.lstsq(
-            np.asarray(host_rows, dtype=float),
-            np.asarray(host_targets, dtype=float),
-            rcond=None,
-        )
-        compute_coeffs: Dict[str, np.ndarray] = {}
-        if "__mixed__" in compute_rows:
-            stacked_coeffs, *_ = np.linalg.lstsq(
-                np.asarray(compute_rows["__mixed__"]),
-                np.asarray(compute_targets["__mixed__"], dtype=float),
-                rcond=None,
-            )
-            for offset, device in enumerate(sorted(set(device_types))):
-                compute_coeffs[device] = stacked_coeffs[offset * 4 : (offset + 1) * 4]
-        else:
-            for device, rows in compute_rows.items():
-                coeffs, *_ = np.linalg.lstsq(
-                    np.asarray(rows),
-                    np.asarray(compute_targets[device], dtype=float),
-                    rcond=None,
-                )
-                compute_coeffs[device] = coeffs
         return cls(
             dma_coeffs,
             compute_coeffs,
             clock_hz=soc.clock_hz,
             n_pes=n_pes,
             words_per_burst=words_per_burst,
+            host_coeffs=host_coeffs,
+            probes=probes,
+        )
+
+    def refit(
+        self,
+        samples: Sequence[CalibrationSample],
+        device_types: Optional[Sequence[str]] = None,
+    ) -> "SoCCostModel":
+        """Fit a fresh model from production offload samples.
+
+        The online half of calibration: where :meth:`calibrate` runs its
+        own probe GeMMs, ``refit`` regresses the same three phase fits
+        (DMA, host, compute — through the shared solver, so identical
+        samples yield identical coefficients) against pipeline phases
+        *already measured in production*.  The returned model is new — the
+        boot model is untouched, so an
+        :class:`~repro.compiler.adaptive.AdaptiveReplanner` can compare
+        both and plan caches keyed on the old fingerprint stay coherent.
+
+        Args:
+            samples: production :class:`CalibrationSample` window (order
+                and duplication don't change the fit beyond float
+                round-off of the summed normal equations).
+            device_types: per-PE device types of the deployed cluster;
+                defaults to the fitted devices repeated across ``n_pes``
+                (exact for homogeneous clusters).
+
+        Returns:
+            A new :class:`SoCCostModel` with refreshed coefficients and
+            the same ``clock_hz`` / ``n_pes`` / ``words_per_burst``.
+
+        Raises:
+            ValueError: when ``samples`` is empty.
+        """
+        samples = list(samples)
+        if not samples:
+            raise ValueError("refit needs at least one calibration sample")
+        if device_types is None:
+            fitted = sorted(self.compute_coeffs)
+            device_types = [fitted[index % len(fitted)] for index in range(self.n_pes)]
+        dma_rows, dma_targets = [], []
+        host_rows, host_targets = [], []
+        compute_rows: Dict[str, List[np.ndarray]] = {}
+        compute_targets: Dict[str, List[float]] = {}
+        probes: List[dict] = []
+        for sample in samples:
+            dma_feature, per_device, n_streams = _shard_features(
+                sample.shape,
+                self.n_pes,
+                device_types,
+                self.words_per_burst,
+                tile_rows=sample.tile_rows,
+            )
+            dma_rows.append(dma_feature)
+            dma_targets.append(sample.dma_cycles)
+            host_rows.append([float(sample.n_tiles), float(n_streams), 1.0])
+            host_targets.append(
+                sample.serial_cycles - sample.dma_cycles - sample.compute_cycles
+            )
+            if len(per_device) == 1:
+                device = next(iter(per_device))
+                compute_rows.setdefault(device, []).append(per_device[device])
+                compute_targets.setdefault(device, []).append(sample.compute_cycles)
+            else:
+                stacked = np.concatenate(
+                    [
+                        per_device.get(device, np.zeros(4))
+                        for device in sorted(set(device_types))
+                    ]
+                )
+                compute_rows.setdefault("__mixed__", []).append(stacked)
+                compute_targets.setdefault("__mixed__", []).append(
+                    sample.compute_cycles
+                )
+            probes.append(
+                {
+                    "shape": list(sample.shape),
+                    "dma_cycles": sample.dma_cycles,
+                    "compute_cycles": sample.compute_cycles,
+                    "pipelined_cycles": sample.pipelined_cycles,
+                }
+            )
+        dma_coeffs, host_coeffs, compute_coeffs = _solve_phase_fits(
+            dma_rows,
+            dma_targets,
+            host_rows,
+            host_targets,
+            compute_rows,
+            compute_targets,
+            device_types,
+        )
+        return type(self)(
+            dma_coeffs,
+            compute_coeffs,
+            clock_hz=self.clock_hz,
+            n_pes=self.n_pes,
+            words_per_burst=self.words_per_burst,
             host_coeffs=host_coeffs,
             probes=probes,
         )
@@ -656,17 +860,28 @@ def profile_replicas(
 
 
 def replica_cost_fn(
-    profiles: Dict[str, ReplicaProfile],
+    profiles: Union[
+        Mapping[str, ReplicaProfile], Callable[[], Mapping[str, ReplicaProfile]]
+    ],
 ) -> Callable[[object], float]:
     """Scoring callable for ``ReplicaScheduler(policy="cost-based")``.
 
     Returns the calibrated per-request service seconds of a replica;
     unprofiled replicas fall back to their engine's static latency hint,
     so a partially-profiled pool still routes sensibly.
+
+    ``profiles`` may be a plain mapping, or a zero-argument callable
+    returning the *current* mapping.  The callable form reads through on
+    every score, so cost-based routing sees live re-profiles — pass
+    :meth:`~repro.compiler.adaptive.AdaptiveReplanner.current_profiles`
+    and a refit's refreshed profiles take effect without rebuilding the
+    scheduler's closure (a plain dict snapshot would pin the boot-time
+    profiles forever).
     """
 
     def cost(replica) -> float:
-        profile = profiles.get(replica.name)
+        current = profiles() if callable(profiles) else profiles
+        profile = current.get(replica.name)
         if profile is not None:
             return max(profile.service_s, 0.0)
         return max(replica.engine.latency_hint_s(1), 0.0)

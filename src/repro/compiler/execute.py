@@ -105,6 +105,37 @@ class PlanCache:
         """Drop every cached plan (counters are kept)."""
         self._plans.clear()
 
+    def invalidate(
+        self, graph_hash: Optional[str] = None, fingerprint: Optional[str] = None
+    ) -> int:
+        """Drop plans matching a graph hash and/or hardware fingerprint.
+
+        Stale plans keyed on a retired fingerprint can never hit again
+        after a cost-model refit bumps the hardware fingerprint — but they
+        would still occupy LRU slots and evict live plans.  The adaptive
+        replanner calls this with each managed plan's ``graph_hash`` when
+        it refits, so the cache only holds reachable entries.
+
+        Args:
+            graph_hash: drop entries for this graph (any fingerprint).
+            fingerprint: drop entries with this fingerprint (any graph).
+                When both are given, entries must match both.
+
+        Returns:
+            The number of plans dropped (0 when both filters are ``None``).
+        """
+        if graph_hash is None and fingerprint is None:
+            return 0
+        doomed = [
+            key
+            for key in self._plans
+            if (graph_hash is None or key[0] == graph_hash)
+            and (fingerprint is None or key[1] == fingerprint)
+        ]
+        for key in doomed:
+            del self._plans[key]
+        return len(doomed)
+
 
 #: Default process-wide plan cache used when callers do not pass their own.
 DEFAULT_PLAN_CACHE = PlanCache(max_plans=32)

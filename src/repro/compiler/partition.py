@@ -30,7 +30,7 @@ Two placement axes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.compiler.costmodel import ReplicaProfile, SoCCostModel
 from repro.compiler.graph import ModelGraph
@@ -179,6 +179,45 @@ def choose_sharding(
     if n_rows < n_pes and n_inner >= n_pes:
         return ShardingDecision(strategy="k", k_shards=max_k)
     return ShardingDecision(strategy="rows", k_shards=1)
+
+
+def sharding_signature(
+    shapes: Sequence[Tuple[int, int]],
+    n_cols: int,
+    n_pes: int,
+    cost_model: Optional[SoCCostModel] = None,
+    tile_rows: Optional[int] = None,
+) -> Tuple[Tuple[str, int], ...]:
+    """Per-shape ``(strategy, k_shards)`` decisions at one batch width.
+
+    The adaptive replanner's flip detector: two signatures of the same
+    ``(rows, inner)`` shape list taken at different widths (or under
+    different cost models) are equal exactly when recompiling would
+    reproduce the same partitioning — so a plan only recompiles when an
+    observed width (or a refit) actually crosses a sharding flip point,
+    never on width jitter within a region.
+
+    Args:
+        shapes: the dense ``(n_rows, n_inner)`` shapes of a plan's offload
+            steps, in step order.
+        n_cols: the batch width to evaluate the decisions at.
+        n_pes: accelerator count of the target cluster.
+        cost_model: calibrated predictor forwarded to
+            :func:`choose_sharding`.
+        tile_rows: row-tiling override forwarded to the predictions.
+
+    Returns:
+        A tuple of ``(strategy, k_shards)`` pairs, one per shape.
+    """
+    return tuple(
+        (decision.strategy, decision.k_shards)
+        for decision in (
+            choose_sharding(
+                rows, inner, n_cols, n_pes, cost_model=cost_model, tile_rows=tile_rows
+            )
+            for rows, inner in shapes
+        )
+    )
 
 
 def choose_fusion(

@@ -96,6 +96,16 @@ class DriftMonitor:
         """Number of distinct (shape, backend) keys tracked."""
         return len(self._stats)
 
+    def reset(self) -> None:
+        """Forget every accumulated sample.
+
+        The adaptive replanner calls this after a cost-model refit: the
+        retired model's prediction errors say nothing about the refreshed
+        one, so drift accounting restarts from zero against the new
+        coefficients.
+        """
+        self._stats.clear()
+
     def _rel_error(self, stats: _KeyStats) -> float:
         predicted_mean = stats.predicted_sum / stats.samples
         measured_mean = stats.measured_sum / stats.samples

@@ -319,6 +319,13 @@ class SoCGemmEngine(InferenceEngine):
         drift_monitor: optional :class:`~repro.obs.drift.DriftMonitor` fed
             one (predicted, measured) cycle pair per offload, keyed by
             ``(n_out, n_in, batch)`` shape and the engine name.
+        replanner: optional
+            :class:`~repro.compiler.adaptive.AdaptiveReplanner` fed each
+            offload's measured ``WorkloadReport`` as a refit sample (same
+            opt-in discipline as tracing: default off, one truthiness
+            check, bitwise invisible).  When set, drift recording predicts
+            with the replanner's *current* model, so post-refit flags
+            reflect the refreshed coefficients rather than the boot model.
     """
 
     def __init__(
@@ -332,6 +339,7 @@ class SoCGemmEngine(InferenceEngine):
         tracer=None,
         cost_model=None,
         drift_monitor=None,
+        replanner=None,
     ):
         super().__init__(name=name, max_models=max_models, clock=clock)
         if not getattr(soc, "accelerators", None):
@@ -346,6 +354,7 @@ class SoCGemmEngine(InferenceEngine):
         self.tracer = tracer
         self.cost_model = cost_model
         self.drift_monitor = drift_monitor
+        self.replanner = replanner
 
     def _compile(self, key: str, weights: Optional[np.ndarray]) -> CompiledModel:
         if weights is None:
@@ -374,9 +383,14 @@ class SoCGemmEngine(InferenceEngine):
                     parent=self.tracer.current,
                     end_cycle=self.offload_cycles,
                 )
-            if self.drift_monitor is not None and self.cost_model is not None:
+            if self.replanner:
+                self.replanner.observe_offload(
+                    (n_out, n_in, columns.shape[1]), report, tile_rows=self.tile_rows
+                )
+            model = self.replanner.model if self.replanner else self.cost_model
+            if self.drift_monitor is not None and model is not None:
                 shape = (n_out, n_in, columns.shape[1])
-                predicted = self.cost_model.predict_gemm(
+                predicted = model.predict_gemm(
                     n_out, n_in, columns.shape[1], tile_rows=self.tile_rows
                 ).pipelined_cycles
                 self.drift_monitor.record(shape, self.name, predicted, report.cycles)

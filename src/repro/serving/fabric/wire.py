@@ -38,6 +38,7 @@ from repro.serving.errors import (
     ServingError,
     WorkerCrashedError,
 )
+from repro.system.faults import EmptyCampaignError
 
 #: frame prefix: (header_bytes, payload_bytes) lengths, network byte order.
 FRAME_PREFIX = struct.Struct("!II")
@@ -170,6 +171,10 @@ def encode_exception(exc: BaseException) -> Dict:
         }
     if isinstance(exc, WorkerCrashedError):
         return {"kind": "worker-crashed", "worker": exc.worker, "detail": exc.detail}
+    if isinstance(exc, EmptyCampaignError):
+        # fault-campaign rates queried remotely: keep the type so callers
+        # can distinguish "no runs yet" from a genuine serving failure
+        return {"kind": "empty-campaign", "message": str(exc)}
     if isinstance(exc, ServerClosedError):
         return {"kind": "server-closed", "message": str(exc)}
     if isinstance(exc, ServingError):
@@ -195,6 +200,8 @@ def decode_exception(payload: Dict) -> Exception:
         )
     if kind == "worker-crashed":
         return WorkerCrashedError(worker=payload["worker"], detail=payload["detail"])
+    if kind == "empty-campaign":
+        return EmptyCampaignError(payload.get("message", "empty campaign"))
     if kind == "server-closed":
         return ServerClosedError(payload.get("message", "server closed"))
     if kind == "serving":

@@ -227,6 +227,18 @@ class ReplicaScheduler:
         self._by_name = {replica.name: replica for replica in self.replicas}
         self._rr_index = 0
 
+    def update_cost_fn(self, cost_fn: Optional[Callable[[Replica], float]]) -> None:
+        """Swap the ``cost-based`` scorer without rebuilding the scheduler.
+
+        ``cost_fn`` is read at every :meth:`select`, so the swap takes
+        effect on the next routed request.  Prefer a read-through scorer
+        (:func:`repro.compiler.costmodel.replica_cost_fn` over a profile
+        *provider*, e.g. ``AdaptiveReplanner.cost_fn()``) — then profile
+        refreshes need no swap at all; this hook covers callers who built
+        the scheduler around a snapshot closure.
+        """
+        self.cost_fn = cost_fn
+
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #

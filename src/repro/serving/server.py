@@ -42,6 +42,13 @@ class InferenceServer:
             default) keeps the entire tracing path to one falsy check.
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
             shared with the batchers.
+        replanner: optional
+            :class:`~repro.compiler.adaptive.AdaptiveReplanner`; when
+            set, every replica's fused-batch widths stream into the
+            replanner's width window so it can detect sharding flip
+            points in the offered traffic.  Same opt-in discipline as
+            tracing: ``None`` (the default) adds nothing to the serving
+            path.
     """
 
     def __init__(
@@ -53,12 +60,14 @@ class InferenceServer:
         cost_fn: Optional[Callable[[Replica], float]] = None,
         tracer=None,
         metrics=None,
+        replanner=None,
     ):
         self.clock = clock
         self.scheduler = ReplicaScheduler(replicas, policy=policy, cost_fn=cost_fn)
         self.telemetry = telemetry if telemetry is not None else ServingTelemetry(clock=clock)
         self.tracer = tracer
         self.metrics = metrics
+        self.replanner = replanner
         self._started = False
         self._closed = False
         self._next_request_id = 0
@@ -82,6 +91,12 @@ class InferenceServer:
                 replica.engine.tracer = tracer
             replica.add_observer(self._observe_result)
             replica.add_batch_observer(self.telemetry.on_batch)
+            if replanner:
+                replica.add_batch_observer(self._observe_batch_width)
+
+    def _observe_batch_width(self, replica_name: str, batch_size: int) -> None:
+        """Feed one fused-batch width into the attached replanner."""
+        self.replanner.observe_batch(batch_size)
 
     def _observe_result(
         self,

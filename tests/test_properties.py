@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.compiler import CalibrationSample, SoCCostModel
 from repro.core.quantization import quantize_uniform, quantize_weights
 from repro.devices.coupler import DirectionalCoupler
 from repro.devices.mzi import ideal_mzi_matrix, physical_mzi_matrix
@@ -141,3 +142,152 @@ class TestAssemblerProperties:
         program = assemble(f"add x{rd}, x{rs1}, x0\nhalt")
         assert program.instructions[0].rd == rd
         assert program.instructions[0].rs1 == rs1
+
+
+# --------------------------------------------------------------------- #
+# adaptive replanning: refit + drift-flag invariants
+# --------------------------------------------------------------------- #
+_BASE_COST_MODEL = None
+
+
+def base_cost_model():
+    """One calibrated 2-PE model, shared across examples (calibration is slow)."""
+    global _BASE_COST_MODEL
+    if _BASE_COST_MODEL is None:
+        from repro.system import PhotonicSoC
+
+        soc = PhotonicSoC()
+        soc.add_photonic_accelerator()
+        soc.add_photonic_accelerator()
+        _BASE_COST_MODEL = SoCCostModel.calibrate(soc)
+    return _BASE_COST_MODEL
+
+
+def synthetic_samples(draw_rows):
+    """Build CalibrationSamples from drawn (m, k, n, scale) rows."""
+    samples = []
+    for m, k, n, scale in draw_rows:
+        n_tiles = max(1, m // 8)
+        dma = float((m * k + k * n + m * n) * scale) / 10.0
+        compute = float(m * k * n) * scale / 5.0
+        samples.append(
+            CalibrationSample(
+                shape=(m, k, n),
+                dma_cycles=dma,
+                compute_cycles=compute,
+                serial_cycles=dma + compute + 40.0 * n_tiles,
+                pipelined_cycles=max(dma, compute) + 25.0 * n_tiles,
+                n_tiles=n_tiles,
+            )
+        )
+    return samples
+
+
+def refit_coeffs(model):
+    return (
+        model.dma_coeffs,
+        model.host_coeffs,
+        {key: model.compute_coeffs[key] for key in sorted(model.compute_coeffs)},
+    )
+
+
+sample_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=2, max_value=24),
+        st.integers(min_value=2, max_value=24),
+        st.integers(min_value=1, max_value=32),
+        st.floats(min_value=0.5, max_value=4.0),
+    ),
+    min_size=6,
+    max_size=16,
+)
+
+
+class TestRefitProperties:
+    @DEFAULT_SETTINGS
+    @given(sample_rows, st.randoms(use_true_random=False))
+    def test_refit_invariant_to_sample_order(self, rows, shuffler):
+        samples = synthetic_samples(rows)
+        shuffled = list(samples)
+        shuffler.shuffle(shuffled)
+        fitted = base_cost_model().refit(samples)
+        refitted = base_cost_model().refit(shuffled)
+        for lhs, rhs in zip(refit_coeffs(fitted)[:2], refit_coeffs(refitted)[:2]):
+            assert np.allclose(lhs, rhs, atol=1e-6)
+        for key, coeffs in refit_coeffs(fitted)[2].items():
+            assert np.allclose(coeffs, refit_coeffs(refitted)[2][key], atol=1e-6)
+
+    @DEFAULT_SETTINGS
+    @given(sample_rows, st.integers(min_value=2, max_value=4))
+    def test_refit_invariant_to_uniform_duplication(self, rows, copies):
+        # duplicating the whole window k times rescales the least-squares
+        # system uniformly: the fitted coefficients must not move
+        samples = synthetic_samples(rows)
+        fitted = base_cost_model().refit(samples)
+        duplicated = base_cost_model().refit(samples * copies)
+        assert np.allclose(fitted.dma_coeffs, duplicated.dma_coeffs, atol=1e-6)
+        assert np.allclose(fitted.host_coeffs, duplicated.host_coeffs, atol=1e-6)
+        for key in fitted.compute_coeffs:
+            assert np.allclose(
+                fitted.compute_coeffs[key],
+                duplicated.compute_coeffs[key],
+                atol=1e-6,
+            )
+
+    @DEFAULT_SETTINGS
+    @given(sample_rows)
+    def test_refit_preserves_hardware_identity(self, rows):
+        base = base_cost_model()
+        fitted = base.refit(synthetic_samples(rows))
+        assert fitted is not base
+        assert fitted.clock_hz == base.clock_hz
+        assert fitted.n_pes == base.n_pes
+        assert fitted.words_per_burst == base.words_per_burst
+
+
+drift_records = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # key index
+        st.floats(min_value=1.0, max_value=1e6),  # predicted
+        st.floats(min_value=1.0, max_value=1e6),  # measured
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+DRIFT_KEYS = [((4, 4, w), f"pe{w % 2}") for w in (1, 2, 8, 16)]
+
+
+class TestDriftMonitorProperties:
+    @DEFAULT_SETTINGS
+    @given(drift_records)
+    def test_flags_invariant_to_cross_key_interleaving(self, records):
+        from repro.obs.drift import DriftMonitor
+
+        interleaved = DriftMonitor(threshold=0.10, min_samples=2)
+        for key_index, predicted, measured in records:
+            shape, backend = DRIFT_KEYS[key_index]
+            interleaved.record(shape, backend, predicted, measured)
+
+        # same records grouped per key (stable sort preserves within-key
+        # order, so every per-key float sum accumulates identically)
+        grouped = DriftMonitor(threshold=0.10, min_samples=2)
+        for wanted in range(len(DRIFT_KEYS)):
+            for key_index, predicted, measured in records:
+                if key_index == wanted:
+                    shape, backend = DRIFT_KEYS[key_index]
+                    grouped.record(shape, backend, predicted, measured)
+
+        assert interleaved.flags() == grouped.flags()
+        assert interleaved.summary() == grouped.summary()
+
+    @DEFAULT_SETTINGS
+    @given(drift_records)
+    def test_min_samples_gates_flags(self, records):
+        from repro.obs.drift import DriftMonitor
+
+        monitor = DriftMonitor(threshold=1e-9, min_samples=len(records) + 1)
+        for key_index, predicted, measured in records:
+            shape, backend = DRIFT_KEYS[key_index]
+            monitor.record(shape, backend, predicted, measured)
+        assert monitor.flags() == []  # no key can reach min_samples
